@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Ablation C: architectural capacities. The 1990 implementation lets
+ * each node have up to 8 writes and 8 delayed operations in progress;
+ * this harness sweeps both depths and shows where the paper's choice
+ * sits on the latency-hiding curve.
+ */
+
+#include <deque>
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+#include "core/context.hpp"
+
+namespace {
+
+using namespace plus;
+using namespace plus::bench;
+
+/**
+ * Remote write burst: time to issue+drain 64 writes spread over three
+ * remote nodes (a single destination would serialize at its coherence
+ * manager regardless of window depth).
+ */
+Cycles
+writeBurst(unsigned pending_entries)
+{
+    MachineConfig mc = machineConfig(16);
+    mc.cost.pendingWriteEntries = pending_entries;
+    core::Machine machine(mc);
+    Addr pages[3] = {machine.alloc(kPageBytes, 5),
+                     machine.alloc(kPageBytes, 10),
+                     machine.alloc(kPageBytes, 15)};
+    Cycles elapsed = 0;
+    machine.spawn(0, [&](core::Context& ctx) {
+        for (Addr page : pages) {
+            ctx.read(page);
+        }
+        const Cycles before = ctx.machine().now();
+        for (Word i = 0; i < 64; ++i) {
+            ctx.write(pages[i % 3] + 4 * (i / 3), i);
+        }
+        ctx.fence();
+        elapsed = ctx.machine().now() - before;
+    });
+    machine.run();
+    return elapsed;
+}
+
+/** Remote fadd stream with a sliding window of delayed operations. */
+Cycles
+opStream(unsigned op_entries)
+{
+    MachineConfig mc = machineConfig(4);
+    mc.cost.delayedOpEntries = op_entries;
+    core::Machine machine(mc);
+    const Addr page = machine.alloc(kPageBytes, 3);
+    Cycles elapsed = 0;
+    machine.spawn(0, [&](core::Context& ctx) {
+        ctx.read(page);
+        const Cycles before = ctx.machine().now();
+        std::deque<core::OpHandle> window;
+        for (Word i = 0; i < 64; ++i) {
+            if (window.size() == op_entries) {
+                ctx.verify(window.front());
+                window.pop_front();
+            }
+            window.push_back(ctx.issueFadd(page, 1));
+        }
+        while (!window.empty()) {
+            ctx.verify(window.front());
+            window.pop_front();
+        }
+        elapsed = ctx.machine().now() - before;
+    });
+    machine.run();
+    return elapsed;
+}
+
+} // namespace
+
+int
+main()
+{
+    printHeader("Ablation C: pending-write / delayed-op cache depths",
+                "the 1990 implementation chose 8 of each");
+
+    TablePrinter writes;
+    writes.setHeader({"Pending-write entries", "64-write burst (cycles)"});
+    for (unsigned d : {1u, 2u, 4u, 8u, 16u, 32u}) {
+        writes.addRow({std::to_string(d),
+                       TablePrinter::num(writeBurst(d))});
+    }
+    writes.print(std::cout);
+
+    std::cout << "\n";
+    TablePrinter ops;
+    ops.setHeader({"Delayed-op entries", "64-fadd stream (cycles)"});
+    for (unsigned d : {1u, 2u, 4u, 8u}) {
+        ops.addRow({std::to_string(d), TablePrinter::num(opStream(d))});
+    }
+    ops.print(std::cout);
+
+    std::cout << "\nExpected: throughput saturates once the window covers "
+                 "the round-trip latency;\ndepth 8 sits at (or past) the "
+                 "knee for adjacent-node traffic.\n\n";
+    return 0;
+}

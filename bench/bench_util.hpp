@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Shared helpers for the table/figure reproduction harnesses.
+ */
+
+#ifndef PLUS_BENCH_BENCH_UTIL_HPP_
+#define PLUS_BENCH_BENCH_UTIL_HPP_
+
+#include <iostream>
+#include <string>
+
+#include "common/config.hpp"
+#include "common/table.hpp"
+#include "core/machine.hpp"
+
+namespace plus {
+namespace bench {
+
+/** Machine configuration used by the reproduction experiments. */
+inline MachineConfig
+machineConfig(unsigned nodes, ProcessorMode mode = ProcessorMode::Delayed)
+{
+    MachineConfig cfg;
+    cfg.nodes = nodes;
+    cfg.framesPerNode = 4096;
+    cfg.mode = mode;
+    return cfg;
+}
+
+/** Ratio of local to remote operations as Table 2-1 prints it. */
+inline double
+localRemoteRatio(std::uint64_t local, std::uint64_t remote)
+{
+    return remote == 0 ? static_cast<double>(local)
+                       : static_cast<double>(local) /
+                             static_cast<double>(remote);
+}
+
+inline void
+printHeader(const std::string& what, const std::string& paper_ref)
+{
+    std::cout << "\n=== " << what << " ===\n"
+              << "Reproduces: " << paper_ref << "\n"
+              << "(absolute numbers differ from the 1990 testbed; the "
+                 "trends are the result)\n\n";
+}
+
+} // namespace bench
+} // namespace plus
+
+#endif // PLUS_BENCH_BENCH_UTIL_HPP_

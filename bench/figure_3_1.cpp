@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Reproduces Figure 3-1, "Efficiency of the Beam Search Application with
+ * Different Synchronization Costs": the sync-heavy beam-search inner
+ * loop under (a) blocking synchronization, (b) PLUS's delayed
+ * operations, and (c) context switching with 16-, 40- and 140-cycle
+ * switch costs.
+ *
+ * Paper's qualitative result: very fast (16-cycle) context switching is
+ * best, delayed operations beat 40-cycle context switching, and
+ * 140-cycle switching is down with (or below) blocking.
+ */
+
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+#include "workloads/beam.hpp"
+
+namespace {
+
+using namespace plus;
+using namespace plus::bench;
+
+workloads::BeamConfig
+beamConfig()
+{
+    workloads::BeamConfig cfg;
+    cfg.layers = 16;
+    cfg.width = 256;
+    cfg.avgDegree = 3.0;
+    cfg.maxWeight = 50;
+    cfg.seed = 20260708;
+    return cfg;
+}
+
+Cycles
+runOnce(unsigned nodes, ProcessorMode mode, Cycles ctx_cost,
+        unsigned threads_per_proc)
+{
+    MachineConfig mc = machineConfig(nodes, mode);
+    mc.cost.ctxSwitchCycles = ctx_cost;
+    core::Machine machine(mc);
+    workloads::BeamConfig cfg = beamConfig();
+    cfg.threadsPerProcessor = threads_per_proc;
+    const workloads::BeamResult r = runBeam(machine, cfg);
+    if (!r.correct) {
+        std::cerr << "FAILED: beam result incorrect (nodes=" << nodes
+                  << " mode=" << toString(mode) << ")\n";
+        std::exit(1);
+    }
+    return r.elapsed;
+}
+
+} // namespace
+
+int
+main()
+{
+    printHeader("Figure 3-1: beam-search efficiency vs sync cost",
+                "blocking vs delayed ops vs context switching 16/40/140");
+
+    // Common baseline: the one-processor blocking run.
+    const Cycles t1 = runOnce(1, ProcessorMode::Blocking, 0, 1);
+
+    TablePrinter table;
+    table.setHeader({"Procs", "blocking", "delayed", "ctx-16", "ctx-40",
+                     "ctx-140"});
+    for (unsigned nodes : {1u, 2u, 4u, 8u, 16u}) {
+        auto eff = [&](Cycles tn) {
+            return TablePrinter::num(
+                static_cast<double>(t1) /
+                (static_cast<double>(nodes) * static_cast<double>(tn)));
+        };
+        const Cycles blocking =
+            runOnce(nodes, ProcessorMode::Blocking, 0, 1);
+        const Cycles delayed =
+            runOnce(nodes, ProcessorMode::Delayed, 0, 1);
+        const Cycles ctx16 =
+            runOnce(nodes, ProcessorMode::ContextSwitch, 16, 2);
+        const Cycles ctx40 =
+            runOnce(nodes, ProcessorMode::ContextSwitch, 40, 2);
+        const Cycles ctx140 =
+            runOnce(nodes, ProcessorMode::ContextSwitch, 140, 2);
+        table.addRow({std::to_string(nodes), eff(blocking), eff(delayed),
+                      eff(ctx16), eff(ctx40), eff(ctx140)});
+    }
+    table.print(std::cout);
+    std::cout << "\nExpected ordering at scale: ctx-16 >= delayed > "
+                 "ctx-40 > blocking >= ctx-140.\n\n";
+    return 0;
+}

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator substrate itself:
+ * event-queue throughput, fiber context switches, network transit, and
+ * end-to-end simulated operations per wall-clock second. These measure
+ * the reproduction's own speed, not the PLUS machine.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/context.hpp"
+#include "core/machine.hpp"
+#include "net/network.hpp"
+#include "sim/engine.hpp"
+#include "sim/fiber.hpp"
+
+namespace {
+
+using namespace plus;
+
+void
+BM_EngineScheduleDispatch(benchmark::State& state)
+{
+    sim::Engine engine;
+    std::uint64_t fired = 0;
+    for (auto _ : state) {
+        engine.schedule(1, [&fired] { ++fired; });
+        engine.step();
+    }
+    benchmark::DoNotOptimize(fired);
+}
+BENCHMARK(BM_EngineScheduleDispatch);
+
+void
+BM_EngineDeepQueue(benchmark::State& state)
+{
+    const auto depth = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        state.PauseTiming();
+        sim::Engine engine;
+        std::uint64_t fired = 0;
+        for (std::size_t i = 0; i < depth; ++i) {
+            engine.schedule(i % 97, [&fired] { ++fired; });
+        }
+        state.ResumeTiming();
+        engine.run();
+        benchmark::DoNotOptimize(fired);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(depth));
+}
+BENCHMARK(BM_EngineDeepQueue)->Arg(1024)->Arg(16384);
+
+void
+BM_FiberSwitch(benchmark::State& state)
+{
+    std::uint64_t count = 0;
+    bool stop = false;
+    sim::Fiber fiber(
+        [&] {
+            while (!stop) {
+                ++count;
+                sim::Fiber::yield();
+            }
+        },
+        64 * 1024);
+    for (auto _ : state) {
+        fiber.resume();
+    }
+    stop = true;
+    fiber.resume();
+    benchmark::DoNotOptimize(count);
+}
+BENCHMARK(BM_FiberSwitch);
+
+void
+BM_MeshTransit(benchmark::State& state)
+{
+    sim::Engine engine;
+    net::Topology topo(16, 4, 4);
+    NetworkConfig cfg;
+    net::MeshNetwork network(engine, topo, cfg);
+    std::uint64_t delivered = 0;
+    for (NodeId n = 0; n < 16; ++n) {
+        network.setDeliveryHandler(
+            n, [&delivered](net::Packet) { ++delivered; });
+    }
+    NodeId dst = 1;
+    for (auto _ : state) {
+        net::Packet packet;
+        packet.src = 0;
+        packet.dst = dst;
+        packet.payloadBytes = 16;
+        network.send(std::move(packet));
+        dst = (dst % 15) + 1;
+        engine.run();
+    }
+    benchmark::DoNotOptimize(delivered);
+}
+BENCHMARK(BM_MeshTransit);
+
+void
+BM_SimulatedRemoteFadd(benchmark::State& state)
+{
+    // Wall-clock cost of simulating one remote interlocked operation,
+    // measured across whole machine lifetimes.
+    for (auto _ : state) {
+        MachineConfig cfg;
+        cfg.nodes = 4;
+        cfg.framesPerNode = 16;
+        core::Machine machine(cfg);
+        const Addr page = machine.alloc(kPageBytes, 3);
+        machine.spawn(0, [&](core::Context& ctx) {
+            for (int i = 0; i < 100; ++i) {
+                ctx.fadd(page, 1);
+            }
+        });
+        machine.run();
+        benchmark::DoNotOptimize(machine.peek(page));
+    }
+    state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_SimulatedRemoteFadd);
+
+} // namespace
+
+BENCHMARK_MAIN();

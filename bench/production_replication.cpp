@@ -1,0 +1,59 @@
+/**
+ * @file
+ * The production-system workload under growing replication of its
+ * read-mostly match index: the read-dominated member of the paper's
+ * application suite is where non-demand replication pays off most
+ * directly — remote match probes become local reads while the
+ * interlocked assertion traffic stays constant.
+ */
+
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+#include "workloads/production.hpp"
+
+int
+main()
+{
+    using namespace plus;
+    using namespace plus::bench;
+
+    printHeader("Production system vs replication",
+                "forward chaining, 16 processors, match index replicated");
+
+    TablePrinter table;
+    table.setHeader({"Copies", "cycles", "speedup", "Reads L/R",
+                     "updates"});
+    Cycles base = 0;
+    for (unsigned copies : {1u, 2u, 3u, 4u, 5u}) {
+        core::Machine machine(machineConfig(16));
+        workloads::ProductionConfig cfg;
+        cfg.facts = 2048;
+        cfg.rules = 6144;
+        cfg.initialFacts = 16;
+        cfg.seed = 20260708;
+        cfg.replication = copies;
+        const workloads::ProductionResult r =
+            runProduction(machine, cfg);
+        if (!r.correct) {
+            std::cerr << "FAILED: closure incorrect at replication "
+                      << copies << "\n";
+            return 1;
+        }
+        if (copies == 1) {
+            base = r.elapsed;
+        }
+        table.addRow(
+            {std::to_string(copies), TablePrinter::num(r.elapsed),
+             TablePrinter::num(static_cast<double>(base) /
+                               static_cast<double>(r.elapsed)),
+             TablePrinter::num(localRemoteRatio(r.report.localReads,
+                                                r.report.remoteReads)),
+             TablePrinter::num(r.report.updateMessages)});
+    }
+    table.print(std::cout);
+    std::cout << "\nExpected: the local/remote read ratio climbs with "
+                 "copies and the run gets faster,\nwhile update traffic "
+                 "stays modest (the replicated pages are read-mostly).\n\n";
+    return 0;
+}

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Reproduces Table 2-1, "Effect of Replication on Messages": the
+ * single-point shortest-path problem on 16 processors with the vertex
+ * data and work queues replicated at levels 1 through 5.
+ *
+ * Paper's rows (copies: reads local/remote, writes local/remote,
+ * total/update):
+ *   1: 1.25  3.40  6.18
+ *   2: 1.70  1.18  2.91
+ *   3: 1.64  0.70  2.24
+ *   4: 2.14  0.45  1.89
+ *   5: 2.32  0.36  1.68
+ *
+ * Expected trends: the local/remote read ratio rises with copies, the
+ * local/remote write ratio falls (every write to a replicated page must
+ * visit the network), and the total/update message ratio falls toward 1
+ * as updates dominate the traffic.
+ */
+
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+#include "workloads/sssp.hpp"
+
+int
+main()
+{
+    using namespace plus;
+    using namespace plus::bench;
+
+    printHeader("Table 2-1: Effect of Replication on Messages",
+                "SSSP, 16 processors, replication level 1-5");
+
+    struct PaperRow {
+        double reads, writes, ratio;
+    };
+    const PaperRow paper[5] = {{1.25, 3.40, 6.18},
+                               {1.70, 1.18, 2.91},
+                               {1.64, 0.70, 2.24},
+                               {2.14, 0.45, 1.89},
+                               {2.32, 0.36, 1.68}};
+
+    TablePrinter table;
+    table.setHeader({"Copies", "Reads L/R", "(paper)", "Writes L/R",
+                     "(paper)", "Total/Update", "(paper)"});
+
+    for (unsigned copies = 1; copies <= 5; ++copies) {
+        core::Machine machine(machineConfig(16));
+        workloads::SsspConfig cfg;
+        cfg.vertices = 2048;
+        cfg.kind = workloads::SsspGraphKind::Grid;
+        cfg.shortcutFrac = 0.25;
+        cfg.seed = 20260708;
+        cfg.replication = copies;
+        const workloads::SsspResult r = runSssp(machine, cfg);
+        if (!r.correct) {
+            std::cerr << "FAILED: distances incorrect at replication "
+                      << copies << "\n";
+            return 1;
+        }
+        const auto& rep = r.report;
+        const double reads =
+            localRemoteRatio(rep.localReads, rep.remoteReads);
+        const double writes =
+            localRemoteRatio(rep.localWrites + rep.localRmws,
+                             rep.remoteWrites + rep.remoteRmws);
+        // "Update" counts the write-carrying messages (write requests
+        // travelling to the master plus copy-list updates).
+        const double ratio =
+            rep.writeCarryingMessages == 0
+                ? 0.0
+                : static_cast<double>(rep.totalMessages) /
+                      static_cast<double>(rep.writeCarryingMessages);
+        table.addRow({std::to_string(copies),
+                      TablePrinter::num(reads),
+                      TablePrinter::num(paper[copies - 1].reads),
+                      TablePrinter::num(writes),
+                      TablePrinter::num(paper[copies - 1].writes),
+                      TablePrinter::num(ratio),
+                      TablePrinter::num(paper[copies - 1].ratio)});
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+    return 0;
+}

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Reproduces Table 3-1, "PLUS's Delayed Operations", together with the
+ * cost narrative of Section 3.1: the coherence manager executes simple
+ * interlocked operations in 39 cycles and queue/dequeue/min-xchng in 52;
+ * issuing costs ~25 processor cycles, reading an available result ~10;
+ * the round trip between adjacent nodes is 24 cycles, each extra hop
+ * adds 4; a remote blocking read costs about 32 cycles plus the round
+ * trip.
+ *
+ * The harness measures every operation end to end on an otherwise idle
+ * machine and checks the measurement against the paper's arithmetic:
+ *   latency(h) = 25 + (10 + 2h) + occupancy + (10 + 2h) + 10.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "core/context.hpp"
+#include "core/sync.hpp"
+#include "proto/rmw.hpp"
+
+namespace {
+
+using namespace plus;
+using namespace plus::bench;
+using core::Context;
+using core::Machine;
+using proto::RmwOp;
+
+struct Probe {
+    RmwOp op;
+    const char* description;
+};
+
+/** Measure one blocking interlocked op against a master @p hops away. */
+Cycles
+measureOp(RmwOp op, unsigned hops)
+{
+    MachineConfig cfg = machineConfig(16);
+    Machine machine(cfg);
+
+    // On the 4x4 mesh, node h is h hops from node 0 along the X axis.
+    const NodeId target = hops;
+    const Addr page = machine.alloc(kPageBytes, target);
+    if (op == RmwOp::Queue || op == RmwOp::Dequeue) {
+        const Word base =
+            static_cast<Word>(cfg.cost.queueBaseOffset);
+        machine.poke(page, base);              // QP
+        machine.poke(page + kWordBytes, base); // DQP
+        if (op == RmwOp::Dequeue) {
+            machine.poke(page + 8, 5 | kTopBit); // one queued item
+        }
+    }
+
+    Cycles measured = 0;
+    machine.spawn(0, [&](Context& ctx) {
+        // Warm the page table (and, for dequeue, address the DQP word).
+        const Addr addr =
+            op == RmwOp::Dequeue ? page + kWordBytes : page;
+        ctx.read(addr);
+        ctx.fence();
+        const Cycles before = ctx.machine().now();
+        ctx.rmw(op, addr, 1);
+        measured = ctx.machine().now() - before;
+    });
+    machine.run();
+    return measured;
+}
+
+Cycles
+measureRemoteRead(unsigned hops)
+{
+    Machine machine(machineConfig(16));
+    const Addr page = machine.alloc(kPageBytes, hops);
+    Cycles measured = 0;
+    machine.spawn(0, [&](Context& ctx) {
+        ctx.read(page); // page-table warm-up
+        const Cycles before = ctx.machine().now();
+        ctx.read(page);
+        measured = ctx.machine().now() - before;
+    });
+    machine.run();
+    return measured;
+}
+
+} // namespace
+
+int
+main()
+{
+    printHeader("Table 3-1: PLUS's delayed operations",
+                "per-op coherence-manager occupancy and end-to-end cost");
+
+    const CostModel cost; // paper defaults
+    const Probe probes[] = {
+        {RmwOp::Xchng, "return value, write word"},
+        {RmwOp::CondXchng, "write if top bit set"},
+        {RmwOp::FetchAdd, "return value, add"},
+        {RmwOp::FetchSet, "return value, set top bit"},
+        {RmwOp::Queue, "enqueue at tail"},
+        {RmwOp::Dequeue, "dequeue at head"},
+        {RmwOp::MinXchng, "store if smaller"},
+        {RmwOp::DelayedRead, "read, no modification"},
+    };
+
+    TablePrinter table;
+    table.setHeader({"Operation", "CM cycles", "(paper)", "1-hop",
+                     "(model)", "2-hop", "3-hop"});
+    bool ok = true;
+    for (const Probe& p : probes) {
+        const Cycles occ = proto::isComplexOp(p.op) ? cost.cmRmwComplex
+                                                    : cost.cmRmwSimple;
+        const Cycles paper_occ = proto::isComplexOp(p.op) ? 52 : 39;
+        std::vector<Cycles> measured;
+        for (unsigned h = 1; h <= 3; ++h) {
+            measured.push_back(measureOp(p.op, h));
+        }
+        const Cycles predicted1 =
+            cost.procIssueOp + 2 * (10 + 2 * 1) + occ +
+            cost.procReadResult;
+        if (measured[0] != predicted1) {
+            ok = false;
+        }
+        table.addRow({toString(p.op), TablePrinter::num(occ),
+                      TablePrinter::num(paper_occ),
+                      TablePrinter::num(measured[0]),
+                      TablePrinter::num(predicted1),
+                      TablePrinter::num(measured[1]),
+                      TablePrinter::num(measured[2])});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nNetwork calibration (paper: 24-cycle adjacent round "
+                 "trip, +4 per extra hop;\nremote blocking read = 32 + "
+                 "round trip):\n\n";
+    TablePrinter net;
+    net.setHeader({"Hops", "Read latency", "(model 32+RTT)"});
+    for (unsigned h = 1; h <= 3; ++h) {
+        const Cycles rtt = 2 * (10 + 2 * h);
+        const Cycles got = measureRemoteRead(h);
+        if (got != 32 + rtt) {
+            ok = false;
+        }
+        net.addRow({std::to_string(h), TablePrinter::num(got),
+                    TablePrinter::num(Cycles{32} + rtt)});
+    }
+    net.print(std::cout);
+
+    std::cout << (ok ? "\nAll measurements match the paper's arithmetic.\n"
+                     : "\nMISMATCH against the paper's arithmetic!\n");
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * The speech-recognition beam search of Section 3.4: a fine-grained,
+ * synchronization-heavy search over an HMM-style layered graph. Run it
+ * in the three latency-hiding modes of Figure 3-1 and compare.
+ *
+ *   $ ./beam_search [nodes] [mode: blocking|delayed|ctx] [ctx-cycles]
+ */
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+#include "core/machine.hpp"
+#include "workloads/beam.hpp"
+
+int
+main(int argc, char** argv)
+{
+    using namespace plus;
+
+    const unsigned nodes =
+        argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 8;
+    const char* mode_name = argc > 2 ? argv[2] : "delayed";
+    const Cycles ctx_cycles =
+        argc > 3 ? static_cast<Cycles>(std::atoi(argv[3])) : 40;
+
+    MachineConfig mc;
+    mc.nodes = nodes;
+    mc.framesPerNode = 4096;
+    if (std::strcmp(mode_name, "blocking") == 0) {
+        mc.mode = ProcessorMode::Blocking;
+    } else if (std::strcmp(mode_name, "ctx") == 0) {
+        mc.mode = ProcessorMode::ContextSwitch;
+        mc.cost.ctxSwitchCycles = ctx_cycles;
+    } else {
+        mc.mode = ProcessorMode::Delayed;
+    }
+    core::Machine machine(mc);
+
+    workloads::BeamConfig cfg;
+    cfg.layers = 20;
+    cfg.width = 128;
+    cfg.seed = 42;
+    cfg.threadsPerProcessor =
+        mc.mode == ProcessorMode::ContextSwitch ? 4 : 1;
+
+    std::cout << "running beam search: " << nodes << " nodes, mode "
+              << toString(mc.mode) << "\n";
+    const workloads::BeamResult result = runBeam(machine, cfg);
+
+    std::cout << (result.correct ? "final-layer scores match reference\n"
+                                 : "SCORES WRONG\n")
+              << "simulated cycles: " << result.elapsed << "\n"
+              << "state expansions: " << result.expansions << "\n"
+              << "utilization:      "
+              << result.report.utilization(nodes) << "\n";
+    return result.correct ? 0 : 1;
+}

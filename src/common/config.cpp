@@ -1,0 +1,65 @@
+#include "common/config.hpp"
+
+#include <cmath>
+
+#include "common/panic.hpp"
+
+namespace plus {
+
+const char*
+toString(ProcessorMode mode)
+{
+    switch (mode) {
+      case ProcessorMode::Blocking: return "blocking";
+      case ProcessorMode::Delayed: return "delayed";
+      case ProcessorMode::ContextSwitch: return "context-switch";
+      default: return "?";
+    }
+}
+
+void
+MachineConfig::validate()
+{
+    if (nodes == 0) {
+        PLUS_FATAL("machine needs at least one node");
+    }
+    if (framesPerNode == 0) {
+        PLUS_FATAL("framesPerNode must be positive");
+    }
+    if (cost.pendingWriteEntries == 0) {
+        PLUS_FATAL("pendingWriteEntries must be positive");
+    }
+    if (cost.delayedOpEntries == 0) {
+        PLUS_FATAL("delayedOpEntries must be positive");
+    }
+    if (cost.queueBaseOffset >= kPageWords) {
+        PLUS_FATAL("queueBaseOffset must be within a page");
+    }
+    if (cost.cacheLineWords == 0 || cost.cacheWays == 0 ||
+        cost.cacheBytes == 0) {
+        PLUS_FATAL("cache geometry must be positive");
+    }
+    if (network.bytesPerCycle <= 0.0) {
+        PLUS_FATAL("network bandwidth must be positive");
+    }
+    if (threadStackBytes < 16 * 1024) {
+        PLUS_FATAL("thread stacks of less than 16 KiB are unsafe");
+    }
+
+    if (network.meshWidth != 0) {
+        if (network.meshWidth > nodes) {
+            PLUS_FATAL("meshWidth ", network.meshWidth,
+                       " exceeds node count ", nodes);
+        }
+        resolvedMeshWidth_ = network.meshWidth;
+    } else {
+        // Near-square mesh: the smallest width whose square covers nodes.
+        auto w = static_cast<unsigned>(
+            std::ceil(std::sqrt(static_cast<double>(nodes))));
+        resolvedMeshWidth_ = w;
+    }
+    resolvedMeshHeight_ =
+        (nodes + resolvedMeshWidth_ - 1) / resolvedMeshWidth_;
+}
+
+} // namespace plus

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Configuration structs for the simulated PLUS machine.
+ *
+ * Defaults reproduce the 1990 implementation: 40 ns cycle, 4 Kbyte pages,
+ * 8-entry pending-writes cache, 8-entry delayed-operations cache, mesh
+ * router with a 24-cycle adjacent-node round trip (+4 cycles per extra
+ * hop), 20 Mbyte/s links, and the coherence-manager occupancies of
+ * Table 3-1 (39 cycles for simple interlocked operations, 52 for
+ * queue/dequeue/min-xchng).
+ */
+
+#ifndef PLUS_COMMON_CONFIG_HPP_
+#define PLUS_COMMON_CONFIG_HPP_
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace plus {
+
+/** Interconnection-network parameters. */
+struct NetworkConfig {
+    /**
+     * Model selection: the mesh model routes messages hop by hop through
+     * routers with finite link bandwidth (contention is visible); the
+     * ideal model applies the latency formula with no contention.
+     */
+    bool ideal = false;
+
+    /** Mesh width in nodes; 0 means choose automatically (near-square). */
+    unsigned meshWidth = 0;
+
+    /**
+     * One-way fixed latency in cycles (network interface + first router).
+     * With perHopCycles this is calibrated to the paper's measurement:
+     * round trip between adjacent nodes = 24 cycles, each extra hop
+     * adds 4 cycles round trip, i.e. one-way latency = 10 + 2 * hops.
+     */
+    Cycles fixedCycles = 10;
+
+    /** One-way latency added per hop, in cycles. */
+    Cycles perHopCycles = 2;
+
+    /**
+     * Link bandwidth in bytes per cycle. 20 Mbyte/s per direction at a
+     * 25 MHz (40 ns) clock is 0.8 bytes/cycle. Routers are wormhole/
+     * cut-through: serialization occupies each link but pipelines, so it
+     * adds to head latency only once under zero load.
+     */
+    double bytesPerCycle = 0.8;
+
+    /** Per-message header size in bytes (routing, type, originator, tag). */
+    unsigned headerBytes = 8;
+};
+
+/** How the processor hides (or fails to hide) memory/sync latency. */
+enum class ProcessorMode {
+    /** Stall on every synchronization result (Figure 3-1 "blocking"). */
+    Blocking,
+    /** Use the delayed-operation issue/verify split (PLUS's mechanism). */
+    Delayed,
+    /**
+     * Switch to another resident thread whenever a synchronization
+     * operation is issued, paying ctxSwitchCycles (Figure 3-1's 16/40/140
+     * curves).
+     */
+    ContextSwitch,
+};
+
+const char* toString(ProcessorMode mode);
+
+/**
+ * Timing constants. All values are in processor cycles and default to the
+ * numbers published in the paper (Sections 3.1 and 5).
+ */
+struct CostModel {
+    /** Nanoseconds per cycle in the 1990 implementation (informational). */
+    double nsPerCycle = 40.0;
+
+    // --- Processor-side costs -------------------------------------------
+
+    /** Issue of a delayed operation ("approximately 25 cycles"). */
+    Cycles procIssueOp = 25;
+
+    /** Reading an available delayed-op result ("about 10 cycles"). */
+    Cycles procReadResult = 10;
+
+    /** Processor-side cost to launch a write (non-blocking). */
+    Cycles procIssueWrite = 2;
+
+    /**
+     * Processor-side costs of a blocking remote read. Together with
+     * cmServiceReadReq these reproduce the paper's "about 32 cycles plus
+     * the round-trip network delay": 8 + 12 + 12 = 32.
+     */
+    Cycles procRemoteReadIssue = 8;
+    Cycles procRemoteReadComplete = 12;
+
+    /** Cost of a context switch when ProcessorMode::ContextSwitch. */
+    Cycles ctxSwitchCycles = 40;
+
+    // --- Processor cache (32 Kbyte write-through, 4-word lines) ---------
+
+    Cycles cacheHit = 1;
+    /** Four-word line fetch from local memory ("takes 15 cycles"). */
+    Cycles cacheMissFill = 15;
+    /** Write-through store to local memory. */
+    Cycles cacheWriteThrough = 2;
+    unsigned cacheLineWords = 4;
+    unsigned cacheBytes = 32 * 1024;
+    /** Set associativity of the modelled cache. */
+    unsigned cacheWays = 2;
+    /** Model the processor cache at all (off = every local read is a hit). */
+    bool modelCache = true;
+    /**
+     * Node-bus snoop policy for words the coherence manager writes:
+     * false = write-update (the paper's design, keeps lines valid),
+     * true = invalidate (forces a re-fetch; ablation, Section 2.2's
+     * update-vs-invalidate discussion).
+     */
+    bool snoopInvalidate = false;
+
+    // --- Coherence-manager occupancies ----------------------------------
+
+    /** Servicing a remote read request (memory read + reply). */
+    Cycles cmServiceReadReq = 12;
+    /** Performing a write at a copy and forwarding the update. */
+    Cycles cmServiceWrite = 8;
+    /** Applying an update at a copy and forwarding it. */
+    Cycles cmServiceUpdate = 8;
+    /** Handling a write acknowledgement. */
+    Cycles cmServiceAck = 2;
+    /** Simple interlocked ops: xchng, cond-xchng, fadd, f&s, delayed-read. */
+    Cycles cmRmwSimple = 39;
+    /** Complex interlocked ops: queue, dequeue, min-xchng. */
+    Cycles cmRmwComplex = 52;
+    /** Forwarding a request that must be redirected (e.g. to the master). */
+    Cycles cmForward = 2;
+    /** Copying one word during background page replication. */
+    Cycles cmPageCopyWord = 4;
+    /**
+     * OS exception handler filling a local page-table entry from the
+     * centralized table (the lazy evaluation of Section 2.4), and the
+     * re-translation performed when a request is nacked.
+     */
+    Cycles osPageFillCycles = 100;
+
+    // --- Architectural capacities ----------------------------------------
+
+    /** Pending-writes cache entries ("up to 8 writes in progress"). */
+    unsigned pendingWriteEntries = 8;
+    /** Delayed-operations cache entries ("8 in the current implementation"). */
+    unsigned delayedOpEntries = 8;
+
+    /**
+     * Whether a delayed RMW's update chain occupies a pending-write entry
+     * until the chain completes (so fences also drain RMW side effects).
+     * See DESIGN.md "RMW vs fence".
+     */
+    bool rmwOccupiesPendingWrite = true;
+
+    /**
+     * DASH-style ordering (ablation): every interlocked operation
+     * implicitly drains the pending-writes cache before issuing,
+     * instead of PLUS's explicit, programmer-placed fence
+     * ("PLUS does not enforce full fences as part of synchronization
+     * operations, as in DASH", Section 2.3).
+     */
+    bool implicitFenceOnSync = false;
+
+    /**
+     * First word offset of the circular-queue region used by the queue /
+     * dequeue operations; offsets wrap within [queueBaseOffset,
+     * kPageWords). Words below the base hold the tail/head offset words.
+     */
+    Addr queueBaseOffset = 2;
+};
+
+/** Top-level machine description. */
+struct MachineConfig {
+    /** Number of nodes (each: processor + memory + coherence manager). */
+    unsigned nodes = 16;
+
+    /** Local-memory frames per node (8 Mbyte / 4 Kbyte = 2048 by default). */
+    unsigned framesPerNode = 2048;
+
+    /** Processor latency-hiding mode. */
+    ProcessorMode mode = ProcessorMode::Delayed;
+
+    NetworkConfig network;
+    CostModel cost;
+
+    /** Seed for all workload randomness. */
+    std::uint64_t seed = 1;
+
+    /** Fiber stack size for simulated threads, in bytes. */
+    std::size_t threadStackBytes = 256 * 1024;
+
+    /**
+     * Validate and fill in derived fields (mesh dimensions). Throws
+     * FatalError on inconsistent settings.
+     */
+    void validate();
+
+    /** Mesh width after validate() (explicit or near-square automatic). */
+    unsigned meshWidth() const { return resolvedMeshWidth_; }
+    unsigned meshHeight() const { return resolvedMeshHeight_; }
+
+  private:
+    unsigned resolvedMeshWidth_ = 0;
+    unsigned resolvedMeshHeight_ = 0;
+};
+
+} // namespace plus
+
+#endif // PLUS_COMMON_CONFIG_HPP_

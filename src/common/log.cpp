@@ -1,0 +1,49 @@
+#include "common/log.hpp"
+
+namespace plus {
+
+const char*
+logComponentName(LogComponent c)
+{
+    switch (c) {
+      case LogComponent::Engine: return "engine";
+      case LogComponent::Thread: return "thread";
+      case LogComponent::Net: return "net";
+      case LogComponent::Mem: return "mem";
+      case LogComponent::Proto: return "proto";
+      case LogComponent::Node: return "node";
+      case LogComponent::Machine: return "machine";
+      case LogComponent::Workload: return "workload";
+      default: return "?";
+    }
+}
+
+Log&
+Log::instance()
+{
+    static Log log;
+    return log;
+}
+
+void
+Log::enableAll()
+{
+    enabled_.fill(true);
+}
+
+void
+Log::disableAll()
+{
+    enabled_.fill(false);
+}
+
+void
+Log::write(LogComponent c, const std::string& msg)
+{
+    if (clock_) {
+        (*stream_) << "[" << clock_() << "] ";
+    }
+    (*stream_) << logComponentName(c) << ": " << msg << "\n";
+}
+
+} // namespace plus

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Lightweight component-tagged trace logging.
+ *
+ * The simulator is silent by default; enable a component to watch the
+ * protocol at work, e.g.
+ * @code
+ *   plus::Log::instance().enable(plus::LogComponent::Proto);
+ * @endcode
+ * Messages carry the current simulated cycle when a clock source has been
+ * registered (the sim::Engine registers itself).
+ */
+
+#ifndef PLUS_COMMON_LOG_HPP_
+#define PLUS_COMMON_LOG_HPP_
+
+#include <array>
+#include <functional>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace plus {
+
+/** Subsystems that can be traced independently. */
+enum class LogComponent : unsigned {
+    Engine = 0,
+    Thread,
+    Net,
+    Mem,
+    Proto,
+    Node,
+    Machine,
+    Workload,
+    NumComponents,
+};
+
+/** Short tag printed in front of each message. */
+const char* logComponentName(LogComponent c);
+
+/** Global logging switchboard (singleton; the simulator is single-threaded). */
+class Log
+{
+  public:
+    static Log& instance();
+
+    void enable(LogComponent c) { enabled_[index(c)] = true; }
+    void disable(LogComponent c) { enabled_[index(c)] = false; }
+    void enableAll();
+    void disableAll();
+    bool isEnabled(LogComponent c) const { return enabled_[index(c)]; }
+
+    /** Register the simulated-clock source; pass nullptr to clear. */
+    void setClock(std::function<Cycles()> clock) { clock_ = std::move(clock); }
+
+    /** Redirect output (defaults to std::cerr); pass nullptr to reset. */
+    void setStream(std::ostream* os) { stream_ = os ? os : &std::cerr; }
+
+    void write(LogComponent c, const std::string& msg);
+
+  private:
+    Log() { disableAll(); }
+
+    static unsigned index(LogComponent c) { return static_cast<unsigned>(c); }
+
+    std::array<bool, static_cast<unsigned>(LogComponent::NumComponents)>
+        enabled_{};
+    std::function<Cycles()> clock_;
+    std::ostream* stream_ = &std::cerr;
+};
+
+namespace detail {
+
+template <typename... Args>
+void
+logWrite(LogComponent c, Args&&... args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    Log::instance().write(c, os.str());
+}
+
+} // namespace detail
+
+/** Trace a message for a component; formatting cost is paid only if enabled. */
+#define PLUS_LOG(component, ...)                                            \
+    do {                                                                    \
+        if (::plus::Log::instance().isEnabled(component)) {                 \
+            ::plus::detail::logWrite(component, __VA_ARGS__);               \
+        }                                                                   \
+    } while (0)
+
+} // namespace plus
+
+#endif // PLUS_COMMON_LOG_HPP_

@@ -1,0 +1,21 @@
+#include "common/panic.hpp"
+
+namespace plus {
+namespace detail {
+
+void
+throwPanic(const char* file, int line, const std::string& msg)
+{
+    std::ostringstream os;
+    os << "panic: " << msg << " (" << file << ":" << line << ")";
+    throw PanicError(os.str());
+}
+
+void
+throwFatal(const std::string& msg)
+{
+    throw FatalError("fatal: " + msg);
+}
+
+} // namespace detail
+} // namespace plus

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Error-reporting helpers, following the gem5 distinction between
+ * panic() (a simulator bug: should never happen regardless of user input)
+ * and fatal() (the user's fault: bad configuration or arguments).
+ */
+
+#ifndef PLUS_COMMON_PANIC_HPP_
+#define PLUS_COMMON_PANIC_HPP_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace plus {
+
+/** Thrown by fatal(): the simulation cannot continue due to user error. */
+class FatalError : public std::runtime_error {
+  public:
+    explicit FatalError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/** Thrown by panic(): an internal invariant was violated (a PLUS bug). */
+class PanicError : public std::logic_error {
+  public:
+    explicit PanicError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] void throwPanic(const char* file, int line,
+                             const std::string& msg);
+[[noreturn]] void throwFatal(const std::string& msg);
+
+/** Fold a list of streamable values into one string. */
+template <typename... Args>
+std::string
+concat(Args&&... args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+} // namespace detail
+
+/**
+ * Abort with an internal-error diagnostic. Use for conditions that can
+ * only arise from a bug in the simulator itself.
+ */
+#define PLUS_PANIC(...)                                                     \
+    ::plus::detail::throwPanic(__FILE__, __LINE__,                          \
+                               ::plus::detail::concat(__VA_ARGS__))
+
+/** Abort with a user-error diagnostic (bad config, bad arguments). */
+#define PLUS_FATAL(...)                                                     \
+    ::plus::detail::throwFatal(::plus::detail::concat(__VA_ARGS__))
+
+/** Assert an internal invariant; active in all build types. */
+#define PLUS_ASSERT(cond, ...)                                              \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::plus::detail::throwPanic(                                     \
+                __FILE__, __LINE__,                                         \
+                ::plus::detail::concat("assertion failed: " #cond " ",      \
+                                       ##__VA_ARGS__));                     \
+        }                                                                   \
+    } while (0)
+
+} // namespace plus
+
+#endif // PLUS_COMMON_PANIC_HPP_

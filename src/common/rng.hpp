@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workloads and tests.
+ *
+ * The whole simulator is single-threaded and seeded, so every run is
+ * reproducible. We use xoshiro256** (Blackman & Vigna), implemented from
+ * the public-domain reference algorithm, rather than std::mt19937 so that
+ * results are identical across standard-library implementations.
+ */
+
+#ifndef PLUS_COMMON_RNG_HPP_
+#define PLUS_COMMON_RNG_HPP_
+
+#include <array>
+#include <cstdint>
+
+#include "common/panic.hpp"
+
+namespace plus {
+
+/** xoshiro256** generator; satisfies UniformRandomBitGenerator. */
+class Xoshiro256
+{
+  public:
+    using result_type = std::uint64_t;
+
+    explicit Xoshiro256(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+    {
+        // Seed the state with splitmix64, as recommended by the authors.
+        std::uint64_t x = seed;
+        for (auto& word : state_) {
+            x += 0x9e3779b97f4a7c15ull;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~0ull; }
+
+    result_type
+    operator()()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound); bound must be positive. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        PLUS_ASSERT(bound > 0, "below() needs a positive bound");
+        // Lemire's unbiased multiply-shift rejection method.
+        __uint128_t m = static_cast<__uint128_t>(operator()()) * bound;
+        auto low = static_cast<std::uint64_t>(m);
+        if (low < bound) {
+            const std::uint64_t threshold = (-bound) % bound;
+            while (low < threshold) {
+                m = static_cast<__uint128_t>(operator()()) * bound;
+                low = static_cast<std::uint64_t>(m);
+            }
+        }
+        return static_cast<std::uint64_t>(m >> 64);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        PLUS_ASSERT(lo <= hi, "range() needs lo <= hi");
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(operator()() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli trial with probability p. */
+    bool chance(double p) { return uniform() < p; }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::array<std::uint64_t, 4> state_;
+};
+
+} // namespace plus
+
+#endif // PLUS_COMMON_RNG_HPP_

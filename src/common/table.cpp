@@ -1,0 +1,92 @@
+#include "common/table.hpp"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/panic.hpp"
+
+namespace plus {
+
+void
+TablePrinter::setHeader(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void
+TablePrinter::addRow(std::vector<std::string> row)
+{
+    if (!header_.empty()) {
+        PLUS_ASSERT(row.size() == header_.size(),
+                    "row width ", row.size(), " != header width ",
+                    header_.size());
+    }
+    rows_.push_back(std::move(row));
+}
+
+std::string
+TablePrinter::num(double value, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << value;
+    return os.str();
+}
+
+std::string
+TablePrinter::num(std::uint64_t value)
+{
+    return std::to_string(value);
+}
+
+void
+TablePrinter::print(std::ostream& os) const
+{
+    // Compute per-column widths over the header and all rows.
+    std::vector<std::size_t> widths;
+    auto widen = [&widths](const std::vector<std::string>& row) {
+        if (widths.size() < row.size()) {
+            widths.resize(row.size(), 0);
+        }
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            widths[i] = std::max(widths[i], row[i].size());
+        }
+    };
+    widen(header_);
+    for (const auto& row : rows_) {
+        widen(row);
+    }
+
+    auto emit = [&](const std::vector<std::string>& row) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            os << (i ? "  " : "") << std::left
+               << std::setw(static_cast<int>(widths[i])) << row[i];
+        }
+        os << "\n";
+    };
+
+    if (!title_.empty()) {
+        os << title_ << "\n";
+    }
+    if (!header_.empty()) {
+        emit(header_);
+        std::size_t total = 0;
+        for (std::size_t i = 0; i < widths.size(); ++i) {
+            total += widths[i] + (i ? 2 : 0);
+        }
+        os << std::string(total, '-') << "\n";
+    }
+    for (const auto& row : rows_) {
+        emit(row);
+    }
+}
+
+std::string
+TablePrinter::toString() const
+{
+    std::ostringstream os;
+    print(os);
+    return os.str();
+}
+
+} // namespace plus

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Plain-text table formatting for the benchmark harnesses.
+ *
+ * Every bench binary prints the rows/series of the paper table or figure it
+ * reproduces; TablePrinter keeps those tables aligned and diff-friendly.
+ */
+
+#ifndef PLUS_COMMON_TABLE_HPP_
+#define PLUS_COMMON_TABLE_HPP_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace plus {
+
+/** Column-aligned text table with an optional title and column headers. */
+class TablePrinter
+{
+  public:
+    explicit TablePrinter(std::string title = "") : title_(std::move(title)) {}
+
+    /** Set the header row; defines the column count. */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append a data row; must match the header's column count if set. */
+    void addRow(std::vector<std::string> row);
+
+    /** Convenience: format a double with the given precision. */
+    static std::string num(double value, int precision = 2);
+
+    /** Convenience: format an integer. */
+    static std::string num(std::uint64_t value);
+
+    /** Render the table to a stream. */
+    void print(std::ostream& os) const;
+
+    /** Render the table to a string. */
+    std::string toString() const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace plus
+
+#endif // PLUS_COMMON_TABLE_HPP_

@@ -1,0 +1,27 @@
+#include "common/types.hpp"
+
+#include <sstream>
+
+namespace plus {
+
+std::string
+toString(const PhysPage& page)
+{
+    std::ostringstream os;
+    if (!page.valid()) {
+        os << "<invalid-page>";
+    } else {
+        os << "n" << page.node << ".f" << page.frame;
+    }
+    return os.str();
+}
+
+std::string
+toString(const PhysAddr& addr)
+{
+    std::ostringstream os;
+    os << toString(addr.page) << "+o" << addr.wordOffset;
+    return os.str();
+}
+
+} // namespace plus

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * The API a simulated application thread programs against: coherent
+ * reads and writes, the delayed interlocked operations of Table 3-1 in
+ * both blocking and issue/verify form, the explicit write fence, and
+ * compute() for declaring instruction-stream time between shared
+ * references.
+ */
+
+#ifndef PLUS_CORE_CONTEXT_HPP_
+#define PLUS_CORE_CONTEXT_HPP_
+
+#include "common/types.hpp"
+#include "node/processor.hpp"
+#include "proto/rmw.hpp"
+
+namespace plus {
+namespace core {
+
+class Machine;
+
+/** Handle for an in-flight delayed operation. */
+using OpHandle = proto::DelayedOpHandle;
+
+/** Per-thread view of the machine; passed to every thread body. */
+class Context
+{
+  public:
+    Context(Machine& machine, node::Processor& processor, ThreadId tid)
+        : machine_(machine), processor_(processor), tid_(tid)
+    {
+    }
+
+    ThreadId tid() const { return tid_; }
+    NodeId node() const { return processor_.nodeId(); }
+    Machine& machine() { return machine_; }
+    ProcessorMode mode() const { return processor_.mode(); }
+
+    /** Declare @p cycles of computation between shared references. */
+    void compute(Cycles cycles) { processor_.compute(cycles); }
+
+    /**
+     * Busy-wait backoff: burns @p cycles and, in ContextSwitch mode,
+     * lets another thread resident on this processor run. Every spin
+     * loop must use this instead of bare compute().
+     */
+    void
+    pause(Cycles cycles)
+    {
+        processor_.compute(cycles);
+        processor_.yieldNow();
+    }
+
+    /** Coherent read of the 32-bit word at @p addr. */
+    Word read(Addr addr) { return processor_.read(addr); }
+
+    /** Coherent, non-blocking write of the word at @p addr. */
+    void write(Addr addr, Word value) { processor_.write(addr, value); }
+
+    /** Full drain: block until all of this processor's writes finish. */
+    void fence() { processor_.fence(); }
+
+    /**
+     * The paper's explicit write fence (Section 2.3): later writes and
+     * interlocked operations wait for all earlier writes, but this
+     * thread keeps running (reads and compute are unaffected).
+     */
+    void writeFence() { processor_.writeFence(); }
+
+    // --- blocking interlocked operations (issue + verify in one call) ----
+
+    Word xchng(Addr a, Word v) { return rmw(proto::RmwOp::Xchng, a, v); }
+    Word condXchng(Addr a, Word v)
+    {
+        return rmw(proto::RmwOp::CondXchng, a, v);
+    }
+    Word fadd(Addr a, Word delta)
+    {
+        return rmw(proto::RmwOp::FetchAdd, a, delta);
+    }
+    Word fetchSet(Addr a) { return rmw(proto::RmwOp::FetchSet, a, 0); }
+    Word enqueue(Addr qp, Word v) { return rmw(proto::RmwOp::Queue, qp, v); }
+    Word dequeue(Addr dqp) { return rmw(proto::RmwOp::Dequeue, dqp, 0); }
+    Word minXchng(Addr a, Word v)
+    {
+        return rmw(proto::RmwOp::MinXchng, a, v);
+    }
+    Word delayedRead(Addr a)
+    {
+        return rmw(proto::RmwOp::DelayedRead, a, 0);
+    }
+
+    Word
+    rmw(proto::RmwOp op, Addr addr, Word operand)
+    {
+        return processor_.rmw(op, addr, operand);
+    }
+
+    // --- split (delayed) form: issue now, verify later --------------------
+
+    OpHandle issueXchng(Addr a, Word v)
+    {
+        return issue(proto::RmwOp::Xchng, a, v);
+    }
+    OpHandle issueCondXchng(Addr a, Word v)
+    {
+        return issue(proto::RmwOp::CondXchng, a, v);
+    }
+    OpHandle issueFadd(Addr a, Word delta)
+    {
+        return issue(proto::RmwOp::FetchAdd, a, delta);
+    }
+    OpHandle issueFetchSet(Addr a)
+    {
+        return issue(proto::RmwOp::FetchSet, a, 0);
+    }
+    OpHandle issueEnqueue(Addr qp, Word v)
+    {
+        return issue(proto::RmwOp::Queue, qp, v);
+    }
+    OpHandle issueDequeue(Addr dqp)
+    {
+        return issue(proto::RmwOp::Dequeue, dqp, 0);
+    }
+    OpHandle issueMinXchng(Addr a, Word v)
+    {
+        return issue(proto::RmwOp::MinXchng, a, v);
+    }
+    OpHandle issueDelayedRead(Addr a)
+    {
+        return issue(proto::RmwOp::DelayedRead, a, 0);
+    }
+
+    OpHandle
+    issue(proto::RmwOp op, Addr addr, Word operand)
+    {
+        return processor_.issueRmw(op, addr, operand);
+    }
+
+    /** Non-blocking poll: true once verify() would not block. */
+    bool ready(OpHandle h) const { return processor_.rmwReady(h); }
+
+    /** Read (and consume) a delayed operation's result. */
+    Word verify(OpHandle h) { return processor_.verify(h); }
+
+  private:
+    Machine& machine_;
+    node::Processor& processor_;
+    ThreadId tid_;
+};
+
+} // namespace core
+} // namespace plus
+
+#endif // PLUS_CORE_CONTEXT_HPP_

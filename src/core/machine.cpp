@@ -1,0 +1,536 @@
+#include "core/machine.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/log.hpp"
+#include "common/panic.hpp"
+#include "core/context.hpp"
+
+namespace plus {
+namespace core {
+
+double
+MachineReport::utilization(unsigned processors) const
+{
+    if (elapsed == 0 || processors == 0) {
+        return 0.0;
+    }
+    return static_cast<double>(busyUseful) /
+           (static_cast<double>(elapsed) * processors);
+}
+
+MachineReport
+MachineReport::operator-(const MachineReport& baseline) const
+{
+    MachineReport d = *this;
+    d.elapsed -= baseline.elapsed;
+    d.localReads -= baseline.localReads;
+    d.remoteReads -= baseline.remoteReads;
+    d.localWrites -= baseline.localWrites;
+    d.remoteWrites -= baseline.remoteWrites;
+    d.localRmws -= baseline.localRmws;
+    d.remoteRmws -= baseline.remoteRmws;
+    d.updateMessages -= baseline.updateMessages;
+    d.writeCarryingMessages -= baseline.writeCarryingMessages;
+    d.totalMessages -= baseline.totalMessages;
+    d.busyUseful -= baseline.busyUseful;
+    d.ctxOverhead -= baseline.ctxOverhead;
+    d.totalStall -= baseline.totalStall;
+    return d;
+}
+
+Machine::Machine(MachineConfig config)
+    : config_(std::move(config)),
+      topology_(1, 1, 1) // replaced below once the config is validated
+{
+    config_.validate();
+    topology_ = net::Topology(config_.nodes, config_.meshWidth(),
+                              config_.meshHeight());
+    network_ = net::makeNetwork(engine_, topology_, config_.network);
+
+    nodes_.reserve(config_.nodes);
+    for (NodeId id = 0; id < config_.nodes; ++id) {
+        nodes_.push_back(std::make_unique<node::Node>(
+            id, config_, engine_, *network_,
+            std::numeric_limits<std::uint64_t>::max()));
+        node::Node& n = *nodes_.back();
+        n.cm().setTranslator([this, id](Vpn vpn) {
+            return freshTranslation(id, vpn);
+        });
+        n.cm().setPageCopyDoneHandler([this](std::uint32_t copy_id) {
+            onPageCopyDone(copy_id);
+        });
+        n.processor().setTranslator([this, id](Vpn vpn) {
+            return translateFor(id, vpn);
+        });
+    }
+}
+
+Machine::~Machine() = default;
+
+node::Node&
+Machine::nodeAt(NodeId id)
+{
+    PLUS_ASSERT(id < nodes_.size(), "node ", id, " out of range");
+    return *nodes_[id];
+}
+
+// --------------------------------------------------------------------------
+// Translation
+// --------------------------------------------------------------------------
+
+node::Processor::Translation
+Machine::translateFor(NodeId node, Vpn vpn)
+{
+    mem::PageTable& pt = nodes_[node]->pageTable();
+    if (auto hit = pt.lookup(vpn)) {
+        return {*hit, false};
+    }
+    return {freshTranslation(node, vpn), true};
+}
+
+PhysPage
+Machine::freshTranslation(NodeId node, Vpn vpn)
+{
+    if (!directory_.contains(vpn)) {
+        PLUS_FATAL("access to unmapped virtual page ", vpn,
+                   " (address ", pageBase(vpn), ") from node ", node);
+    }
+    const mem::CopyList& cl = directory_.copyList(vpn);
+    // Map the closest copy, like the paper's kernel.
+    PhysPage best = cl.master();
+    unsigned best_dist = topology_.distance(node, best.node);
+    for (const PhysPage& copy : cl.copies()) {
+        const unsigned d = topology_.distance(node, copy.node);
+        if (d < best_dist) {
+            best = copy;
+            best_dist = d;
+        }
+    }
+    nodes_[node]->pageTable().install(vpn, best);
+    return best;
+}
+
+void
+Machine::shootdown(Vpn vpn)
+{
+    for (auto& n : nodes_) {
+        n->pageTable().invalidate(vpn);
+    }
+}
+
+// --------------------------------------------------------------------------
+// Memory management
+// --------------------------------------------------------------------------
+
+std::size_t
+Machine::pagesFor(std::size_t bytes)
+{
+    return (bytes + kPageBytes - 1) / kPageBytes;
+}
+
+Addr
+Machine::alloc(std::size_t bytes, NodeId home)
+{
+    PLUS_ASSERT(home < nodes_.size(), "alloc on unknown node ", home);
+    const std::size_t pages = std::max<std::size_t>(1, pagesFor(bytes));
+    const Vpn first = nextVpn_;
+    for (std::size_t i = 0; i < pages; ++i) {
+        const Vpn vpn = nextVpn_++;
+        const FrameId frame = nodes_[home]->memory().allocFrame();
+        const PhysPage master{home, frame};
+        directory_.create(vpn, master);
+        nodes_[home]->tables().setMaster(frame, master);
+    }
+    PLUS_LOG(LogComponent::Machine, "alloc ", pages, " page(s) at vpn ",
+             first, " home n", home);
+    return pageBase(first);
+}
+
+const mem::CopyList&
+Machine::copyListOf(Addr addr) const
+{
+    return directory_.copyList(pageOf(addr));
+}
+
+void
+Machine::replicate(Addr addr, NodeId target)
+{
+    PLUS_ASSERT(target < nodes_.size(), "replicate on unknown node");
+    const Vpn vpn = pageOf(addr);
+    if (directory_.copyList(vpn).hasCopyOn(target)) {
+        return;
+    }
+    // Only one copy of a page may be in flight: a second new copy could
+    // anchor on (and read from) a copy that is not yet filled, and the
+    // FIFO argument that keeps copy data and updates ordered only holds
+    // between a copy and its direct predecessor. At setup time we simply
+    // drain the first copy; online (competitive replication) the second
+    // request is dropped — the counters will overflow again.
+    for (const auto& [id, rec] : copiesInFlight_) {
+        (void)id;
+        if (rec.vpn == vpn) {
+            if (started_) {
+                return;
+            }
+            settle();
+            break;
+        }
+    }
+    mem::CopyList& cl = directory_.copyList(vpn);
+    if (cl.hasCopyOn(target)) {
+        return;
+    }
+
+    const FrameId frame = nodes_[target]->memory().allocFrame();
+    const PhysPage new_copy{target, frame};
+
+    // Insert after the existing copy closest to the target ("a convenient
+    // point"): that copy is also the source the hardware copies from.
+    PhysPage anchor = cl.master();
+    unsigned best_dist = topology_.distance(target, anchor.node);
+    for (const PhysPage& copy : cl.copies()) {
+        const unsigned d = topology_.distance(target, copy.node);
+        if (d < best_dist) {
+            anchor = copy;
+            best_dist = d;
+        }
+    }
+    const std::optional<PhysPage> successor = cl.successorOf(anchor);
+    cl.insertAfter(anchor, new_copy);
+
+    // Make the new copy visible to the coherence hardware *before* the
+    // data copy starts, so concurrent writes flow through it.
+    nodes_[target]->tables().setMaster(frame, cl.master());
+    nodes_[target]->tables().setNextCopy(frame, successor);
+    nodes_[anchor.node]->tables().setNextCopy(anchor.frame, new_copy);
+
+    const std::uint32_t copy_id = nextCopyId_++;
+    copiesInFlight_.emplace(copy_id, PendingCopy{vpn, target,
+                                                 kInvalidNode});
+    ++pendingCopies_;
+    nodes_[anchor.node]->cm().startPageCopy(anchor.frame, new_copy,
+                                            copy_id);
+    PLUS_LOG(LogComponent::Machine, "replicate vpn ", vpn, " -> n", target,
+             " from n", anchor.node, " (copy ", copy_id, ")");
+}
+
+void
+Machine::replicateRange(Addr addr, std::size_t bytes, NodeId target)
+{
+    const Vpn first = pageOf(addr);
+    const Vpn last = pageOf(addr + (bytes ? bytes - 1 : 0));
+    for (Vpn vpn = first; vpn <= last; ++vpn) {
+        replicate(pageBase(vpn), target);
+    }
+}
+
+void
+Machine::onPageCopyDone(std::uint32_t copy_id)
+{
+    auto it = copiesInFlight_.find(copy_id);
+    PLUS_ASSERT(it != copiesInFlight_.end(), "unknown page copy finished");
+    const PendingCopy rec = it->second;
+    copiesInFlight_.erase(it);
+    --pendingCopies_;
+
+    // The new copy is fully written: nodes may now switch their address
+    // translation to it. Lazy page tables make this a shootdown; each
+    // node refaults onto its (possibly new) closest copy.
+    shootdown(rec.vpn);
+    PLUS_LOG(LogComponent::Machine, "copy ", copy_id, " of vpn ", rec.vpn,
+             " complete on n", rec.target);
+
+    if (rec.deleteAfter != kInvalidNode) {
+        deleteCopy(pageBase(rec.vpn), rec.deleteAfter);
+    }
+}
+
+void
+Machine::deleteCopy(Addr addr, NodeId node)
+{
+    const Vpn vpn = pageOf(addr);
+    mem::CopyList& cl = directory_.copyList(vpn);
+    PLUS_ASSERT(cl.hasCopyOn(node), "node holds no copy to delete");
+    PLUS_ASSERT(cl.size() > 1, "cannot delete the only copy of a page");
+    PLUS_ASSERT(cl.master().node != node,
+                "online deletion of the master copy is not supported; "
+                "migrate the master only at quiescence");
+    for (const auto& [id, rec] : copiesInFlight_) {
+        (void)id;
+        PLUS_ASSERT(rec.vpn != vpn,
+                    "cannot delete a copy while the page is being copied");
+    }
+
+    const PhysPage victim = *cl.copyOn(node);
+    // Find the predecessor before splicing.
+    PhysPage predecessor = cl.master();
+    for (const PhysPage& copy : cl.copies()) {
+        if (copy == victim) {
+            break;
+        }
+        predecessor = copy;
+    }
+    const std::optional<PhysPage> successor = cl.successorOf(victim);
+    cl.removeOn(node);
+
+    // Splice first (future updates bypass the victim), shoot down the
+    // mappings, then flush via the predecessor so in-flight updates the
+    // predecessor already forwarded are applied before the frame dies.
+    nodes_[predecessor.node]->tables().setNextCopy(predecessor.frame,
+                                                   successor);
+    shootdown(vpn);
+    if (node::Cache* cache = nodes_[node]->cache()) {
+        cache->flush();
+    }
+    nodes_[predecessor.node]->cm().osFlushRemoteFrame(victim);
+    PLUS_LOG(LogComponent::Machine, "delete copy of vpn ", vpn, " on n",
+             node);
+}
+
+void
+Machine::reorderCopyListQuiesced(Addr addr)
+{
+    PLUS_ASSERT(engine_.pendingEvents() == 0 && pendingCopies_ == 0,
+                "copy-list reordering requires quiescence");
+    const Vpn vpn = pageOf(addr);
+    mem::CopyList& cl = directory_.copyList(vpn);
+    if (cl.size() <= 2) {
+        return;
+    }
+    cl.orderForPathLength(topology_);
+    const std::vector<PhysPage> order = cl.copies();
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        mem::CoherenceTables& tables = nodes_[order[i].node]->tables();
+        tables.setMaster(order[i].frame, cl.master());
+        tables.setNextCopy(order[i].frame,
+                           i + 1 < order.size()
+                               ? std::optional<PhysPage>(order[i + 1])
+                               : std::nullopt);
+    }
+    PLUS_LOG(LogComponent::Machine, "reordered copy-list of vpn ", vpn,
+             " to path length ", cl.pathLength(topology_));
+}
+
+void
+Machine::promoteMasterQuiesced(Addr addr, NodeId node)
+{
+    PLUS_ASSERT(engine_.pendingEvents() == 0 && pendingCopies_ == 0,
+                "master promotion requires quiescence");
+    const Vpn vpn = pageOf(addr);
+    mem::CopyList& cl = directory_.copyList(vpn);
+    PLUS_ASSERT(cl.hasCopyOn(node), "promotion target holds no copy");
+    if (cl.master().node == node) {
+        return;
+    }
+
+    // Move the target to the head, keep the remaining order, then
+    // rewrite every copy's master/next-copy table entries.
+    const PhysPage new_master = *cl.copyOn(node);
+    std::vector<PhysPage> order;
+    order.push_back(new_master);
+    for (const PhysPage& copy : cl.copies()) {
+        if (!(copy == new_master)) {
+            order.push_back(copy);
+        }
+    }
+    cl.removeOn(node);
+    // Rebuild: clear and reinsert in the new order.
+    while (cl.size() > 1) {
+        cl.removeOn(cl.copies().back().node);
+    }
+    const PhysPage old_head = cl.master();
+    cl.removeOn(old_head.node);
+    PLUS_ASSERT(cl.empty(), "copy-list rebuild lost track");
+    for (const PhysPage& copy : order) {
+        if (cl.empty()) {
+            cl = mem::CopyList(copy);
+        } else {
+            cl.append(copy);
+        }
+    }
+
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        mem::CoherenceTables& tables = nodes_[order[i].node]->tables();
+        tables.setMaster(order[i].frame, new_master);
+        tables.setNextCopy(order[i].frame,
+                           i + 1 < order.size()
+                               ? std::optional<PhysPage>(order[i + 1])
+                               : std::nullopt);
+    }
+    shootdown(vpn);
+    PLUS_LOG(LogComponent::Machine, "promoted master of vpn ", vpn,
+             " to n", node);
+}
+
+void
+Machine::migrate(Addr addr, NodeId from, NodeId to)
+{
+    const Vpn vpn = pageOf(addr);
+    mem::CopyList& cl = directory_.copyList(vpn);
+    PLUS_ASSERT(cl.hasCopyOn(from), "migrate: source holds no copy");
+    if (from == to) {
+        return;
+    }
+    if (cl.hasCopyOn(to)) {
+        deleteCopy(addr, from);
+        return;
+    }
+    replicate(addr, to);
+    // Find the copy id just created and arm the deferred deletion.
+    for (auto& [id, rec] : copiesInFlight_) {
+        (void)id;
+        if (rec.vpn == vpn && rec.target == to) {
+            rec.deleteAfter = from;
+            return;
+        }
+    }
+    PLUS_PANIC("migration lost its page copy");
+}
+
+// --------------------------------------------------------------------------
+// Untimed backdoors
+// --------------------------------------------------------------------------
+
+PhysAddr
+Machine::masterOf(Addr addr) const
+{
+    const Vpn vpn = pageOf(addr);
+    PLUS_ASSERT(directory_.contains(vpn), "peek/poke of unmapped page");
+    return PhysAddr{directory_.copyList(vpn).master(), wordOffsetOf(addr)};
+}
+
+Word
+Machine::peek(Addr addr) const
+{
+    const PhysAddr phys = masterOf(addr);
+    return nodes_[phys.page.node]->memory().read(phys.page.frame,
+                                                 phys.wordOffset);
+}
+
+void
+Machine::poke(Addr addr, Word value)
+{
+    const Vpn vpn = pageOf(addr);
+    PLUS_ASSERT(directory_.contains(vpn), "poke of unmapped page");
+    const Addr off = wordOffsetOf(addr);
+    for (const PhysPage& copy : directory_.copyList(vpn).copies()) {
+        nodes_[copy.node]->memory().write(copy.frame, off, value);
+    }
+}
+
+// --------------------------------------------------------------------------
+// Threads and execution
+// --------------------------------------------------------------------------
+
+ThreadId
+Machine::spawn(NodeId node, ThreadBody body)
+{
+    PLUS_ASSERT(node < nodes_.size(), "spawn on unknown node ", node);
+    PLUS_ASSERT(!started_, "spawn after run() is not supported");
+    const ThreadId tid = static_cast<ThreadId>(threads_.size());
+    auto context = std::make_unique<Context>(*this,
+                                             nodes_[node]->processor(),
+                                             tid);
+    Context* ctx = context.get();
+    ++unfinishedThreads_;
+    nodes_[node]->processor().addThread(
+        tid, [this, ctx, body = std::move(body)] {
+            body(*ctx);
+            --unfinishedThreads_;
+        });
+    threads_.push_back(ThreadRecord{tid, node, std::move(context)});
+    return tid;
+}
+
+void
+Machine::run(Cycles max_cycles)
+{
+    started_ = true;
+    for (auto& n : nodes_) {
+        n->processor().start();
+    }
+    engine_.runUntil(max_cycles);
+    if (unfinishedThreads_ > 0) {
+        if (engine_.pendingEvents() > 0) {
+            PLUS_FATAL("machine exceeded the cycle cap (", max_cycles,
+                       ") with ", unfinishedThreads_,
+                       " thread(s) unfinished — livelock?");
+        }
+        PLUS_FATAL("deadlock: no events pending but ", unfinishedThreads_,
+                   " thread(s) are still blocked");
+    }
+}
+
+void
+Machine::settle()
+{
+    engine_.run();
+}
+
+MachineReport
+Machine::report() const
+{
+    MachineReport r;
+    r.elapsed = engine_.now();
+    for (const auto& n : nodes_) {
+        const proto::CmStats& cm = n->cm().stats();
+        r.localReads += cm.localReads;
+        r.remoteReads += cm.remoteReads;
+        r.localWrites += cm.localWrites;
+        r.remoteWrites += cm.remoteWrites;
+        r.localRmws += cm.localRmws;
+        r.remoteRmws += cm.remoteRmws;
+        r.updateMessages += cm.sentOf(proto::MsgType::UpdateReq);
+        r.writeCarryingMessages +=
+            cm.sentOf(proto::MsgType::UpdateReq) +
+            cm.sentOf(proto::MsgType::WriteReq) +
+            cm.sentOf(proto::MsgType::RmwReq);
+        r.totalMessages += cm.totalSent();
+        const node::ProcessorStats& ps = n->processor().stats();
+        r.busyUseful += ps.busyUseful();
+        r.ctxOverhead += ps.ctxOverhead;
+        r.totalStall += ps.totalStall();
+    }
+    return r;
+}
+
+void
+Machine::enableCompetitiveReplication(std::uint64_t threshold,
+                                      unsigned max_copies)
+{
+    PLUS_ASSERT(!started_, "enable competitive replication before run()");
+    PLUS_ASSERT(threshold > 0 && max_copies >= 2,
+                "competitive replication needs threshold > 0 and at least "
+                "two copies");
+    replThreshold_ = threshold;
+    replMaxCopies_ = max_copies;
+    for (NodeId id = 0; id < nodes_.size(); ++id) {
+        mem::RefCounters* counters = nodes_[id]->refCounters();
+        PLUS_ASSERT(counters, "node has no reference counters");
+        counters->setThreshold(threshold);
+        counters->setOverflowHandler([this, id](Vpn vpn, std::uint64_t) {
+            // Competitive policy: enough remote references accumulated to
+            // pay for a local copy — create one, unless the page is
+            // already replicated here, at its copy budget, or mid-copy.
+            if (!directory_.contains(vpn)) {
+                return;
+            }
+            const mem::CopyList& cl = directory_.copyList(vpn);
+            if (cl.hasCopyOn(id) || cl.size() >= replMaxCopies_) {
+                return;
+            }
+            for (const auto& [cid, rec] : copiesInFlight_) {
+                (void)cid;
+                if (rec.vpn == vpn) {
+                    return;
+                }
+            }
+            replicate(pageBase(vpn), id);
+        });
+    }
+}
+
+} // namespace core
+} // namespace plus

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Measurement-driven page placement (Section 2.4, second policy): "If
+ * the access pattern is not data dependent, it can be measured during
+ * one run of the application and the results of the measurement used to
+ * optimally allocate memory in subsequent runs."
+ *
+ * A profiling run records, via the hardware reference counters, how many
+ * remote references each node made to each page. The resulting
+ * PlacementPlan replicates (or migrates) the hottest pages before the
+ * next run.
+ */
+
+#ifndef PLUS_CORE_PLACEMENT_HPP_
+#define PLUS_CORE_PLACEMENT_HPP_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace plus {
+namespace core {
+
+class Machine;
+
+/** One profiling run's remote-reference matrix. */
+class AccessProfile
+{
+  public:
+    /**
+     * Harvest the reference counters of every node of @p machine.
+     * Counters must have been enabled by profileEnable() before the
+     * run.
+     */
+    static AccessProfile collect(Machine& machine);
+
+    /**
+     * Arm the hardware counters for profiling (no overflow policy, just
+     * counting). Call before spawn()/run().
+     */
+    static void profileEnable(Machine& machine);
+
+    /** Remote references node @p node made to @p vpn. */
+    std::uint64_t count(NodeId node, Vpn vpn) const;
+
+    /** Total remote references recorded. */
+    std::uint64_t total() const { return total_; }
+
+    /** Pages with any remote references, hottest first. */
+    std::vector<Vpn> hotPages() const;
+
+  private:
+    std::map<std::pair<NodeId, Vpn>, std::uint64_t> counts_;
+    std::map<Vpn, std::uint64_t> perPage_;
+    std::uint64_t total_ = 0;
+};
+
+/** A set of replication/migration actions derived from a profile. */
+struct PlacementPlan {
+    struct Replicate {
+        Vpn vpn;
+        NodeId target;
+    };
+    struct Migrate {
+        Vpn vpn;
+        NodeId from;
+        NodeId to;
+    };
+    std::vector<Replicate> replications;
+    std::vector<Migrate> migrations;
+
+    std::size_t actions() const
+    {
+        return replications.size() + migrations.size();
+    }
+};
+
+/** Tunables for plan derivation. */
+struct PlacementPolicy {
+    /**
+     * A node gets a replica of a page when its remote references exceed
+     * this threshold (the "cost of creating a page copy" in the
+     * competitive formulation — a page copy is 1024 word transfers).
+     */
+    std::uint64_t replicateThreshold = 256;
+
+    /** Maximum copies any page may reach. */
+    unsigned maxCopies = 4;
+
+    /**
+     * If a single node accounts for at least this fraction of a page's
+     * remote references and the page's master node itself made none,
+     * migrate the master there instead of replicating.
+     */
+    double migrateFraction = 0.9;
+};
+
+/**
+ * Derive a plan from a profile. @p machine supplies current copy-lists
+ * (pages already replicated on a node are skipped).
+ */
+PlacementPlan derivePlan(Machine& machine, const AccessProfile& profile,
+                         const PlacementPolicy& policy);
+
+/**
+ * Apply a plan to a (typically fresh) machine *before* its run: issues
+ * the replications/migrations and settles the copies.
+ * @return number of actions applied.
+ */
+std::size_t applyPlan(Machine& machine, const PlacementPlan& plan);
+
+} // namespace core
+} // namespace plus
+
+#endif // PLUS_CORE_PLACEMENT_HPP_

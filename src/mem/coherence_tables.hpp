@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The per-node hardware tables the coherence manager consults on every
+ * write (Section 2.3): for each locally replicated physical page, the
+ * master table identifies the global physical address of the master copy,
+ * and the next-copy table identifies the successor, if any, of the local
+ * copy along the copy-list. Both are maintained by the operating system.
+ */
+
+#ifndef PLUS_MEM_COHERENCE_TABLES_HPP_
+#define PLUS_MEM_COHERENCE_TABLES_HPP_
+
+#include <optional>
+#include <unordered_map>
+
+#include "common/panic.hpp"
+#include "common/types.hpp"
+
+namespace plus {
+namespace mem {
+
+/** master + next-copy tables of one node, keyed by local frame. */
+class CoherenceTables
+{
+  public:
+    /** Set the master-copy address for a local frame. */
+    void
+    setMaster(FrameId frame, PhysPage master)
+    {
+        master_[frame] = master;
+    }
+
+    /** Set (or clear, with nullopt) the successor of a local frame. */
+    void
+    setNextCopy(FrameId frame, std::optional<PhysPage> next)
+    {
+        if (next) {
+            next_[frame] = *next;
+        } else {
+            next_.erase(frame);
+        }
+    }
+
+    /** Drop both entries when the local copy is deleted. */
+    void
+    erase(FrameId frame)
+    {
+        master_.erase(frame);
+        next_.erase(frame);
+    }
+
+    /** Master copy of the page held in @p frame. @pre entry exists. */
+    PhysPage
+    master(FrameId frame) const
+    {
+        auto it = master_.find(frame);
+        PLUS_ASSERT(it != master_.end(),
+                    "no master-table entry for frame ", frame);
+        return it->second;
+    }
+
+    bool knows(FrameId frame) const { return master_.count(frame) != 0; }
+
+    /** Successor of the local copy in @p frame, if any. */
+    std::optional<PhysPage>
+    nextCopy(FrameId frame) const
+    {
+        auto it = next_.find(frame);
+        if (it == next_.end()) {
+            return std::nullopt;
+        }
+        return it->second;
+    }
+
+  private:
+    std::unordered_map<FrameId, PhysPage> master_;
+    std::unordered_map<FrameId, PhysPage> next_;
+};
+
+} // namespace mem
+} // namespace plus
+
+#endif // PLUS_MEM_COHERENCE_TABLES_HPP_

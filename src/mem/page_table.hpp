@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Virtual-memory mapping structures (Section 2.4).
+ *
+ * All nodes share one virtual address space, but each node maintains its
+ * own page table mapping a virtual page to the most convenient physical
+ * copy (usually the closest). Local tables are filled lazily: on a miss
+ * the exception handler consults the centralized PageDirectory, which
+ * records the copy-list of every legal virtual page.
+ */
+
+#ifndef PLUS_MEM_PAGE_TABLE_HPP_
+#define PLUS_MEM_PAGE_TABLE_HPP_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "common/types.hpp"
+#include "mem/copy_list.hpp"
+
+namespace plus {
+namespace mem {
+
+/** Per-node virtual-to-physical map with lazy fill. */
+class PageTable
+{
+  public:
+    /** Translate; nullopt means a local page-table miss. */
+    std::optional<PhysPage>
+    lookup(Vpn vpn) const
+    {
+        auto it = map_.find(vpn);
+        if (it == map_.end()) {
+            return std::nullopt;
+        }
+        return it->second;
+    }
+
+    /** Install or update a mapping (exception handler / OS action). */
+    void
+    install(Vpn vpn, PhysPage page)
+    {
+        map_[vpn] = page;
+        ++fills_;
+    }
+
+    /** Remove a mapping, e.g. when its copy is deleted ("TLB flush"). */
+    void
+    invalidate(Vpn vpn)
+    {
+        if (map_.erase(vpn)) {
+            ++invalidations_;
+        }
+    }
+
+    bool contains(Vpn vpn) const { return map_.count(vpn) != 0; }
+    std::size_t size() const { return map_.size(); }
+
+    std::uint64_t fills() const { return fills_; }
+    std::uint64_t invalidations() const { return invalidations_; }
+
+  private:
+    std::unordered_map<Vpn, PhysPage> map_;
+    std::uint64_t fills_ = 0;
+    std::uint64_t invalidations_ = 0;
+};
+
+/**
+ * Centralized table of legal mappings: one CopyList per virtual page.
+ * Maintained by the operating system (the Machine in this simulator).
+ */
+class PageDirectory
+{
+  public:
+    /** Register a new virtual page with its master copy. */
+    void
+    create(Vpn vpn, PhysPage master)
+    {
+        PLUS_ASSERT(!map_.count(vpn), "vpn ", vpn, " already exists");
+        map_.emplace(vpn, CopyList(master));
+    }
+
+    /** Destroy a virtual page entirely. */
+    void
+    destroy(Vpn vpn)
+    {
+        PLUS_ASSERT(map_.erase(vpn) == 1, "destroy of unknown vpn ", vpn);
+    }
+
+    bool contains(Vpn vpn) const { return map_.count(vpn) != 0; }
+
+    const CopyList&
+    copyList(Vpn vpn) const
+    {
+        auto it = map_.find(vpn);
+        PLUS_ASSERT(it != map_.end(), "unknown vpn ", vpn);
+        return it->second;
+    }
+
+    CopyList&
+    copyList(Vpn vpn)
+    {
+        auto it = map_.find(vpn);
+        PLUS_ASSERT(it != map_.end(), "unknown vpn ", vpn);
+        return it->second;
+    }
+
+    std::size_t pages() const { return map_.size(); }
+
+  private:
+    std::unordered_map<Vpn, CopyList> map_;
+};
+
+} // namespace mem
+} // namespace plus
+
+#endif // PLUS_MEM_PAGE_TABLE_HPP_

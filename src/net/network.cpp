@@ -1,0 +1,144 @@
+#include "net/network.hpp"
+
+#include <cmath>
+
+#include "common/log.hpp"
+#include "common/panic.hpp"
+#include "sim/engine.hpp"
+
+namespace plus {
+namespace net {
+
+Network::Network(sim::Engine& engine, const Topology& topology,
+                 const NetworkConfig& config)
+    : engine_(engine), topology_(topology), config_(config),
+      handlers_(topology.nodes())
+{
+}
+
+void
+Network::setDeliveryHandler(NodeId node, DeliveryHandler handler)
+{
+    PLUS_ASSERT(node < handlers_.size(), "handler for unknown node");
+    handlers_[node] = std::move(handler);
+}
+
+Cycles
+Network::serializationCycles(unsigned payload_bytes) const
+{
+    const double bytes = config_.headerBytes + payload_bytes;
+    return static_cast<Cycles>(std::ceil(bytes / config_.bytesPerCycle));
+}
+
+void
+Network::deliver(Packet packet, unsigned hops, Cycles injected_at,
+                 Cycles queueing)
+{
+    stats_.packets += 1;
+    stats_.payloadBytes += packet.payloadBytes;
+    stats_.totalHops += hops;
+    stats_.latency.record(
+        static_cast<double>(engine_.now() - injected_at));
+    stats_.queueing.record(static_cast<double>(queueing));
+
+    const NodeId dst = packet.dst;
+    PLUS_ASSERT(dst < handlers_.size() && handlers_[dst],
+                "no delivery handler for node ", dst);
+    handlers_[dst](std::move(packet));
+}
+
+void
+IdealNetwork::send(Packet packet)
+{
+    PLUS_ASSERT(packet.src != packet.dst, "local traffic on the network");
+    const unsigned hops = topology_.distance(packet.src, packet.dst);
+    const Cycles injected_at = engine_.now();
+    auto shared = std::make_shared<Packet>(std::move(packet));
+    engine_.schedule(zeroLoadLatency(hops), [this, shared, hops,
+                                             injected_at]() mutable {
+        deliver(std::move(*shared), hops, injected_at, 0);
+    });
+}
+
+MeshNetwork::MeshNetwork(sim::Engine& engine, const Topology& topology,
+                         const NetworkConfig& config)
+    : Network(engine, topology, config)
+{
+}
+
+MeshNetwork::Link&
+MeshNetwork::linkBetween(NodeId from, NodeId to)
+{
+    PLUS_ASSERT(topology_.distance(from, to) == 1,
+                "link between non-adjacent nodes ", from, " and ", to);
+    const std::uint64_t key =
+        static_cast<std::uint64_t>(from) * topology_.nodes() + to;
+    return links_[key];
+}
+
+void
+MeshNetwork::send(Packet packet)
+{
+    PLUS_ASSERT(packet.src != packet.dst, "local traffic on the network");
+    auto transit = std::make_shared<Transit>();
+    transit->injectedAt = engine_.now();
+    transit->at = packet.src;
+    transit->packet = std::move(packet);
+    // The fixed overhead covers the network interface and first-router
+    // setup; the head then advances hop by hop.
+    engine_.schedule(config_.fixedCycles,
+                     [this, transit] { hop(transit); });
+}
+
+void
+MeshNetwork::hop(std::shared_ptr<Transit> transit)
+{
+    const NodeId dst = transit->packet.dst;
+    if (transit->at == dst) {
+        deliver(std::move(transit->packet), transit->hops,
+                transit->injectedAt, transit->queueing);
+        return;
+    }
+
+    const NodeId next = topology_.nextHop(transit->at, dst);
+    Link& link = linkBetween(transit->at, next);
+    const Cycles now = engine_.now();
+    const Cycles start = std::max(now, link.freeAt);
+    const Cycles wait = start - now;
+    const Cycles serialization =
+        serializationCycles(transit->packet.payloadBytes);
+    link.freeAt = start + serialization;
+    link.busyCycles += serialization;
+
+    transit->queueing += wait;
+    transit->hops += 1;
+    transit->at = next;
+    // Cut-through: the head moves on after the router latency; the tail
+    // occupies the link for the serialization time behind it.
+    engine_.schedule(wait + config_.perHopCycles,
+                     [this, transit] { hop(transit); });
+}
+
+Cycles
+MeshNetwork::maxLinkBusyCycles() const
+{
+    Cycles best = 0;
+    for (const auto& [key, link] : links_) {
+        (void)key;
+        best = std::max(best, link.busyCycles);
+    }
+    return best;
+}
+
+std::unique_ptr<Network>
+makeNetwork(sim::Engine& engine, const Topology& topology,
+            const NetworkConfig& config)
+{
+    if (config.ideal) {
+        return std::make_unique<IdealNetwork>(engine, topology, config);
+    }
+    return std::make_unique<MeshNetwork>(engine, topology, config);
+}
+
+} // namespace net
+} // namespace plus

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Interconnection-network models.
+ *
+ * The network moves opaque packets between coherence managers. Two models
+ * share one interface:
+ *
+ *  - MeshNetwork: a 2-D mesh with dimension-order routing, wormhole-style
+ *    cut-through switching, and finite link bandwidth. Each directed link
+ *    is a busy-until resource: a packet reserves it for its serialization
+ *    time, so heavy update traffic queues and the "system flooded with
+ *    update requests" effect of Section 2.5 is visible.
+ *  - IdealNetwork: applies the zero-load latency formula with no
+ *    contention; used for ablation.
+ *
+ * Zero-load one-way latency is fixedCycles + perHopCycles * hops, which
+ * with the defaults (10, 2) reproduces the paper's measured 24-cycle
+ * adjacent-node round trip and +4 cycles per extra hop.
+ */
+
+#ifndef PLUS_NET_NETWORK_HPP_
+#define PLUS_NET_NETWORK_HPP_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "net/topology.hpp"
+
+namespace plus {
+namespace sim {
+class Engine;
+} // namespace sim
+
+namespace net {
+
+/** Base class for protocol-defined packet contents. */
+struct Payload {
+    virtual ~Payload() = default;
+};
+
+/** A message in flight between two nodes. */
+struct Packet {
+    NodeId src = kInvalidNode;
+    NodeId dst = kInvalidNode;
+    /** Payload size in bytes, excluding the link-level header. */
+    unsigned payloadBytes = 0;
+    std::unique_ptr<Payload> payload;
+};
+
+/** Aggregate network statistics. */
+struct NetworkStats {
+    std::uint64_t packets = 0;
+    std::uint64_t payloadBytes = 0;
+    std::uint64_t totalHops = 0;
+    /** End-to-end latency per packet, cycles. */
+    Histogram latency;
+    /** Cycles spent queued behind busy links (contention only). */
+    Histogram queueing;
+};
+
+/** Per-node packet sink. */
+using DeliveryHandler = std::function<void(Packet)>;
+
+/** Common interface of the two network models. */
+class Network
+{
+  public:
+    Network(sim::Engine& engine, const Topology& topology,
+            const NetworkConfig& config);
+    virtual ~Network() = default;
+
+    Network(const Network&) = delete;
+    Network& operator=(const Network&) = delete;
+
+    /** Register the receiver for packets addressed to @p node. */
+    void setDeliveryHandler(NodeId node, DeliveryHandler handler);
+
+    /**
+     * Inject a packet at its source node at the current cycle. src == dst
+     * is rejected: local traffic never enters the network.
+     */
+    virtual void send(Packet packet) = 0;
+
+    const Topology& topology() const { return topology_; }
+    const NetworkStats& stats() const { return stats_; }
+
+    /** Zero-load one-way latency for a given hop count. */
+    Cycles
+    zeroLoadLatency(unsigned hops) const
+    {
+        return config_.fixedCycles + config_.perHopCycles * hops;
+    }
+
+    /** Cycles a packet of the given payload occupies one link. */
+    Cycles serializationCycles(unsigned payload_bytes) const;
+
+  protected:
+    void deliver(Packet packet, unsigned hops, Cycles injected_at,
+                 Cycles queueing);
+
+    sim::Engine& engine_;
+    Topology topology_;
+    NetworkConfig config_;
+    NetworkStats stats_;
+    std::vector<DeliveryHandler> handlers_;
+};
+
+/** Contention-free model: latency formula only. */
+class IdealNetwork : public Network
+{
+  public:
+    using Network::Network;
+
+    void send(Packet packet) override;
+};
+
+/**
+ * 2-D mesh with per-link busy-until bandwidth accounting and hop-by-hop
+ * cut-through forwarding.
+ */
+class MeshNetwork : public Network
+{
+  public:
+    MeshNetwork(sim::Engine& engine, const Topology& topology,
+                const NetworkConfig& config);
+
+    void send(Packet packet) override;
+
+    /** Busy cycles accumulated on the most utilized link. */
+    Cycles maxLinkBusyCycles() const;
+
+  private:
+    /** Directed link between adjacent routers. */
+    struct Link {
+        Cycles freeAt = 0;
+        Cycles busyCycles = 0;
+    };
+
+    /** State threaded through the hop-by-hop events. */
+    struct Transit {
+        Packet packet;
+        Cycles injectedAt;
+        Cycles queueing = 0;
+        unsigned hops = 0;
+        NodeId at;
+    };
+
+    Link& linkBetween(NodeId from, NodeId to);
+    void hop(std::shared_ptr<Transit> transit);
+
+    /** key = from * nodes + to, adjacent pairs only. */
+    std::unordered_map<std::uint64_t, Link> links_;
+};
+
+/** Factory honouring NetworkConfig::ideal. */
+std::unique_ptr<Network> makeNetwork(sim::Engine& engine,
+                                     const Topology& topology,
+                                     const NetworkConfig& config);
+
+} // namespace net
+} // namespace plus
+
+#endif // PLUS_NET_NETWORK_HPP_

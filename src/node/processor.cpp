@@ -1,0 +1,434 @@
+#include "node/processor.hpp"
+
+#include <memory>
+
+#include "common/log.hpp"
+#include "common/panic.hpp"
+#include "sim/engine.hpp"
+
+namespace plus {
+namespace node {
+
+namespace {
+
+/** Shared state between an operation and its completion continuation. */
+struct WaitState {
+    bool done = false;
+    bool yielded = false;
+    Word value = 0;
+    proto::DelayedOpHandle handle = 0;
+};
+
+} // namespace
+
+const char*
+toString(StallKind kind)
+{
+    switch (kind) {
+      case StallKind::None: return "none";
+      case StallKind::Read: return "read";
+      case StallKind::Verify: return "verify";
+      case StallKind::Fence: return "fence";
+      case StallKind::PendingFull: return "pending-full";
+      case StallKind::IssueSlot: return "issue-slot";
+      case StallKind::PageFault: return "page-fault";
+      case StallKind::Idle: return "idle";
+      default: return "?";
+    }
+}
+
+Cycles
+ProcessorStats::totalStall() const
+{
+    Cycles total = 0;
+    for (unsigned k = 0; k < static_cast<unsigned>(StallKind::NumKinds);
+         ++k) {
+        if (k != static_cast<unsigned>(StallKind::Idle)) {
+            total += stall[k];
+        }
+    }
+    return total;
+}
+
+Processor::Processor(NodeId self, const CostModel& cost, ProcessorMode mode,
+                     std::size_t stack_bytes, Deps deps)
+    : self_(self), cost_(cost), mode_(mode), stackBytes_(stack_bytes),
+      deps_(deps)
+{
+    PLUS_ASSERT(deps_.engine && deps_.cm, "processor missing dependencies");
+}
+
+Processor::~Processor() = default;
+
+unsigned
+Processor::addThread(ThreadId id, std::function<void()> body)
+{
+    if (mode_ != ProcessorMode::ContextSwitch) {
+        PLUS_ASSERT(threads_.empty(),
+                    "only ContextSwitch mode hosts multiple threads");
+    }
+    Thread thread;
+    thread.id = id;
+    thread.fiber = std::make_unique<sim::Fiber>(std::move(body),
+                                                stackBytes_);
+    threads_.push_back(std::move(thread));
+    return static_cast<unsigned>(threads_.size() - 1);
+}
+
+void
+Processor::start()
+{
+    for (unsigned t = 0; t < threads_.size(); ++t) {
+        if (threads_[t].state == ThreadState::Created) {
+            wake(t);
+        }
+    }
+}
+
+Processor::Thread&
+Processor::current()
+{
+    PLUS_ASSERT(current_ != kNone, "no thread is running");
+    return threads_[current_];
+}
+
+ThreadId
+Processor::currentThreadId() const
+{
+    PLUS_ASSERT(current_ != kNone, "no thread is running");
+    return threads_[current_].id;
+}
+
+void
+Processor::charge(Cycles cycles, Cycles ProcessorStats::* bucket)
+{
+    stats_.*bucket += cycles;
+    if (cycles == 0) {
+        return;
+    }
+    const unsigned t = current_;
+    deps_.engine->schedule(cycles, [this, t] {
+        PLUS_ASSERT(current_ == t, "processor lost its running thread");
+        resumeThread(t);
+    });
+    sim::Fiber::yield();
+}
+
+void
+Processor::blockCurrent(StallKind kind)
+{
+    const unsigned t = current_;
+    threads_[t].state = ThreadState::Blocked;
+    current_ = kNone;
+    lastRun_ = t;
+    freeSince_ = deps_.engine->now();
+    freeReason_ = kind;
+    if (!readyQueue_.empty()) {
+        scheduleDispatch();
+    }
+    sim::Fiber::yield();
+}
+
+void
+Processor::wake(unsigned t)
+{
+    Thread& thread = threads_[t];
+    PLUS_ASSERT(thread.state == ThreadState::Blocked ||
+                    thread.state == ThreadState::Created,
+                "wake of a thread that is not waiting");
+    thread.state = ThreadState::Ready;
+    readyQueue_.push_back(t);
+    if (current_ == kNone) {
+        scheduleDispatch();
+    }
+}
+
+void
+Processor::scheduleDispatch()
+{
+    if (dispatchScheduled_) {
+        return;
+    }
+    dispatchScheduled_ = true;
+    deps_.engine->schedule(0, [this] {
+        dispatchScheduled_ = false;
+        dispatch();
+    });
+}
+
+void
+Processor::dispatch()
+{
+    if (current_ != kNone || readyQueue_.empty()) {
+        return;
+    }
+    const unsigned t = readyQueue_.front();
+    readyQueue_.pop_front();
+    PLUS_ASSERT(threads_[t].state == ThreadState::Ready,
+                "non-ready thread in the ready queue");
+    closeFreeInterval();
+    current_ = t; // reserve the processor through any switch overhead
+
+    const bool switching = mode_ == ProcessorMode::ContextSwitch &&
+                           lastRun_ != kNone && lastRun_ != t;
+    if (switching && cost_.ctxSwitchCycles > 0) {
+        stats_.ctxSwitches += 1;
+        stats_.ctxOverhead += cost_.ctxSwitchCycles;
+        deps_.engine->schedule(cost_.ctxSwitchCycles,
+                               [this, t] { resumeThread(t); });
+    } else {
+        resumeThread(t);
+    }
+}
+
+void
+Processor::resumeThread(unsigned t)
+{
+    PLUS_ASSERT(current_ == t, "resume of a thread that lost the CPU");
+    Thread& thread = threads_[t];
+    thread.state = ThreadState::Running;
+    thread.fiber->resume();
+
+    // The fiber yielded: either the thread finished, blocked, or is in a
+    // timed charge (in which case current_ is still t and an event will
+    // resume it).
+    if (thread.fiber->finished()) {
+        thread.state = ThreadState::Finished;
+        ++finished_;
+        current_ = kNone;
+        lastRun_ = t;
+        freeSince_ = deps_.engine->now();
+        freeReason_ = StallKind::Idle;
+        if (!readyQueue_.empty()) {
+            scheduleDispatch();
+        }
+        if (finished_ == threads_.size() && allFinished_) {
+            allFinished_();
+        }
+    }
+}
+
+void
+Processor::closeFreeInterval()
+{
+    const Cycles waited = deps_.engine->now() - freeSince_;
+    stats_.stall[static_cast<unsigned>(freeReason_)] += waited;
+    freeReason_ = StallKind::None;
+}
+
+Processor::Translation
+Processor::translateCharged(Vpn vpn)
+{
+    PLUS_ASSERT(translate_, "processor has no translator");
+    Translation tr = translate_(vpn);
+    if (tr.faulted) {
+        // Lazy page-table fill by the OS exception handler.
+        stats_.pageFaults += 1;
+        const Cycles c = cost_.osPageFillCycles;
+        stats_.stall[static_cast<unsigned>(StallKind::PageFault)] += c;
+        const unsigned t = current_;
+        deps_.engine->schedule(c, [this, t] {
+            PLUS_ASSERT(current_ == t, "processor lost its thread");
+            resumeThread(t);
+        });
+        sim::Fiber::yield();
+    }
+    return tr;
+}
+
+void
+Processor::compute(Cycles cycles)
+{
+    charge(cycles, &ProcessorStats::compute);
+}
+
+void
+Processor::yieldNow()
+{
+    if (mode_ != ProcessorMode::ContextSwitch || readyQueue_.empty()) {
+        return;
+    }
+    const unsigned t = current_;
+    threads_[t].state = ThreadState::Ready;
+    readyQueue_.push_back(t);
+    current_ = kNone;
+    lastRun_ = t;
+    freeSince_ = deps_.engine->now();
+    freeReason_ = StallKind::None;
+    scheduleDispatch();
+    sim::Fiber::yield();
+}
+
+Word
+Processor::read(Addr vaddr)
+{
+    PLUS_ASSERT(wordAligned(vaddr), "unaligned read at ", vaddr);
+    stats_.reads += 1;
+    const Vpn vpn = pageOf(vaddr);
+    const Addr off = wordOffsetOf(vaddr);
+    const Translation tr = translateCharged(vpn);
+    const PhysAddr phys{tr.page, off};
+    const bool local = tr.page.node == self_;
+
+    if (local) {
+        Cycles c = cost_.cacheHit;
+        if (deps_.cache) {
+            c = deps_.cache->accessRead(tr.page.frame, off)
+                    ? cost_.cacheHit
+                    : cost_.cacheMissFill;
+        }
+        charge(c, &ProcessorStats::memBusy);
+    } else {
+        charge(cost_.procRemoteReadIssue, &ProcessorStats::memBusy);
+    }
+
+    auto state = std::make_shared<WaitState>();
+    const unsigned t = current_;
+    deps_.cm->procRead(vpn, off, phys, [this, state, t](Word value) {
+        state->value = value;
+        state->done = true;
+        if (state->yielded) {
+            wake(t);
+        }
+    });
+    if (!state->done) {
+        state->yielded = true;
+        blockCurrent(StallKind::Read);
+    }
+    if (!local) {
+        charge(cost_.procRemoteReadComplete, &ProcessorStats::memBusy);
+    }
+    return state->value;
+}
+
+void
+Processor::write(Addr vaddr, Word value)
+{
+    PLUS_ASSERT(wordAligned(vaddr), "unaligned write at ", vaddr);
+    stats_.writes += 1;
+    const Vpn vpn = pageOf(vaddr);
+    const Addr off = wordOffsetOf(vaddr);
+    const Translation tr = translateCharged(vpn);
+    const PhysAddr phys{tr.page, off};
+
+    if (tr.page.node == self_) {
+        if (deps_.cache) {
+            deps_.cache->accessWrite(tr.page.frame, off);
+        }
+        charge(cost_.cacheWriteThrough, &ProcessorStats::memBusy);
+    } else {
+        charge(cost_.procIssueWrite, &ProcessorStats::memBusy);
+    }
+
+    auto state = std::make_shared<WaitState>();
+    const unsigned t = current_;
+    deps_.cm->procWrite(vpn, off, phys, value, [this, state, t] {
+        state->done = true;
+        if (state->yielded) {
+            wake(t);
+        }
+    });
+    if (!state->done) {
+        state->yielded = true;
+        blockCurrent(StallKind::PendingFull);
+    }
+}
+
+proto::DelayedOpHandle
+Processor::issueRmw(proto::RmwOp op, Addr vaddr, Word operand)
+{
+    PLUS_ASSERT(wordAligned(vaddr), "unaligned rmw at ", vaddr);
+    stats_.rmwIssues += 1;
+    const Vpn vpn = pageOf(vaddr);
+    const Addr off = wordOffsetOf(vaddr);
+    const Translation tr = translateCharged(vpn);
+    const PhysAddr phys{tr.page, off};
+
+    if (cost_.implicitFenceOnSync) {
+        // DASH-style ablation: synchronization operations are strongly
+        // ordered behind all earlier writes.
+        fence();
+    }
+    charge(cost_.procIssueOp, &ProcessorStats::issueBusy);
+
+    auto state = std::make_shared<WaitState>();
+    const unsigned t = current_;
+    deps_.cm->procIssueRmw(
+        op, vpn, off, phys, operand,
+        [this, state, t](proto::DelayedOpHandle handle) {
+            state->handle = handle;
+            state->done = true;
+            if (state->yielded) {
+                wake(t);
+            }
+        });
+    if (!state->done) {
+        state->yielded = true;
+        blockCurrent(StallKind::IssueSlot);
+    }
+    return state->handle;
+}
+
+bool
+Processor::rmwReady(proto::DelayedOpHandle handle) const
+{
+    return deps_.cm->rmwReady(handle);
+}
+
+Word
+Processor::verify(proto::DelayedOpHandle handle)
+{
+    auto state = std::make_shared<WaitState>();
+    const unsigned t = current_;
+    deps_.cm->procVerify(handle, [this, state, t](Word value) {
+        state->value = value;
+        state->done = true;
+        if (state->yielded) {
+            wake(t);
+        }
+    });
+    if (!state->done) {
+        // Result not available: in ContextSwitch mode blockCurrent lets
+        // another resident thread run; otherwise the processor stalls.
+        state->yielded = true;
+        blockCurrent(StallKind::Verify);
+    }
+    charge(cost_.procReadResult, &ProcessorStats::verifyBusy);
+    return state->value;
+}
+
+Word
+Processor::rmw(proto::RmwOp op, Addr vaddr, Word operand)
+{
+    const proto::DelayedOpHandle handle = issueRmw(op, vaddr, operand);
+    return verify(handle);
+}
+
+void
+Processor::writeFence()
+{
+    stats_.fences += 1;
+    deps_.cm->procWriteFence();
+    charge(1, &ProcessorStats::issueBusy);
+}
+
+void
+Processor::fence()
+{
+    stats_.fences += 1;
+    auto state = std::make_shared<WaitState>();
+    const unsigned t = current_;
+    deps_.cm->procFence([this, state, t] {
+        state->done = true;
+        if (state->yielded) {
+            wake(t);
+        }
+    });
+    if (!state->done) {
+        state->yielded = true;
+        blockCurrent(StallKind::Fence);
+    }
+}
+
+} // namespace node
+} // namespace plus

@@ -1,0 +1,759 @@
+#include "proto/coherence_manager.hpp"
+
+#include <numeric>
+#include <utility>
+
+#include "common/log.hpp"
+#include "common/panic.hpp"
+#include "net/network.hpp"
+#include "sim/engine.hpp"
+
+namespace plus {
+namespace proto {
+
+namespace {
+
+/** Words per background page-copy batch. */
+constexpr Addr kPageCopyBatchWords = 32;
+
+} // namespace
+
+std::uint64_t
+CmStats::totalSent() const
+{
+    return std::accumulate(sent.begin(), sent.end(), std::uint64_t{0});
+}
+
+CoherenceManager::CoherenceManager(NodeId self, const CostModel& cost,
+                                   Deps deps)
+    : self_(self), cost_(cost), deps_(deps),
+      pendingWrites_(cost.pendingWriteEntries),
+      delayedOps_(cost.delayedOpEntries)
+{
+    PLUS_ASSERT(deps_.engine && deps_.network && deps_.memory &&
+                deps_.tables, "coherence manager missing dependencies");
+}
+
+void
+CoherenceManager::enqueue(Cycles occupancy, std::function<void()> work)
+{
+    const Cycles now = deps_.engine->now();
+    const Cycles start = std::max(now, busyUntil_);
+    const Cycles finish = start + occupancy;
+    busyUntil_ = finish;
+    stats_.busyCycles += occupancy;
+    deps_.engine->schedule(finish - now, std::move(work));
+}
+
+void
+CoherenceManager::send(NodeId dst, std::unique_ptr<ProtoMsg> msg,
+                       unsigned bytes)
+{
+    PLUS_ASSERT(dst != self_, "protocol message addressed to self");
+    stats_.sent[static_cast<std::size_t>(msg->type)] += 1;
+    PLUS_LOG(LogComponent::Proto, "n", self_, " -> n", dst, " ",
+             toString(msg->type));
+    net::Packet packet;
+    packet.src = self_;
+    packet.dst = dst;
+    packet.payloadBytes = bytes;
+    packet.payload = std::move(msg);
+    deps_.network->send(std::move(packet));
+}
+
+void
+CoherenceManager::applyLocal(FrameId frame, Addr word_offset, Word value)
+{
+    deps_.memory->write(frame, word_offset, value);
+    if (snoop_) {
+        snoop_(frame, word_offset, value);
+    }
+}
+
+// --------------------------------------------------------------------------
+// Processor-side interface
+// --------------------------------------------------------------------------
+
+void
+CoherenceManager::procRead(Vpn vpn, Addr word_offset, PhysAddr phys,
+                           std::function<void(Word)> done)
+{
+    // Reading a location that is currently being written blocks until the
+    // write completes (strong ordering within one processor).
+    pendingWrites_.whenAddrClear(
+        vpn, word_offset,
+        [this, vpn, word_offset, phys, done = std::move(done)]() mutable {
+            if (phys.page.node == self_) {
+                stats_.localReads += 1;
+                done(deps_.memory->read(phys.page.frame, word_offset));
+                return;
+            }
+            stats_.remoteReads += 1;
+            if (deps_.refCounters) {
+                deps_.refCounters->recordRemoteRef(vpn);
+            }
+            const ReadTag tag = nextReadTag_++;
+            readWaiters_.emplace(tag, std::move(done));
+            auto msg = std::make_unique<ReadReq>();
+            msg->target = phys;
+            msg->vpn = vpn;
+            msg->originator = self_;
+            msg->tag = tag;
+            send(phys.page.node, std::move(msg), ReadReq::kBytes);
+        });
+}
+
+void
+CoherenceManager::gateBehindFence(std::function<void()> fn)
+{
+    if (fenceGroups_.empty()) {
+        fn();
+    } else {
+        fenceGroups_.back().push_back(std::move(fn));
+    }
+}
+
+void
+CoherenceManager::procWriteFence()
+{
+    if (fenceGroups_.empty() && pendingWrites_.empty()) {
+        return; // nothing to drain
+    }
+    fenceGroups_.emplace_back();
+    if (fenceGroups_.size() == 1) {
+        armFenceDrain();
+    }
+}
+
+void
+CoherenceManager::armFenceDrain()
+{
+    pendingWrites_.whenEmpty([this] { releaseFenceGroup(); });
+}
+
+void
+CoherenceManager::releaseFenceGroup()
+{
+    PLUS_ASSERT(!fenceGroups_.empty(), "fence drain with no group");
+    auto group = std::move(fenceGroups_.front());
+    fenceGroups_.pop_front();
+    for (auto& fn : group) {
+        fn(); // may insert the group's own pending writes
+    }
+    if (!fenceGroups_.empty()) {
+        armFenceDrain();
+    }
+}
+
+void
+CoherenceManager::procWrite(Vpn vpn, Addr word_offset, PhysAddr phys,
+                            Word value, std::function<void()> accepted)
+{
+    gateBehindFence([this, vpn, word_offset, phys, value,
+                     accepted = std::move(accepted)]() mutable {
+        pendingWrites_.whenSlotFree(
+            [this, vpn, word_offset, phys, value,
+             accepted = std::move(accepted)]() mutable {
+                const WriteTag tag =
+                    pendingWrites_.insert(vpn, word_offset);
+                pendingWrites_.noteHighWater();
+                accepted();
+                dispatchWrite(vpn, word_offset, phys, value, tag);
+            });
+    });
+}
+
+void
+CoherenceManager::dispatchWrite(Vpn vpn, Addr word_offset, PhysAddr phys,
+                                Word value, WriteTag tag)
+{
+    if (phys.page.node != self_) {
+        stats_.remoteWrites += 1;
+        if (deps_.refCounters) {
+            deps_.refCounters->recordRemoteRef(vpn);
+        }
+        auto msg = std::make_unique<WriteReq>();
+        msg->target = phys;
+        msg->vpn = vpn;
+        msg->value = value;
+        msg->originator = self_;
+        msg->tag = tag;
+        send(phys.page.node, std::move(msg), WriteReq::kBytes);
+        return;
+    }
+
+    const FrameId frame = phys.page.frame;
+    const PhysPage master = deps_.tables->master(frame);
+    if (master.node == self_) {
+        // A write is "local" only if it completes with no network traffic.
+        if (deps_.tables->nextCopy(frame)) {
+            stats_.remoteWrites += 1;
+        } else {
+            stats_.localWrites += 1;
+        }
+        enqueue(cost_.cmServiceWrite,
+                [this, vpn, frame, word_offset, value, tag] {
+                    writeAtMaster(vpn, frame, word_offset, value, self_,
+                                  tag);
+                });
+    } else {
+        stats_.remoteWrites += 1;
+        auto msg = std::make_unique<WriteReq>();
+        msg->target = PhysAddr{master, word_offset};
+        msg->vpn = vpn;
+        msg->value = value;
+        msg->originator = self_;
+        msg->tag = tag;
+        send(master.node, std::move(msg), WriteReq::kBytes);
+    }
+}
+
+void
+CoherenceManager::writeAtMaster(Vpn vpn, FrameId frame, Addr word_offset,
+                                Word value, NodeId originator, WriteTag tag)
+{
+    (void)vpn;
+    applyLocal(frame, word_offset, value);
+    continueChain(frame, {WordWrite{word_offset, value}}, originator, tag,
+                  /*from_rmw=*/false, /*need_ack=*/true);
+}
+
+void
+CoherenceManager::continueChain(FrameId frame, std::vector<WordWrite> writes,
+                                NodeId originator, WriteTag tag,
+                                bool from_rmw, bool need_ack)
+{
+    const std::optional<PhysPage> next = deps_.tables->nextCopy(frame);
+    if (next) {
+        auto msg = std::make_unique<UpdateReq>();
+        msg->target = *next;
+        msg->writes = std::move(writes);
+        msg->originator = originator;
+        msg->tag = tag;
+        msg->fromRmw = from_rmw;
+        msg->needAck = need_ack;
+        const unsigned bytes = msg->bytes();
+        send(next->node, std::move(msg), bytes);
+        return;
+    }
+    if (!need_ack) {
+        return;
+    }
+    if (originator == self_) {
+        retireWrite(tag);
+    } else {
+        auto msg = std::make_unique<WriteAck>();
+        msg->tag = tag;
+        msg->fromRmw = from_rmw;
+        send(originator, std::move(msg), WriteAck::kBytes);
+    }
+}
+
+void
+CoherenceManager::retireWrite(WriteTag tag)
+{
+    pendingWrites_.complete(tag);
+}
+
+void
+CoherenceManager::procIssueRmw(RmwOp op, Vpn vpn, Addr word_offset,
+                               PhysAddr phys, Word operand,
+                               std::function<void(DelayedOpHandle)> issued)
+{
+    gateBehindFence([this, op, vpn, word_offset, phys, operand,
+                     issued = std::move(issued)]() mutable {
+        issueRmwUngated(op, vpn, word_offset, phys, operand,
+                        std::move(issued));
+    });
+}
+
+void
+CoherenceManager::issueRmwUngated(
+    RmwOp op, Vpn vpn, Addr word_offset, PhysAddr phys, Word operand,
+    std::function<void(DelayedOpHandle)> issued)
+{
+    delayedOps_.whenSlotFree(
+        [this, op, vpn, word_offset, phys, operand,
+         issued = std::move(issued)]() mutable {
+            const DelayedOpHandle handle = delayedOps_.allocate(op);
+            if (cost_.rmwOccupiesPendingWrite) {
+                pendingWrites_.whenSlotFree(
+                    [this, op, vpn, word_offset, phys, operand, handle,
+                     issued = std::move(issued)]() mutable {
+                        const WriteTag tag =
+                            pendingWrites_.insert(vpn, word_offset);
+                        pendingWrites_.noteHighWater();
+                        issued(handle);
+                        dispatchRmw(op, vpn, word_offset, phys, operand,
+                                    handle, tag, /*track=*/true);
+                    });
+            } else {
+                issued(handle);
+                dispatchRmw(op, vpn, word_offset, phys, operand, handle,
+                            /*tag=*/0, /*track=*/false);
+            }
+        });
+}
+
+void
+CoherenceManager::dispatchRmw(RmwOp op, Vpn vpn, Addr word_offset,
+                              PhysAddr phys, Word operand,
+                              DelayedOpHandle handle, WriteTag tag,
+                              bool track)
+{
+    auto forward = [&](PhysPage target_page, NodeId dst) {
+        auto msg = std::make_unique<RmwReq>();
+        msg->op = op;
+        msg->target = PhysAddr{target_page, word_offset};
+        msg->vpn = vpn;
+        msg->operand = operand;
+        msg->originator = self_;
+        msg->opTag = handle;
+        msg->writeTag = tag;
+        msg->trackWrite = track;
+        send(dst, std::move(msg), RmwReq::kBytes);
+    };
+
+    if (phys.page.node != self_) {
+        stats_.remoteRmws += 1;
+        if (deps_.refCounters) {
+            deps_.refCounters->recordRemoteRef(vpn);
+        }
+        forward(phys.page, phys.page.node);
+        return;
+    }
+
+    const FrameId frame = phys.page.frame;
+    const PhysPage master = deps_.tables->master(frame);
+    if (master.node == self_) {
+        if (deps_.tables->nextCopy(frame)) {
+            stats_.remoteRmws += 1;
+        } else {
+            stats_.localRmws += 1;
+        }
+        const Cycles occupancy = isComplexOp(op) ? cost_.cmRmwComplex
+                                                 : cost_.cmRmwSimple;
+        enqueue(occupancy,
+                [this, op, vpn, frame, word_offset, operand, handle, tag,
+                 track] {
+                    rmwAtMaster(op, vpn, frame, word_offset, operand, self_,
+                                handle, tag, track);
+                });
+    } else {
+        stats_.remoteRmws += 1;
+        forward(master, master.node);
+    }
+}
+
+void
+CoherenceManager::rmwAtMaster(RmwOp op, Vpn vpn, FrameId frame,
+                              Addr word_offset, Word operand,
+                              NodeId originator, OpTag op_tag,
+                              WriteTag write_tag, bool track)
+{
+    (void)vpn;
+    PageView view{[this, frame](Addr off) {
+        return deps_.memory->read(frame, off);
+    }};
+    const RmwResult result = executeRmw(view, op, word_offset, operand,
+                                        cost_.queueBaseOffset);
+
+    // The master executes atomically, returns the old contents to the
+    // originator, and propagates the effects down the copy-list.
+    std::vector<WordWrite> writes;
+    writes.reserve(result.writes.size());
+    for (const auto& w : result.writes) {
+        applyLocal(frame, w.wordOffset, w.value);
+        writes.push_back(WordWrite{w.wordOffset, w.value});
+    }
+
+    if (originator == self_) {
+        completeRmw(op_tag, result.oldValue);
+    } else {
+        auto msg = std::make_unique<RmwResp>();
+        msg->opTag = op_tag;
+        msg->oldValue = result.oldValue;
+        send(originator, std::move(msg), RmwResp::kBytes);
+    }
+
+    if (!writes.empty()) {
+        continueChain(frame, std::move(writes), originator, write_tag,
+                      /*from_rmw=*/true, /*need_ack=*/track);
+    } else if (track) {
+        // Nothing to propagate: retire the tracked pseudo-write now.
+        if (originator == self_) {
+            retireWrite(write_tag);
+        } else {
+            auto msg = std::make_unique<WriteAck>();
+            msg->tag = write_tag;
+            msg->fromRmw = true;
+            send(originator, std::move(msg), WriteAck::kBytes);
+        }
+    }
+}
+
+void
+CoherenceManager::completeRmw(OpTag tag, Word old_value)
+{
+    delayedOps_.complete(tag, old_value);
+}
+
+bool
+CoherenceManager::rmwReady(DelayedOpHandle handle) const
+{
+    return delayedOps_.ready(handle);
+}
+
+void
+CoherenceManager::procVerify(DelayedOpHandle handle,
+                             std::function<void(Word)> done)
+{
+    delayedOps_.whenReady(
+        handle, [this, handle, done = std::move(done)](Word) {
+            done(delayedOps_.take(handle));
+        });
+}
+
+void
+CoherenceManager::procFence(std::function<void()> done)
+{
+    // A blocking fence must also wait for writes still gated behind an
+    // earlier write fence, so it joins the gate queue itself.
+    gateBehindFence([this, done = std::move(done)]() mutable {
+        pendingWrites_.whenEmpty(std::move(done));
+    });
+}
+
+// --------------------------------------------------------------------------
+// Background page replication
+// --------------------------------------------------------------------------
+
+void
+CoherenceManager::startPageCopy(FrameId src_frame, PhysPage dst,
+                                std::uint32_t copy_id)
+{
+    PLUS_ASSERT(deps_.memory->allocated(src_frame),
+                "page copy from unallocated frame");
+    sendPageCopyBatch(src_frame, dst, copy_id, 0);
+}
+
+void
+CoherenceManager::sendPageCopyBatch(FrameId src_frame, PhysPage dst,
+                                    std::uint32_t copy_id, Addr next_offset)
+{
+    const Addr batch = std::min(kPageCopyBatchWords,
+                                kPageWords - next_offset);
+    enqueue(cost_.cmPageCopyWord * batch,
+            [this, src_frame, dst, copy_id, next_offset, batch] {
+                auto msg = std::make_unique<PageCopyData>();
+                msg->target = dst;
+                msg->baseOffset = next_offset;
+                msg->words.reserve(batch);
+                for (Addr i = 0; i < batch; ++i) {
+                    msg->words.push_back(
+                        deps_.memory->read(src_frame, next_offset + i));
+                }
+                msg->copyId = copy_id;
+                msg->last = (next_offset + batch == kPageWords);
+                const bool last = msg->last;
+                const unsigned bytes = msg->bytes();
+                send(dst.node, std::move(msg), bytes);
+                if (!last) {
+                    sendPageCopyBatch(src_frame, dst, copy_id,
+                                      next_offset + batch);
+                }
+            });
+}
+
+// --------------------------------------------------------------------------
+// Network entry
+// --------------------------------------------------------------------------
+
+void
+CoherenceManager::onPacket(net::Packet packet)
+{
+    auto* msg = dynamic_cast<ProtoMsg*>(packet.payload.get());
+    PLUS_ASSERT(msg != nullptr, "non-protocol packet at coherence manager");
+    PLUS_LOG(LogComponent::Proto, "n", self_, " <- n", packet.src, " ",
+             toString(msg->type));
+
+    switch (msg->type) {
+      case MsgType::ReadReq:
+        onReadReq(static_cast<const ReadReq&>(*msg));
+        break;
+      case MsgType::ReadResp:
+        onReadResp(static_cast<const ReadResp&>(*msg));
+        break;
+      case MsgType::WriteReq:
+        onWriteReq(static_cast<const WriteReq&>(*msg));
+        break;
+      case MsgType::UpdateReq:
+        onUpdateReq(static_cast<const UpdateReq&>(*msg));
+        break;
+      case MsgType::WriteAck:
+        onWriteAck(static_cast<const WriteAck&>(*msg));
+        break;
+      case MsgType::RmwReq:
+        onRmwReq(static_cast<const RmwReq&>(*msg));
+        break;
+      case MsgType::RmwResp:
+        onRmwResp(static_cast<const RmwResp&>(*msg));
+        break;
+      case MsgType::Nack:
+        onNack(static_cast<const Nack&>(*msg));
+        break;
+      case MsgType::PageCopyData:
+        onPageCopyData(static_cast<const PageCopyData&>(*msg), packet.src);
+        break;
+      case MsgType::PageCopyDone:
+        onPageCopyDone(static_cast<const PageCopyDone&>(*msg));
+        break;
+      case MsgType::FrameFlush:
+        onFrameFlush(static_cast<const FrameFlush&>(*msg));
+        break;
+      default:
+        PLUS_PANIC("unknown protocol message type");
+    }
+}
+
+void
+CoherenceManager::onReadReq(const ReadReq& msg)
+{
+    enqueue(cost_.cmServiceReadReq, [this, msg] {
+        const FrameId frame = msg.target.page.frame;
+        if (!deps_.memory->allocated(frame)) {
+            auto nack = std::make_unique<Nack>();
+            nack->kind = NackedKind::Read;
+            nack->vpn = msg.vpn;
+            nack->wordOffset = msg.target.wordOffset;
+            nack->readTag = msg.tag;
+            send(msg.originator, std::move(nack), Nack::kBytes);
+            return;
+        }
+        auto resp = std::make_unique<ReadResp>();
+        resp->tag = msg.tag;
+        resp->value = deps_.memory->read(frame, msg.target.wordOffset);
+        send(msg.originator, std::move(resp), ReadResp::kBytes);
+    });
+}
+
+void
+CoherenceManager::onReadResp(const ReadResp& msg)
+{
+    auto it = readWaiters_.find(msg.tag);
+    PLUS_ASSERT(it != readWaiters_.end(), "read response with unknown tag");
+    auto done = std::move(it->second);
+    readWaiters_.erase(it);
+    done(msg.value);
+}
+
+void
+CoherenceManager::onWriteReq(const WriteReq& msg)
+{
+    const FrameId frame = msg.target.page.frame;
+    // The occupancy estimate may use the receive-time table state, but
+    // correctness decisions must use the state at execution time: a
+    // FrameFlush queued ahead of us may free the frame first.
+    const bool master_estimate = deps_.memory->allocated(frame) &&
+                                 deps_.tables->knows(frame) &&
+                                 deps_.tables->master(frame).node == self_;
+    const Cycles occupancy = master_estimate ? cost_.cmServiceWrite
+                                             : cost_.cmForward;
+    enqueue(occupancy, [this, msg] {
+        const FrameId frame = msg.target.page.frame;
+        const bool known = deps_.memory->allocated(frame) &&
+                           deps_.tables->knows(frame);
+        const bool master_here =
+            known && deps_.tables->master(frame).node == self_;
+        if (!known) {
+            auto nack = std::make_unique<Nack>();
+            nack->kind = NackedKind::Write;
+            nack->vpn = msg.vpn;
+            nack->wordOffset = msg.target.wordOffset;
+            nack->writeTag = msg.tag;
+            nack->value = msg.value;
+            send(msg.originator, std::move(nack), Nack::kBytes);
+            return;
+        }
+        if (master_here) {
+            writeAtMaster(msg.vpn, frame, msg.target.wordOffset, msg.value,
+                          msg.originator, msg.tag);
+        } else {
+            const PhysPage master = deps_.tables->master(frame);
+            auto fwd = std::make_unique<WriteReq>(msg);
+            fwd->target = PhysAddr{master, msg.target.wordOffset};
+            send(master.node, std::move(fwd), WriteReq::kBytes);
+        }
+    });
+}
+
+void
+CoherenceManager::onUpdateReq(const UpdateReq& msg)
+{
+    enqueue(cost_.cmServiceUpdate, [this, msg] {
+        const FrameId frame = msg.target.frame;
+        // The deletion protocol splices the copy-list before flushing a
+        // frame, so an update can never reach a frame that is gone.
+        PLUS_ASSERT(deps_.memory->allocated(frame) &&
+                        deps_.tables->knows(frame),
+                    "update for a frame that holds no copy");
+        for (const WordWrite& w : msg.writes) {
+            applyLocal(frame, w.wordOffset, w.value);
+        }
+        continueChain(frame, msg.writes, msg.originator, msg.tag,
+                      msg.fromRmw, msg.needAck);
+    });
+}
+
+void
+CoherenceManager::onWriteAck(const WriteAck& msg)
+{
+    enqueue(cost_.cmServiceAck, [this, msg] { retireWrite(msg.tag); });
+}
+
+void
+CoherenceManager::onRmwReq(const RmwReq& msg)
+{
+    const FrameId frame = msg.target.page.frame;
+    const bool master_estimate = deps_.memory->allocated(frame) &&
+                                 deps_.tables->knows(frame) &&
+                                 deps_.tables->master(frame).node == self_;
+    Cycles occupancy;
+    if (master_estimate) {
+        occupancy = isComplexOp(msg.op) ? cost_.cmRmwComplex
+                                        : cost_.cmRmwSimple;
+    } else {
+        occupancy = cost_.cmForward;
+    }
+    enqueue(occupancy, [this, msg] {
+        const FrameId frame = msg.target.page.frame;
+        const bool known = deps_.memory->allocated(frame) &&
+                           deps_.tables->knows(frame);
+        const bool master_here =
+            known && deps_.tables->master(frame).node == self_;
+        if (!known) {
+            auto nack = std::make_unique<Nack>();
+            nack->kind = NackedKind::Rmw;
+            nack->vpn = msg.vpn;
+            nack->wordOffset = msg.target.wordOffset;
+            nack->opTag = msg.opTag;
+            nack->writeTag = msg.writeTag;
+            nack->value = msg.operand;
+            nack->op = msg.op;
+            nack->trackWrite = msg.trackWrite;
+            send(msg.originator, std::move(nack), Nack::kBytes);
+            return;
+        }
+        if (master_here) {
+            rmwAtMaster(msg.op, msg.vpn, frame, msg.target.wordOffset,
+                        msg.operand, msg.originator, msg.opTag,
+                        msg.writeTag, msg.trackWrite);
+        } else {
+            const PhysPage master = deps_.tables->master(frame);
+            auto fwd = std::make_unique<RmwReq>(msg);
+            fwd->target = PhysAddr{master, msg.target.wordOffset};
+            send(master.node, std::move(fwd), RmwReq::kBytes);
+        }
+    });
+}
+
+void
+CoherenceManager::onRmwResp(const RmwResp& msg)
+{
+    completeRmw(msg.opTag, msg.oldValue);
+}
+
+void
+CoherenceManager::onNack(const Nack& msg)
+{
+    // The addressed copy disappeared (deleted or migrated): the OS
+    // re-translates through the centralized table and the request is
+    // retried against the page's current placement.
+    PLUS_ASSERT(translate_, "nack received but no translator installed");
+    enqueue(cost_.cmForward + cost_.osPageFillCycles, [this, msg] {
+        stats_.retries += 1;
+        const PhysPage page = translate_(msg.vpn);
+        const PhysAddr phys{page, msg.wordOffset};
+        switch (msg.kind) {
+          case NackedKind::Read: {
+            if (page.node == self_) {
+                auto it = readWaiters_.find(msg.readTag);
+                PLUS_ASSERT(it != readWaiters_.end(),
+                            "nacked read with unknown tag");
+                auto done = std::move(it->second);
+                readWaiters_.erase(it);
+                done(deps_.memory->read(page.frame, msg.wordOffset));
+            } else {
+                auto req = std::make_unique<ReadReq>();
+                req->target = phys;
+                req->vpn = msg.vpn;
+                req->originator = self_;
+                req->tag = msg.readTag;
+                send(page.node, std::move(req), ReadReq::kBytes);
+            }
+            break;
+          }
+          case NackedKind::Write:
+            dispatchWrite(msg.vpn, msg.wordOffset, phys, msg.value,
+                          msg.writeTag);
+            break;
+          case NackedKind::Rmw:
+            dispatchRmw(msg.op, msg.vpn, msg.wordOffset, phys, msg.value,
+                        msg.opTag, msg.writeTag, msg.trackWrite);
+            break;
+          default:
+            PLUS_PANIC("unknown nack kind");
+        }
+    });
+}
+
+void
+CoherenceManager::onPageCopyData(const PageCopyData& msg, NodeId src)
+{
+    enqueue(cost_.cmPageCopyWord * msg.words.size(), [this, msg, src] {
+        const FrameId frame = msg.target.frame;
+        PLUS_ASSERT(deps_.memory->allocated(frame),
+                    "page-copy data for unallocated frame");
+        for (std::size_t i = 0; i < msg.words.size(); ++i) {
+            applyLocal(frame, msg.baseOffset + i, msg.words[i]);
+        }
+        if (msg.last) {
+            auto done = std::make_unique<PageCopyDone>();
+            done->copyId = msg.copyId;
+            // Answer the node that ran the copy engine (the packet source
+            // is always the predecessor copy).
+            send(src, std::move(done), PageCopyDone::kBytes);
+        }
+    });
+}
+
+void
+CoherenceManager::osFlushRemoteFrame(PhysPage victim)
+{
+    auto msg = std::make_unique<FrameFlush>();
+    msg->frame = victim.frame;
+    send(victim.node, std::move(msg), FrameFlush::kBytes);
+}
+
+void
+CoherenceManager::onFrameFlush(const FrameFlush& msg)
+{
+    enqueue(cost_.cmServiceAck, [this, msg] {
+        PLUS_ASSERT(deps_.memory->allocated(msg.frame),
+                    "flush of a frame that is not allocated");
+        deps_.tables->erase(msg.frame);
+        deps_.memory->freeFrame(msg.frame);
+    });
+}
+
+void
+CoherenceManager::onPageCopyDone(const PageCopyDone& msg)
+{
+    enqueue(cost_.cmServiceAck, [this, msg] {
+        PLUS_ASSERT(pageCopyDone_, "page copy finished with no handler");
+        pageCopyDone_(msg.copyId);
+    });
+}
+
+} // namespace proto
+} // namespace plus

@@ -1,0 +1,301 @@
+/**
+ * @file
+ * The coherence manager: the per-node hardware module that implements
+ * PLUS's non-demand, write-update coherence protocol and the delayed
+ * interlocked operations (Sections 2.3 and 3.1).
+ *
+ * The manager is modelled as a single server: each request or message it
+ * handles occupies it for a cost-model-defined number of cycles, and
+ * concurrent work queues behind a busy-until horizon, so contention at a
+ * hot manager (e.g. the master of a contended lock) is visible in the
+ * results exactly as the paper's evaluation assumes.
+ *
+ * Protocol invariants maintained here:
+ *  - every write takes effect at the master copy first and propagates
+ *    down the ordered copy-list (general coherence);
+ *  - the last copy in the list acknowledges the originator, which then
+ *    retires the pending-writes entry;
+ *  - a processor's read of a location with an in-flight write by the
+ *    same processor blocks until the acknowledgement arrives;
+ *  - a fence completes only when the pending-writes cache is empty.
+ */
+
+#ifndef PLUS_PROTO_COHERENCE_MANAGER_HPP_
+#define PLUS_PROTO_COHERENCE_MANAGER_HPP_
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/types.hpp"
+#include "mem/coherence_tables.hpp"
+#include "mem/local_memory.hpp"
+#include "mem/page_table.hpp"
+#include "mem/ref_counters.hpp"
+#include "proto/delayed_ops.hpp"
+#include "proto/messages.hpp"
+#include "proto/pending_writes.hpp"
+
+namespace plus {
+
+namespace sim {
+class Engine;
+} // namespace sim
+
+namespace net {
+class Network;
+} // namespace net
+
+namespace proto {
+
+/** Per-manager statistics; the bench harnesses aggregate these. */
+struct CmStats {
+    /** Reads served from local memory / requiring a ReadReq. */
+    std::uint64_t localReads = 0;
+    std::uint64_t remoteReads = 0;
+    /** Writes completing with no network traffic / with some. */
+    std::uint64_t localWrites = 0;
+    std::uint64_t remoteWrites = 0;
+    /** Interlocked ops executing entirely locally / over the network. */
+    std::uint64_t localRmws = 0;
+    std::uint64_t remoteRmws = 0;
+    /** Messages sent, by type. */
+    std::array<std::uint64_t, static_cast<std::size_t>(MsgType::NumTypes)>
+        sent{};
+    /** Nacks received and requests retried after re-translation. */
+    std::uint64_t retries = 0;
+    /** Cycles this manager was busy serving work. */
+    Cycles busyCycles = 0;
+
+    std::uint64_t sentOf(MsgType t) const
+    {
+        return sent[static_cast<std::size_t>(t)];
+    }
+    std::uint64_t totalSent() const;
+};
+
+/**
+ * One node's coherence manager. All processor-side entry points take
+ * continuations: the manager never blocks, it calls back when the
+ * operation reaches the appropriate milestone.
+ */
+class CoherenceManager
+{
+  public:
+    /** Services the manager needs from its node and the OS. */
+    struct Deps {
+        sim::Engine* engine = nullptr;
+        net::Network* network = nullptr;
+        mem::LocalMemory* memory = nullptr;
+        mem::CoherenceTables* tables = nullptr;
+        mem::RefCounters* refCounters = nullptr; ///< optional
+    };
+
+    CoherenceManager(NodeId self, const CostModel& cost, Deps deps);
+
+    NodeId nodeId() const { return self_; }
+
+    // --- OS hooks ---------------------------------------------------------
+
+    /**
+     * Translation service used to retry nacked requests: maps a virtual
+     * page to the node's current physical copy (performing a lazy
+     * page-table fill if needed).
+     */
+    using Translator = std::function<PhysPage(Vpn)>;
+    void setTranslator(Translator t) { translate_ = std::move(t); }
+
+    /**
+     * Node-bus snoop: invoked for every word the manager writes into
+     * local memory so the processor cache can stay coherent
+     * (write-update snooping, Section 2.3).
+     */
+    using SnoopHook = std::function<void(FrameId, Addr, Word)>;
+    void setSnoopHook(SnoopHook hook) { snoop_ = std::move(hook); }
+
+    /** Completion callback for page copies this node *initiated*. */
+    using PageCopyDoneHandler = std::function<void(std::uint32_t copyId)>;
+    void setPageCopyDoneHandler(PageCopyDoneHandler h)
+    {
+        pageCopyDone_ = std::move(h);
+    }
+
+    // --- processor-side interface ------------------------------------------
+
+    /**
+     * Read one word. @p phys is the node's current translation of
+     * (vpn, offset). Local reads only wait for conflicting pending
+     * writes; remote reads issue a ReadReq. @p done receives the value.
+     */
+    void procRead(Vpn vpn, Addr word_offset, PhysAddr phys,
+                  std::function<void(Word)> done);
+
+    /**
+     * Issue a write. @p accepted fires once the write occupies a
+     * pending-writes entry (the processor may then continue); the write
+     * completes asynchronously when the copy-list acknowledges.
+     */
+    void procWrite(Vpn vpn, Addr word_offset, PhysAddr phys, Word value,
+                   std::function<void()> accepted);
+
+    /**
+     * Issue a delayed interlocked operation. @p issued fires with the
+     * delayed-op handle once a cache slot is allocated and the request
+     * is on its way (the processor may then continue).
+     */
+    void procIssueRmw(RmwOp op, Vpn vpn, Addr word_offset, PhysAddr phys,
+                      Word operand,
+                      std::function<void(DelayedOpHandle)> issued);
+
+    /** Non-blocking poll of a delayed operation's status. */
+    bool rmwReady(DelayedOpHandle handle) const;
+
+    /**
+     * Read a delayed operation's result: @p done fires with the value as
+     * soon as it is available (immediately if it already is) and the
+     * cache slot is freed.
+     */
+    void procVerify(DelayedOpHandle handle, std::function<void(Word)> done);
+
+    /** Fence: @p done fires when the pending-writes cache is empty. */
+    void procFence(std::function<void()> done);
+
+    /**
+     * The paper's write fence: "causes the coherence manager to block
+     * any subsequent write by the processor until all its earlier ones
+     * have completed" — the processor itself continues immediately and
+     * may keep reading/computing; only later writes and interlocked
+     * operations are held behind the drain.
+     */
+    void procWriteFence();
+
+    /** True if a write by this node to the location is still in flight. */
+    bool
+    writePending(Vpn vpn, Addr word_offset) const
+    {
+        return pendingWrites_.pendingOn(vpn, word_offset);
+    }
+
+    // --- background page replication ----------------------------------------
+
+    /**
+     * Start copying the page in local @p src_frame to @p dst (this node
+     * must be the new copy's predecessor in the copy-list, and the
+     * copy-list and coherence tables must already include @p dst, so
+     * concurrent writes flow through it while the copy proceeds).
+     */
+    void startPageCopy(FrameId src_frame, PhysPage dst,
+                       std::uint32_t copy_id);
+
+    /**
+     * Send a FrameFlush to a copy this node just spliced out of the
+     * copy-list (this node must be the deleted copy's former
+     * predecessor; FIFO ordering guarantees every update this node
+     * forwarded to the dying copy is applied first).
+     */
+    void osFlushRemoteFrame(PhysPage victim);
+
+    // --- network entry -------------------------------------------------------
+
+    /** Delivery handler registered with the network. */
+    void onPacket(net::Packet packet);
+
+    const CmStats& stats() const { return stats_; }
+    const PendingWrites& pendingWrites() const { return pendingWrites_; }
+    const DelayedOpCache& delayedOps() const { return delayedOps_; }
+
+  private:
+    /** Serialize @p work behind the manager's busy-until horizon. */
+    void enqueue(Cycles occupancy, std::function<void()> work);
+
+    /** Send a protocol message, sized and counted. */
+    void send(NodeId dst, std::unique_ptr<ProtoMsg> msg, unsigned bytes);
+
+    /** Apply one word write to local memory and snoop the node bus. */
+    void applyLocal(FrameId frame, Addr word_offset, Word value);
+
+    // Write path.
+    void dispatchWrite(Vpn vpn, Addr word_offset, PhysAddr phys, Word value,
+                       WriteTag tag);
+    void writeAtMaster(Vpn vpn, FrameId frame, Addr word_offset, Word value,
+                       NodeId originator, WriteTag tag);
+    /** Forward effects down the list or acknowledge the originator. */
+    void continueChain(FrameId frame, std::vector<WordWrite> writes,
+                       NodeId originator, WriteTag tag, bool from_rmw,
+                       bool need_ack);
+    void retireWrite(WriteTag tag);
+
+    // RMW path.
+    void issueRmwUngated(RmwOp op, Vpn vpn, Addr word_offset,
+                         PhysAddr phys, Word operand,
+                         std::function<void(DelayedOpHandle)> issued);
+    void dispatchRmw(RmwOp op, Vpn vpn, Addr word_offset, PhysAddr phys,
+                     Word operand, DelayedOpHandle handle, WriteTag tag,
+                     bool track);
+    void rmwAtMaster(RmwOp op, Vpn vpn, FrameId frame, Addr word_offset,
+                     Word operand, NodeId originator, OpTag op_tag,
+                     WriteTag write_tag, bool track);
+    void completeRmw(OpTag tag, Word old_value);
+
+    // Message handlers.
+    void onReadReq(const ReadReq& msg);
+    void onReadResp(const ReadResp& msg);
+    void onWriteReq(const WriteReq& msg);
+    void onUpdateReq(const UpdateReq& msg);
+    void onWriteAck(const WriteAck& msg);
+    void onRmwReq(const RmwReq& msg);
+    void onRmwResp(const RmwResp& msg);
+    void onNack(const Nack& msg);
+    void onPageCopyData(const PageCopyData& msg, NodeId src);
+    void onPageCopyDone(const PageCopyDone& msg);
+    void onFrameFlush(const FrameFlush& msg);
+
+    void sendPageCopyBatch(FrameId src_frame, PhysPage dst,
+                           std::uint32_t copy_id, Addr next_offset);
+
+    NodeId self_;
+    CostModel cost_;
+    Deps deps_;
+
+    PendingWrites pendingWrites_;
+    DelayedOpCache delayedOps_;
+
+    /**
+     * Hold @p fn until no write fence is armed (immediately if none);
+     * entry point for writes and interlocked issues.
+     */
+    void gateBehindFence(std::function<void()> fn);
+
+    /** Blocked remote-read continuations, by tag. */
+    std::unordered_map<ReadTag, std::function<void(Word)>> readWaiters_;
+    ReadTag nextReadTag_ = 1;
+
+    /**
+     * Write-fence state: each procWriteFence() opens a group; writes
+     * and interlocked issues append to the newest group and are
+     * released, group by group, as the preceding group's writes drain.
+     */
+    std::deque<std::vector<std::function<void()>>> fenceGroups_;
+    void armFenceDrain();
+    void releaseFenceGroup();
+
+    /** Local-read continuations use PendingWrites address waiters. */
+
+    Cycles busyUntil_ = 0;
+
+    Translator translate_;
+    SnoopHook snoop_;
+    PageCopyDoneHandler pageCopyDone_;
+
+    CmStats stats_;
+};
+
+} // namespace proto
+} // namespace plus
+
+#endif // PLUS_PROTO_COHERENCE_MANAGER_HPP_

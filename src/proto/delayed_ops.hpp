@@ -1,0 +1,185 @@
+/**
+ * @file
+ * The delayed-operations cache (Section 3.1): when the processor issues a
+ * delayed synchronization operation it receives an identifier — the
+ * address of a location in this cache, allocated at issue time and
+ * deallocated when the result is read. Up to 8 operations can be in
+ * progress simultaneously in the 1990 implementation. If the result is
+ * not yet available when the processor reads it, the read blocks; the
+ * software can also inspect the status for a non-blocking poll.
+ */
+
+#ifndef PLUS_PROTO_DELAYED_OPS_HPP_
+#define PLUS_PROTO_DELAYED_OPS_HPP_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/panic.hpp"
+#include "common/types.hpp"
+#include "proto/rmw.hpp"
+
+namespace plus {
+namespace proto {
+
+/** Identifier of a slot in the delayed-operations cache. */
+using DelayedOpHandle = std::uint32_t;
+
+/** Fixed-capacity table of delayed operations in progress. */
+class DelayedOpCache
+{
+  public:
+    using Waiter = std::function<void()>;
+    using ResultWaiter = std::function<void(Word)>;
+
+    explicit DelayedOpCache(unsigned capacity) : slots_(capacity)
+    {
+        PLUS_ASSERT(capacity > 0, "delayed-op cache needs capacity");
+    }
+
+    unsigned capacity() const
+    {
+        return static_cast<unsigned>(slots_.size());
+    }
+
+    unsigned inFlight() const { return used_; }
+    bool full() const { return used_ >= capacity(); }
+
+    /**
+     * Allocate a slot for an operation being issued.
+     * @pre !full()
+     */
+    DelayedOpHandle
+    allocate(RmwOp op)
+    {
+        PLUS_ASSERT(!full(), "delayed-op cache overflow");
+        for (DelayedOpHandle h = 0; h < capacity(); ++h) {
+            if (slots_[h].state == State::Free) {
+                slots_[h] = Slot{};
+                slots_[h].state = State::InFlight;
+                slots_[h].op = op;
+                ++used_;
+                maxUsed_ = std::max(maxUsed_, used_);
+                return h;
+            }
+        }
+        PLUS_PANIC("delayed-op cache bookkeeping is inconsistent");
+    }
+
+    /** Deliver the master's result for @p handle. */
+    void
+    complete(DelayedOpHandle handle, Word result)
+    {
+        Slot& slot = at(handle);
+        PLUS_ASSERT(slot.state == State::InFlight,
+                    "result for a slot that is not in flight");
+        slot.state = State::Ready;
+        slot.result = result;
+        if (slot.waiter) {
+            auto fn = std::move(slot.waiter);
+            slot.waiter = nullptr;
+            fn(result);
+        }
+    }
+
+    /** Non-blocking status poll (the paper's software status inspect). */
+    bool
+    ready(DelayedOpHandle handle) const
+    {
+        return at(handle).state == State::Ready;
+    }
+
+    /**
+     * Consume a ready result and free the slot.
+     * @pre ready(handle)
+     */
+    Word
+    take(DelayedOpHandle handle)
+    {
+        Slot& slot = at(handle);
+        PLUS_ASSERT(slot.state == State::Ready, "take() before result");
+        slot.state = State::Free;
+        --used_;
+        const Word result = slot.result;
+        wakeSlotWaiters();
+        return result;
+    }
+
+    /**
+     * Run @p fn with the result as soon as it is available (immediately
+     * if already ready). The slot is *not* freed; the caller still
+     * calls take().
+     */
+    void
+    whenReady(DelayedOpHandle handle, ResultWaiter fn)
+    {
+        Slot& slot = at(handle);
+        if (slot.state == State::Ready) {
+            fn(slot.result);
+        } else {
+            PLUS_ASSERT(slot.state == State::InFlight,
+                        "waiting on a free slot");
+            PLUS_ASSERT(!slot.waiter, "slot already has a waiter");
+            slot.waiter = std::move(fn);
+        }
+    }
+
+    /** Run @p fn once a slot can be allocated. */
+    void
+    whenSlotFree(Waiter fn)
+    {
+        if (!full()) {
+            fn();
+        } else {
+            slotWaiters_.push_back(std::move(fn));
+        }
+    }
+
+    unsigned maxInFlight() const { return maxUsed_; }
+
+  private:
+    enum class State : std::uint8_t { Free, InFlight, Ready };
+
+    struct Slot {
+        State state = State::Free;
+        RmwOp op = RmwOp::Xchng;
+        Word result = 0;
+        ResultWaiter waiter;
+    };
+
+    Slot&
+    at(DelayedOpHandle handle)
+    {
+        PLUS_ASSERT(handle < slots_.size(), "bad delayed-op handle");
+        return slots_[handle];
+    }
+
+    const Slot&
+    at(DelayedOpHandle handle) const
+    {
+        PLUS_ASSERT(handle < slots_.size(), "bad delayed-op handle");
+        return slots_[handle];
+    }
+
+    void
+    wakeSlotWaiters()
+    {
+        while (!slotWaiters_.empty() && !full()) {
+            auto fn = std::move(slotWaiters_.front());
+            slotWaiters_.erase(slotWaiters_.begin());
+            fn();
+        }
+    }
+
+    std::vector<Slot> slots_;
+    std::vector<Waiter> slotWaiters_;
+    unsigned used_ = 0;
+    unsigned maxUsed_ = 0;
+};
+
+} // namespace proto
+} // namespace plus
+
+#endif // PLUS_PROTO_DELAYED_OPS_HPP_

@@ -1,0 +1,26 @@
+#include "proto/messages.hpp"
+
+namespace plus {
+namespace proto {
+
+const char*
+toString(MsgType type)
+{
+    switch (type) {
+      case MsgType::ReadReq: return "read-req";
+      case MsgType::ReadResp: return "read-resp";
+      case MsgType::WriteReq: return "write-req";
+      case MsgType::UpdateReq: return "update-req";
+      case MsgType::WriteAck: return "write-ack";
+      case MsgType::RmwReq: return "rmw-req";
+      case MsgType::RmwResp: return "rmw-resp";
+      case MsgType::Nack: return "nack";
+      case MsgType::PageCopyData: return "page-copy-data";
+      case MsgType::PageCopyDone: return "page-copy-done";
+      case MsgType::FrameFlush: return "frame-flush";
+      default: return "?";
+    }
+}
+
+} // namespace proto
+} // namespace plus

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Coherence-protocol messages exchanged between coherence managers.
+ *
+ * Every message is a net::Payload. Sizes (payloadBytes) follow a simple
+ * wire model: 4 bytes per word of address/value/tag content beyond the
+ * 8-byte link header accounted by the network.
+ *
+ * Protocol summary (Section 2.3):
+ *  - ReadReq/ReadResp: remote read served by the addressed copy.
+ *  - WriteReq: a write travelling to the addressed copy; the receiving
+ *    manager redirects it to the master copy if it is not the master.
+ *  - UpdateReq: a write flowing down the copy-list from the master; the
+ *    last copy answers the originator with WriteAck.
+ *  - RmwReq: an interlocked delayed operation; the master executes it,
+ *    returns the old value with RmwResp, and propagates its memory
+ *    effects as UpdateReqs (acknowledged like writes).
+ *  - Nack: the addressed frame no longer holds a copy (it was deleted or
+ *    migrated); the originator re-translates and retries.
+ *  - PageCopyData/PageCopyDone: background page replication traffic.
+ */
+
+#ifndef PLUS_PROTO_MESSAGES_HPP_
+#define PLUS_PROTO_MESSAGES_HPP_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "net/network.hpp"
+#include "proto/rmw.hpp"
+
+namespace plus {
+namespace proto {
+
+/** Tag identifying a pending-write entry at the originator. */
+using WriteTag = std::uint32_t;
+
+/** Tag identifying a delayed-operation slot at the originator. */
+using OpTag = std::uint32_t;
+
+/** Tag identifying a blocked read continuation at the originator. */
+using ReadTag = std::uint32_t;
+
+/** One word written at a copy; updates carry one or two of these. */
+struct WordWrite {
+    Addr wordOffset = 0;
+    Word value = 0;
+};
+
+/** Message kind, used for dispatch and statistics. */
+enum class MsgType : std::uint8_t {
+    ReadReq,
+    ReadResp,
+    WriteReq,
+    UpdateReq,
+    WriteAck,
+    RmwReq,
+    RmwResp,
+    Nack,
+    PageCopyData,
+    PageCopyDone,
+    FrameFlush,
+    NumTypes,
+};
+
+const char* toString(MsgType type);
+
+/** Base of all protocol messages. */
+struct ProtoMsg : net::Payload {
+    explicit ProtoMsg(MsgType t) : type(t) {}
+    MsgType type;
+};
+
+/** Remote read of one word from the addressed copy. */
+struct ReadReq : ProtoMsg {
+    ReadReq() : ProtoMsg(MsgType::ReadReq) {}
+    PhysAddr target;
+    Vpn vpn = 0; ///< for re-translation after a Nack
+    NodeId originator = kInvalidNode;
+    ReadTag tag = 0;
+    static constexpr unsigned kBytes = 12;
+};
+
+/** Value returned for a ReadReq. */
+struct ReadResp : ProtoMsg {
+    ReadResp() : ProtoMsg(MsgType::ReadResp) {}
+    ReadTag tag = 0;
+    Word value = 0;
+    static constexpr unsigned kBytes = 8;
+};
+
+/** A write on its way to the master copy. */
+struct WriteReq : ProtoMsg {
+    WriteReq() : ProtoMsg(MsgType::WriteReq) {}
+    PhysAddr target; ///< the copy this request is addressed to
+    Vpn vpn = 0;
+    Word value = 0;
+    NodeId originator = kInvalidNode;
+    WriteTag tag = 0;
+    static constexpr unsigned kBytes = 16;
+};
+
+/** Write effects flowing down the copy-list from the master. */
+struct UpdateReq : ProtoMsg {
+    UpdateReq() : ProtoMsg(MsgType::UpdateReq) {}
+    PhysPage target; ///< the copy to update
+    std::vector<WordWrite> writes;
+    NodeId originator = kInvalidNode;
+    WriteTag tag = 0;
+    bool fromRmw = false;
+    /** Whether the tail of the chain must acknowledge the originator. */
+    bool needAck = true;
+    unsigned
+    bytes() const
+    {
+        return 8 + 8 * static_cast<unsigned>(writes.size());
+    }
+};
+
+/** Completion notice from the last copy in the list to the originator. */
+struct WriteAck : ProtoMsg {
+    WriteAck() : ProtoMsg(MsgType::WriteAck) {}
+    WriteTag tag = 0;
+    bool fromRmw = false;
+    static constexpr unsigned kBytes = 4;
+};
+
+/** Interlocked (delayed) operation on its way to the master copy. */
+struct RmwReq : ProtoMsg {
+    RmwReq() : ProtoMsg(MsgType::RmwReq) {}
+    RmwOp op = RmwOp::Xchng;
+    PhysAddr target;
+    Vpn vpn = 0;
+    Word operand = 0;
+    NodeId originator = kInvalidNode;
+    OpTag opTag = 0;
+    /** Pending-write tag when RMW chains are fence-tracked. */
+    WriteTag writeTag = 0;
+    bool trackWrite = false;
+    static constexpr unsigned kBytes = 20;
+};
+
+/** Old memory value returned by the master for a delayed operation. */
+struct RmwResp : ProtoMsg {
+    RmwResp() : ProtoMsg(MsgType::RmwResp) {}
+    OpTag opTag = 0;
+    Word oldValue = 0;
+    static constexpr unsigned kBytes = 8;
+};
+
+/** Which request a Nack refuses. */
+enum class NackedKind : std::uint8_t { Read, Write, Rmw };
+
+/** The addressed frame is gone; re-translate and retry. */
+struct Nack : ProtoMsg {
+    Nack() : ProtoMsg(MsgType::Nack) {}
+    NackedKind kind = NackedKind::Read;
+    Vpn vpn = 0;
+    Addr wordOffset = 0;
+    /** Request identity to retry: the matching tag for the kind. */
+    ReadTag readTag = 0;
+    WriteTag writeTag = 0;
+    OpTag opTag = 0;
+    Word value = 0;   ///< write value / rmw operand
+    RmwOp op = RmwOp::Xchng;
+    bool trackWrite = false;
+    static constexpr unsigned kBytes = 16;
+};
+
+/** A batch of words copied during background page replication. */
+struct PageCopyData : ProtoMsg {
+    PageCopyData() : ProtoMsg(MsgType::PageCopyData) {}
+    PhysPage target;
+    Addr baseOffset = 0;
+    std::vector<Word> words;
+    std::uint32_t copyId = 0;
+    bool last = false;
+    unsigned
+    bytes() const
+    {
+        return 12 + 4 * static_cast<unsigned>(words.size());
+    }
+};
+
+/** The destination saw the final batch of a page copy. */
+struct PageCopyDone : ProtoMsg {
+    PageCopyDone() : ProtoMsg(MsgType::PageCopyDone) {}
+    std::uint32_t copyId = 0;
+    static constexpr unsigned kBytes = 4;
+};
+
+/**
+ * Deletion marker for a copy that has been spliced out of its copy-list.
+ * Sent by the deleted copy's *predecessor* after the splice, over the same
+ * FIFO path as forwarded updates, so it arrives only after every update
+ * the predecessor forwarded to the dying copy; the receiver then frees
+ * the frame and drops its coherence-table entries.
+ */
+struct FrameFlush : ProtoMsg {
+    FrameFlush() : ProtoMsg(MsgType::FrameFlush) {}
+    FrameId frame = kInvalidFrame;
+    static constexpr unsigned kBytes = 8;
+};
+
+} // namespace proto
+} // namespace plus
+
+#endif // PLUS_PROTO_MESSAGES_HPP_

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The interlocked (delayed) operations of Table 3-1 and their memory
+ * semantics. Every operation executes atomically at the master copy,
+ * returns the *old* contents of memory to the originator, and produces
+ * zero, one or two word writes that propagate down the copy-list.
+ *
+ * Conventions (see DESIGN.md "Interpretation notes"):
+ *  - Bit 31 (kTopBit) is the full/lock flag; payloads are 31-bit.
+ *  - queue/dequeue address a word holding a *word offset within the same
+ *    page* of the queue tail/head; offsets advance circularly within
+ *    [queueBaseOffset, kPageWords).
+ *  - min-xchng compares 31-bit payloads as unsigned integers.
+ */
+
+#ifndef PLUS_PROTO_RMW_HPP_
+#define PLUS_PROTO_RMW_HPP_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace plus {
+namespace proto {
+
+/** The delayed operations of Table 3-1. */
+enum class RmwOp : std::uint8_t {
+    Xchng,       ///< return old value; write operand
+    CondXchng,   ///< return old value; write operand if old's top bit set
+    FetchAdd,    ///< return old value; add operand (two's complement)
+    FetchSet,    ///< return old value; set the top bit
+    Queue,       ///< enqueue operand at the tail (Table 3-1 "queue")
+    Dequeue,     ///< dequeue from the head (Table 3-1 "dequeue")
+    MinXchng,    ///< return old value; write operand if smaller
+    DelayedRead, ///< return old value; no modification
+};
+
+const char* toString(RmwOp op);
+
+/** True for the operations the paper costs at 52 cycles instead of 39. */
+bool isComplexOp(RmwOp op);
+
+/** Word-granular view of the page the operation addresses. */
+struct PageView {
+    std::function<Word(Addr word_offset)> read;
+};
+
+/** Result of executing an operation at the master copy. */
+struct RmwResult {
+    /** Old memory contents returned to the originator. */
+    Word oldValue = 0;
+    /** Writes to apply at the master and propagate to all copies. */
+    struct Write {
+        Addr wordOffset;
+        Word value;
+    };
+    std::vector<Write> writes;
+};
+
+/**
+ * Execute @p op against the page seen through @p page.
+ *
+ * @param page        Read access to the addressed page's current contents.
+ * @param word_offset Offset of the addressed word within the page.
+ * @param operand     The operation's data word.
+ * @param queue_base  First offset of the circular queue region (offsets
+ *                    wrap from kPageWords back to this value).
+ */
+RmwResult executeRmw(const PageView& page, RmwOp op, Addr word_offset,
+                     Word operand, Addr queue_base);
+
+} // namespace proto
+} // namespace plus
+
+#endif // PLUS_PROTO_RMW_HPP_

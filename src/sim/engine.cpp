@@ -1,0 +1,97 @@
+#include "sim/engine.hpp"
+
+#include "common/log.hpp"
+#include "common/panic.hpp"
+
+namespace plus {
+namespace sim {
+
+Engine::Engine()
+{
+    Log::instance().setClock([this] { return now(); });
+}
+
+Engine::~Engine()
+{
+    Log::instance().setClock(nullptr);
+}
+
+EventId
+Engine::schedule(Cycles delay, std::function<void()> fn)
+{
+    return scheduleAt(now_ + delay, std::move(fn));
+}
+
+EventId
+Engine::scheduleAt(Cycles when, std::function<void()> fn)
+{
+    PLUS_ASSERT(when >= now_, "scheduling into the past: ", when, " < ",
+                now_);
+    PLUS_ASSERT(fn, "scheduling a null event");
+    const EventId id = nextId_++;
+    queue_.push(Record{when, nextSeq_++, id, std::move(fn)});
+    return id;
+}
+
+bool
+Engine::cancel(EventId id)
+{
+    if (id == kInvalidEvent || id >= nextId_) {
+        return false;
+    }
+    // Lazy cancellation: remember the id; skip the record when popped.
+    const bool inserted = cancelledIds_.insert(id).second;
+    if (inserted) {
+        ++cancelled_;
+    }
+    return inserted;
+}
+
+bool
+Engine::dispatchNext(Cycles limit)
+{
+    while (!queue_.empty()) {
+        const Record& top = queue_.top();
+        if (top.when > limit) {
+            return false;
+        }
+        if (cancelledIds_.erase(top.id)) {
+            --cancelled_;
+            queue_.pop();
+            continue;
+        }
+        // Move the closure out before popping so it can reschedule freely.
+        Record record = std::move(const_cast<Record&>(top));
+        queue_.pop();
+        now_ = record.when;
+        ++executed_;
+        record.fn();
+        return true;
+    }
+    return false;
+}
+
+void
+Engine::run()
+{
+    stopping_ = false;
+    while (!stopping_ && dispatchNext(~Cycles{0})) {
+    }
+}
+
+void
+Engine::runUntil(Cycles limit)
+{
+    stopping_ = false;
+    while (!stopping_ && dispatchNext(limit)) {
+    }
+}
+
+bool
+Engine::step()
+{
+    return dispatchNext(~Cycles{0});
+}
+
+} // namespace sim
+} // namespace plus

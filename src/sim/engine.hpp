@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Discrete-event simulation engine.
+ *
+ * The whole PLUS machine is simulated by one single-threaded event loop.
+ * Components schedule closures at future cycles; ties are broken by
+ * insertion order so runs are fully deterministic.
+ */
+
+#ifndef PLUS_SIM_ENGINE_HPP_
+#define PLUS_SIM_ENGINE_HPP_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace plus {
+namespace sim {
+
+/** Handle identifying a scheduled event, usable for cancellation. */
+using EventId = std::uint64_t;
+
+/** Sentinel meaning "no event". */
+inline constexpr EventId kInvalidEvent = 0;
+
+/** The event loop: a time-ordered queue of closures. */
+class Engine
+{
+  public:
+    Engine();
+    ~Engine();
+
+    Engine(const Engine&) = delete;
+    Engine& operator=(const Engine&) = delete;
+
+    /** Current simulated time in cycles. */
+    Cycles now() const { return now_; }
+
+    /** Schedule @p fn to run @p delay cycles from now. */
+    EventId schedule(Cycles delay, std::function<void()> fn);
+
+    /** Schedule @p fn at absolute cycle @p when (must be >= now). */
+    EventId scheduleAt(Cycles when, std::function<void()> fn);
+
+    /**
+     * Cancel a previously scheduled event.
+     * @return true if the event was pending and is now cancelled.
+     */
+    bool cancel(EventId id);
+
+    /** Run until the queue is empty or stop() is called. */
+    void run();
+
+    /**
+     * Run until simulated time would exceed @p limit; events at exactly
+     * @p limit still execute. now() stays at the last executed event's
+     * time (it does not fast-forward to the limit).
+     */
+    void runUntil(Cycles limit);
+
+    /** Execute at most one event. @return false if the queue was empty. */
+    bool step();
+
+    /** Request that run() return after the current event. */
+    void stop() { stopping_ = true; }
+
+    /** Number of events pending (including cancelled-but-unpopped). */
+    std::size_t pendingEvents() const { return queue_.size() - cancelled_; }
+
+    /** Total events executed since construction. */
+    std::uint64_t executedEvents() const { return executed_; }
+
+  private:
+    struct Record {
+        Cycles when;
+        std::uint64_t seq;
+        EventId id;
+        std::function<void()> fn;
+    };
+
+    struct Later {
+        bool
+        operator()(const Record& a, const Record& b) const
+        {
+            // Earliest time first; FIFO among equal times.
+            if (a.when != b.when) {
+                return a.when > b.when;
+            }
+            return a.seq > b.seq;
+        }
+    };
+
+    bool dispatchNext(Cycles limit);
+
+    std::priority_queue<Record, std::vector<Record>, Later> queue_;
+    /** Ids of cancelled events awaiting lazy removal. */
+    std::unordered_set<EventId> cancelledIds_;
+    std::size_t cancelled_ = 0;
+    Cycles now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    EventId nextId_ = 1;
+    std::uint64_t executed_ = 0;
+    bool stopping_ = false;
+};
+
+} // namespace sim
+} // namespace plus
+
+#endif // PLUS_SIM_ENGINE_HPP_

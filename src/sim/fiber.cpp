@@ -1,0 +1,93 @@
+#include "sim/fiber.hpp"
+
+#include <cstdint>
+
+#include "common/panic.hpp"
+
+namespace plus {
+namespace sim {
+
+namespace {
+
+/** Fiber currently executing (single-threaded simulator). */
+Fiber* currentFiber = nullptr;
+
+} // namespace
+
+Fiber::Fiber(std::function<void()> body, std::size_t stack_bytes)
+    : body_(std::move(body)), stack_(new char[stack_bytes])
+{
+    PLUS_ASSERT(body_, "fiber needs a body");
+    if (getcontext(&context_) != 0) {
+        PLUS_PANIC("getcontext failed");
+    }
+    context_.uc_stack.ss_sp = stack_.get();
+    context_.uc_stack.ss_size = stack_bytes;
+    context_.uc_link = nullptr; // we always swap back explicitly
+
+    // makecontext only passes ints; split the pointer into two halves.
+    auto self = reinterpret_cast<std::uintptr_t>(this);
+    auto hi = static_cast<unsigned>(self >> 32);
+    auto lo = static_cast<unsigned>(self & 0xffffffffu);
+    makecontext(&context_, reinterpret_cast<void (*)()>(&Fiber::trampoline),
+                2, hi, lo);
+}
+
+Fiber::~Fiber() = default;
+
+void
+Fiber::trampoline(unsigned hi, unsigned lo)
+{
+    auto self = reinterpret_cast<Fiber*>(
+        (static_cast<std::uintptr_t>(hi) << 32) |
+        static_cast<std::uintptr_t>(lo));
+    self->run();
+}
+
+void
+Fiber::run()
+{
+    body_();
+    finished_ = true;
+    // Return control to the resumer for the last time. The context swap
+    // never comes back here.
+    Fiber* self = currentFiber;
+    currentFiber = nullptr;
+    swapcontext(&self->context_, &self->returnContext_);
+    PLUS_PANIC("resumed a finished fiber");
+}
+
+void
+Fiber::resume()
+{
+    PLUS_ASSERT(!finished_, "resume of a finished fiber");
+    PLUS_ASSERT(currentFiber == nullptr,
+                "nested fiber resume is not supported");
+    started_ = true;
+    currentFiber = this;
+    if (swapcontext(&returnContext_, &context_) != 0) {
+        PLUS_PANIC("swapcontext into fiber failed");
+    }
+}
+
+void
+Fiber::yield()
+{
+    Fiber* self = currentFiber;
+    PLUS_ASSERT(self != nullptr, "yield outside any fiber");
+    currentFiber = nullptr;
+    if (swapcontext(&self->context_, &self->returnContext_) != 0) {
+        PLUS_PANIC("swapcontext out of fiber failed");
+    }
+    // Resumed again: restore the current-fiber marker.
+    currentFiber = self;
+}
+
+Fiber*
+Fiber::current()
+{
+    return currentFiber;
+}
+
+} // namespace sim
+} // namespace plus

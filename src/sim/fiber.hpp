@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Cooperative user-level fibers for execution-driven simulation.
+ *
+ * The PLUS simulator, like the authors' original, is driven by application
+ * code: each simulated thread runs real C++ on its own stack and yields to
+ * the event loop whenever it performs an operation with simulated cost.
+ * Fibers are built on POSIX ucontext; the simulation is single-OS-threaded,
+ * so no locking is needed.
+ */
+
+#ifndef PLUS_SIM_FIBER_HPP_
+#define PLUS_SIM_FIBER_HPP_
+
+#include <ucontext.h>
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+namespace plus {
+namespace sim {
+
+/**
+ * One cooperative fiber. resume() runs it until it calls Fiber::yield()
+ * or its body returns; control then comes back to the resumer.
+ */
+class Fiber
+{
+  public:
+    /**
+     * @param body   Code to run on the fiber's stack.
+     * @param stack_bytes  Stack size; must comfortably hold the deepest
+     *                     application call chain.
+     */
+    Fiber(std::function<void()> body, std::size_t stack_bytes);
+    ~Fiber();
+
+    Fiber(const Fiber&) = delete;
+    Fiber& operator=(const Fiber&) = delete;
+
+    /**
+     * Transfer control into the fiber. Must not be called from inside any
+     * fiber other than the scheduler context, and not on a finished fiber.
+     */
+    void resume();
+
+    /** True once the fiber body has returned. */
+    bool finished() const { return finished_; }
+
+    /**
+     * Yield from inside the currently running fiber back to its resumer.
+     * Must be called on a fiber's stack.
+     */
+    static void yield();
+
+    /** The fiber currently executing, or nullptr on the scheduler stack. */
+    static Fiber* current();
+
+  private:
+    static void trampoline(unsigned hi, unsigned lo);
+    void run();
+
+    std::function<void()> body_;
+    std::unique_ptr<char[]> stack_;
+    ucontext_t context_;
+    ucontext_t returnContext_;
+    bool started_ = false;
+    bool finished_ = false;
+};
+
+} // namespace sim
+} // namespace plus
+
+#endif // PLUS_SIM_FIBER_HPP_

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The beam-search workload of Section 3.4: a layered HMM-style graph is
+ * searched layer by layer; each worker dequeues a state, locks each
+ * successor, relaxes its (score, backpointer) pair, and enqueues newly
+ * reached states for the next layer. The inner loop is fine-grained and
+ * synchronization-heavy — about 70 RISC instructions and ~10 shared
+ * references — which is exactly the regime where PLUS's delayed
+ * operations and the context-switching alternative diverge
+ * (Figure 3-1).
+ *
+ * The score and backpointer of a state are two separate words, so their
+ * joint update *requires* a per-state lock (a single min-xchng cannot
+ * update both); locks are held one at a time, keeping the protocol
+ * deadlock-free.
+ *
+ * Latency-hiding variants:
+ *  - Blocking: every interlocked operation waits for its result.
+ *  - Delayed: the dequeue of the next state is issued while the current
+ *    state is processed, and each successor's lock acquisition is
+ *    issued while the edge data is read (software pipelining via two
+ *    macros, as in the paper).
+ *  - ContextSwitch: blocking code, several threads per processor, and
+ *    the processor pays the configured switch cost whenever a thread
+ *    blocks on a synchronization result.
+ */
+
+#ifndef PLUS_WORKLOADS_BEAM_HPP_
+#define PLUS_WORKLOADS_BEAM_HPP_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/machine.hpp"
+#include "workloads/graph.hpp"
+
+namespace plus {
+namespace workloads {
+
+/** Parameters of one beam-search run. */
+struct BeamConfig {
+    std::uint32_t layers = 24;
+    std::uint32_t width = 96;
+    double avgDegree = 3.0;
+    std::uint32_t maxWeight = 50;
+    std::uint64_t seed = 1;
+
+    /**
+     * Beam pruning margin: a successor is expanded only if its score is
+     * within this margin of the layer's best score so far. kInfDist
+     * disables pruning (exact search; used by the correctness tests).
+     */
+    std::uint32_t beamMargin = kInfDist;
+
+    /** Threads per processor (ContextSwitch mode hosts several). */
+    unsigned threadsPerProcessor = 1;
+
+    /** Instruction-stream estimate for the inner loop (~70 RISC instr). */
+    Cycles computePerState = 70;
+    Cycles computePerEdge = 12;
+};
+
+/** Outcome of one run. */
+struct BeamResult {
+    bool correct = false; ///< final-layer scores match the reference
+    Cycles elapsed = 0;
+    std::uint64_t expansions = 0; ///< states processed
+    core::MachineReport report;
+};
+
+/**
+ * Host-side exact reference: best path cost to every state of the last
+ * layer (layer-synchronous relaxation without pruning).
+ */
+std::vector<std::uint32_t> beamReference(const Graph& graph,
+                                         std::uint32_t layers,
+                                         std::uint32_t width);
+
+/**
+ * Run beam search on @p machine (freshly constructed). One worker
+ * thread per processor, times cfg.threadsPerProcessor.
+ */
+BeamResult runBeam(core::Machine& machine, const Graph& graph,
+                   const BeamConfig& cfg);
+
+/** Convenience: generate the layered graph from the config and run. */
+BeamResult runBeam(core::Machine& machine, const BeamConfig& cfg);
+
+} // namespace workloads
+} // namespace plus
+
+#endif // PLUS_WORKLOADS_BEAM_HPP_

@@ -1,0 +1,160 @@
+#include "workloads/graph.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace plus {
+namespace workloads {
+
+Graph
+makeRandomGraph(std::uint32_t vertices, double avg_degree,
+                std::uint32_t max_weight, Xoshiro256& rng)
+{
+    PLUS_ASSERT(vertices >= 2, "graph needs at least two vertices");
+    PLUS_ASSERT(max_weight >= 1, "weights start at 1");
+    Graph g(vertices);
+    for (std::uint32_t v = 0; v < vertices; ++v) {
+        // Connectivity chain (v -> v+1) with a light weight.
+        std::vector<Graph::Edge> out;
+        if (v + 1 < vertices) {
+            out.push_back(
+                {v + 1,
+                 static_cast<std::uint32_t>(rng.range(1, max_weight))});
+        }
+        const auto extra = static_cast<std::uint32_t>(
+            rng.below(static_cast<std::uint64_t>(2 * avg_degree)));
+        for (std::uint32_t i = 0; i < extra; ++i) {
+            auto to = static_cast<std::uint32_t>(rng.below(vertices));
+            if (to == v) {
+                continue;
+            }
+            out.push_back(
+                {to,
+                 static_cast<std::uint32_t>(rng.range(1, max_weight))});
+        }
+        std::sort(out.begin(), out.end(),
+                  [](const Graph::Edge& a, const Graph::Edge& b) {
+                      return a.to < b.to;
+                  });
+        for (const auto& e : out) {
+            g.addEdge(v, e.to, e.weight);
+        }
+    }
+    g.seal();
+    return g;
+}
+
+Graph
+makeGridGraph(std::uint32_t width, std::uint32_t height,
+              std::uint32_t max_weight, double shortcut_frac,
+              Xoshiro256& rng)
+{
+    PLUS_ASSERT(width >= 2 && height >= 2, "degenerate grid");
+    const std::uint32_t n = width * height;
+    Graph g(n);
+    for (std::uint32_t v = 0; v < n; ++v) {
+        const std::uint32_t x = v % width;
+        const std::uint32_t y = v / width;
+        std::vector<Graph::Edge> out;
+        auto link = [&](std::uint32_t to) {
+            out.push_back(
+                {to,
+                 static_cast<std::uint32_t>(rng.range(1, max_weight))});
+        };
+        if (x + 1 < width) {
+            link(v + 1);
+        }
+        if (x > 0) {
+            link(v - 1);
+        }
+        if (y + 1 < height) {
+            link(v + width);
+        }
+        if (y > 0) {
+            link(v - width);
+        }
+        if (rng.chance(shortcut_frac)) {
+            const auto to = static_cast<std::uint32_t>(rng.below(n));
+            if (to != v) {
+                link(to);
+            }
+        }
+        std::sort(out.begin(), out.end(),
+                  [](const Graph::Edge& a, const Graph::Edge& b) {
+                      return a.to < b.to;
+                  });
+        for (const auto& e : out) {
+            g.addEdge(v, e.to, e.weight);
+        }
+    }
+    g.seal();
+    return g;
+}
+
+Graph
+makeLayeredGraph(std::uint32_t layers, std::uint32_t width,
+                 double avg_degree, std::uint32_t max_weight,
+                 Xoshiro256& rng)
+{
+    PLUS_ASSERT(layers >= 2 && width >= 1, "degenerate layered graph");
+    Graph g(layers * width);
+    for (std::uint32_t l = 0; l + 1 < layers; ++l) {
+        for (std::uint32_t s = 0; s < width; ++s) {
+            const std::uint32_t v = l * width + s;
+            std::vector<Graph::Edge> out;
+            // Self-transition-style edge to the same state index keeps
+            // every state reachable.
+            out.push_back(
+                {(l + 1) * width + s,
+                 static_cast<std::uint32_t>(rng.range(1, max_weight))});
+            const auto extra = static_cast<std::uint32_t>(
+                rng.below(static_cast<std::uint64_t>(2 * avg_degree)));
+            for (std::uint32_t i = 0; i < extra; ++i) {
+                const auto t =
+                    static_cast<std::uint32_t>(rng.below(width));
+                out.push_back(
+                    {(l + 1) * width + t,
+                     static_cast<std::uint32_t>(
+                         rng.range(1, max_weight))});
+            }
+            std::sort(out.begin(), out.end(),
+                      [](const Graph::Edge& a, const Graph::Edge& b) {
+                          return a.to < b.to;
+                      });
+            for (const auto& e : out) {
+                g.addEdge(v, e.to, e.weight);
+            }
+        }
+    }
+    g.seal();
+    return g;
+}
+
+std::vector<std::uint32_t>
+dijkstra(const Graph& graph, std::uint32_t source)
+{
+    std::vector<std::uint32_t> dist(graph.vertices(), kInfDist);
+    using Item = std::pair<std::uint32_t, std::uint32_t>; // (dist, vertex)
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+    dist[source] = 0;
+    pq.push({0, source});
+    while (!pq.empty()) {
+        const auto [d, v] = pq.top();
+        pq.pop();
+        if (d != dist[v]) {
+            continue;
+        }
+        const auto [first, last] = graph.outEdges(v);
+        for (const Graph::Edge* e = first; e != last; ++e) {
+            const std::uint32_t nd = d + e->weight;
+            if (nd < dist[e->to]) {
+                dist[e->to] = nd;
+                pq.push({nd, e->to});
+            }
+        }
+    }
+    return dist;
+}
+
+} // namespace workloads
+} // namespace plus

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Host-side graph structures and generators for the paper's workloads:
+ * weighted digraphs for the single-point shortest-path problem
+ * (Section 2.5) and layered HMM-style graphs for beam search
+ * (Section 3.4).
+ */
+
+#ifndef PLUS_WORKLOADS_GRAPH_HPP_
+#define PLUS_WORKLOADS_GRAPH_HPP_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace plus {
+namespace workloads {
+
+/** Compressed-sparse-row weighted digraph. */
+class Graph
+{
+  public:
+    struct Edge {
+        std::uint32_t to;
+        std::uint32_t weight;
+    };
+
+    explicit Graph(std::uint32_t vertices) : rowPtr_(vertices + 1, 0) {}
+
+    std::uint32_t vertices() const
+    {
+        return static_cast<std::uint32_t>(rowPtr_.size() - 1);
+    }
+    std::size_t edges() const { return edges_.size(); }
+
+    /** Add edges grouped by source, in ascending source order. */
+    void
+    addEdge(std::uint32_t from, std::uint32_t to, std::uint32_t weight)
+    {
+        PLUS_ASSERT(from < vertices() && to < vertices(),
+                    "edge endpoint out of range");
+        PLUS_ASSERT(building_ <= from,
+                    "edges must be added in source order");
+        while (building_ < from) {
+            rowPtr_[++building_] = edges_.size();
+        }
+        edges_.push_back(Edge{to, weight});
+    }
+
+    /** Finish construction; no more edges may be added. */
+    void
+    seal()
+    {
+        while (building_ < vertices()) {
+            rowPtr_[++building_] = edges_.size();
+        }
+    }
+
+    /** Out-edges of @p v. */
+    std::pair<const Edge*, const Edge*>
+    outEdges(std::uint32_t v) const
+    {
+        PLUS_ASSERT(v < vertices(), "vertex out of range");
+        return {edges_.data() + rowPtr_[v],
+                edges_.data() + rowPtr_[v + 1]};
+    }
+
+    std::uint32_t
+    outDegree(std::uint32_t v) const
+    {
+        return static_cast<std::uint32_t>(rowPtr_[v + 1] - rowPtr_[v]);
+    }
+
+  private:
+    std::vector<std::size_t> rowPtr_;
+    std::vector<Edge> edges_;
+    std::uint32_t building_ = 0;
+};
+
+/**
+ * Random weighted digraph: each vertex gets ~@p avg_degree out-edges to
+ * uniform targets with weights in [1, max_weight]. A Hamiltonian-ish
+ * chain of light edges is threaded through so the graph is connected
+ * from vertex 0.
+ */
+Graph makeRandomGraph(std::uint32_t vertices, double avg_degree,
+                      std::uint32_t max_weight, Xoshiro256& rng);
+
+/**
+ * Grid graph with spatial locality: a @p width x @p height 4-neighbour
+ * grid (row-major vertex ids, so a block partition keeps most edges
+ * node-local) plus a fraction @p shortcut_frac of random long-range
+ * edges. This is the kind of graph shortest-path workloads of the era
+ * ran on (road networks, meshes).
+ */
+Graph makeGridGraph(std::uint32_t width, std::uint32_t height,
+                    std::uint32_t max_weight, double shortcut_frac,
+                    Xoshiro256& rng);
+
+/**
+ * Layered graph standing in for a Hidden-Markov-Model search space:
+ * @p layers layers of @p width states; each state has edges to
+ * ~@p avg_degree states of the next layer with additive arc costs in
+ * [1, max_weight]. Vertex numbering is layer-major: layer l state s is
+ * vertex l*width+s.
+ */
+Graph makeLayeredGraph(std::uint32_t layers, std::uint32_t width,
+                       double avg_degree, std::uint32_t max_weight,
+                       Xoshiro256& rng);
+
+/** Exact single-source shortest paths (Dijkstra), host-side reference. */
+std::vector<std::uint32_t> dijkstra(const Graph& graph,
+                                    std::uint32_t source);
+
+/** Distance value standing for "unreached" (31-bit payload maximum). */
+inline constexpr std::uint32_t kInfDist = 0x7fffffffu;
+
+} // namespace workloads
+} // namespace plus
+
+#endif // PLUS_WORKLOADS_GRAPH_HPP_

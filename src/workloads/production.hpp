@@ -1,0 +1,89 @@
+/**
+ * @file
+ * A forward-chaining production-system workload. The paper's evaluation
+ * used "a production system application" (Section 2.5) alongside the
+ * shortest-path and speech programs; no numbers are published for it,
+ * but it completes the workload suite and exercises a different access
+ * mix: read-heavy rule matching against a shared working memory, with
+ * interlocked fact assertion.
+ *
+ * Model (OPS5-style forward chaining, simplified to two-antecedent
+ * rules): working memory is a set of facts; each rule `a & b -> c`
+ * fires once when both antecedents are present, asserting its
+ * consequent. Workers propagate newly asserted facts through a
+ * distributed work queue until fixpoint. The host-side reference
+ * computes the exact closure.
+ */
+
+#ifndef PLUS_WORKLOADS_PRODUCTION_HPP_
+#define PLUS_WORKLOADS_PRODUCTION_HPP_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/machine.hpp"
+
+namespace plus {
+namespace workloads {
+
+/** A two-antecedent production rule. */
+struct Rule {
+    std::uint32_t a;
+    std::uint32_t b;
+    std::uint32_t c;
+};
+
+/** Generated rule base plus initial working memory. */
+struct RuleBase {
+    std::uint32_t facts = 0;
+    std::vector<Rule> rules;
+    std::vector<std::uint32_t> initialFacts;
+};
+
+/**
+ * Random rule base whose closure reaches a healthy fraction of the
+ * fact space (chains are threaded through so firing cascades).
+ */
+RuleBase makeRuleBase(std::uint32_t facts, std::uint32_t rules,
+                      std::uint32_t initial, Xoshiro256& rng);
+
+/** Host-side exact fixpoint: which facts end up asserted. */
+std::vector<bool> closure(const RuleBase& base);
+
+/** Parameters of one run. */
+struct ProductionConfig {
+    std::uint32_t facts = 1024;
+    std::uint32_t rules = 3072;
+    std::uint32_t initialFacts = 12;
+    std::uint64_t seed = 1;
+
+    /** Copies of the rule/index pages (read-mostly; prime targets). */
+    unsigned replication = 1;
+
+    /** Instruction-stream estimate per attempted match. */
+    Cycles computePerMatch = 24;
+};
+
+/** Outcome of one run. */
+struct ProductionResult {
+    bool correct = false; ///< asserted facts equal the exact closure
+    Cycles elapsed = 0;
+    std::uint64_t matches = 0; ///< antecedent tests performed
+    std::uint64_t firings = 0; ///< rules fired
+    core::MachineReport report;
+};
+
+/** Build the shared image, run one worker per node, verify. */
+ProductionResult runProduction(core::Machine& machine,
+                               const RuleBase& base,
+                               const ProductionConfig& cfg);
+
+/** Convenience: generate the rule base from the config and run. */
+ProductionResult runProduction(core::Machine& machine,
+                               const ProductionConfig& cfg);
+
+} // namespace workloads
+} // namespace plus
+
+#endif // PLUS_WORKLOADS_PRODUCTION_HPP_

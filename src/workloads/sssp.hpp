@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The Single Point Shortest Path workload of Section 2.5.
+ *
+ * "Both sequential and concurrent algorithms for this problem work by
+ * propagating the distance cost from one vertex and updating it until no
+ * more updates are possible." The parallel implementation follows the
+ * paper's design:
+ *
+ *  - vertices are evenly distributed among the nodes (block partition);
+ *  - there is one work queue per node (a single queue serializes on
+ *    queue bandwidth);
+ *  - when its own queue is empty a processor extracts work from other
+ *    queues, in mesh-distance order, for load balance;
+ *  - distance relaxation uses the min-xchng interlocked operation;
+ *  - at replication level k, each node's vertex-data pages (distances
+ *    and adjacency) and queue pages are replicated onto its k-1 nearest
+ *    peers, which converts most of the reads a stealing processor makes
+ *    into local reads — the effect Table 2-1 quantifies.
+ *
+ * Termination uses a global outstanding-work counter updated with
+ * fetch-and-add.
+ */
+
+#ifndef PLUS_WORKLOADS_SSSP_HPP_
+#define PLUS_WORKLOADS_SSSP_HPP_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/machine.hpp"
+#include "core/workq.hpp"
+#include "workloads/graph.hpp"
+
+namespace plus {
+namespace workloads {
+
+/** Input graph family. */
+enum class SsspGraphKind {
+    Random, ///< uniform random targets: no spatial locality
+    Grid,   ///< 4-neighbour grid + shortcuts: block-partition locality
+};
+
+/** Parameters of one shortest-path run. */
+struct SsspConfig {
+    std::uint32_t vertices = 2048;
+    SsspGraphKind kind = SsspGraphKind::Random;
+    double avgDegree = 4.0;       ///< Random kind only
+    double shortcutFrac = 0.05;   ///< Grid kind only
+    std::uint32_t maxWeight = 100;
+    std::uint32_t source = 0;
+    std::uint64_t seed = 1;
+
+    /** Total copies of each data/queue page (1 = no replication). */
+    unsigned replication = 1;
+
+    /** Instruction-stream estimate per dequeued vertex. */
+    Cycles computePerVertex = 40;
+    /** Instruction-stream estimate per relaxed edge. */
+    Cycles computePerEdge = 16;
+};
+
+/** Outcome of one run. */
+struct SsspResult {
+    bool correct = false;          ///< distances match Dijkstra
+    Cycles elapsed = 0;            ///< simulated cycles
+    std::uint64_t relaxations = 0; ///< min-xchng operations performed
+    core::MachineReport report;
+};
+
+/**
+ * Build the shared-memory image of @p graph in @p machine, run one
+ * worker thread per node, and verify the result against Dijkstra.
+ * The machine must be freshly constructed.
+ */
+SsspResult runSssp(core::Machine& machine, const Graph& graph,
+                   const SsspConfig& cfg);
+
+/** Convenience: construct the graph from the config and run. */
+SsspResult runSssp(core::Machine& machine, const SsspConfig& cfg);
+
+} // namespace workloads
+} // namespace plus
+
+#endif // PLUS_WORKLOADS_SSSP_HPP_

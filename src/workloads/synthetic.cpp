@@ -1,0 +1,187 @@
+#include "workloads/synthetic.hpp"
+
+#include <vector>
+
+#include "common/panic.hpp"
+#include "common/rng.hpp"
+#include "core/context.hpp"
+
+namespace plus {
+namespace workloads {
+
+namespace {
+
+using core::Context;
+using core::Machine;
+
+/** Per-node page grid shared by the patterns. */
+std::vector<Addr>
+allocPages(Machine& machine, unsigned pages_per_node)
+{
+    std::vector<Addr> pages;
+    for (NodeId n = 0; n < machine.nodeCount(); ++n) {
+        for (unsigned p = 0; p < pages_per_node; ++p) {
+            pages.push_back(machine.alloc(kPageBytes, n));
+        }
+    }
+    return pages;
+}
+
+void
+runUniform(Machine& machine, const SyntheticConfig& cfg,
+           const std::vector<Addr>& pages)
+{
+    for (NodeId n = 0; n < machine.nodeCount(); ++n) {
+        machine.spawn(n, [&pages, cfg, n](Context& ctx) {
+            Xoshiro256 rng(cfg.seed * 977 + n);
+            for (unsigned i = 0; i < cfg.opsPerNode; ++i) {
+                const Addr addr =
+                    pages[rng.below(pages.size())] + 4 * rng.below(64);
+                if (rng.chance(cfg.writeFraction)) {
+                    ctx.write(addr, static_cast<Word>(rng()));
+                } else {
+                    ctx.read(addr);
+                }
+                ctx.compute(cfg.computeBetween);
+            }
+            ctx.fence();
+        });
+    }
+}
+
+void
+runHotspot(Machine& machine, const SyntheticConfig& cfg,
+           const std::vector<Addr>& pages)
+{
+    // All traffic goes to the hot node's first page.
+    const Addr hot = pages[cfg.hotNode * cfg.pagesPerNode];
+    for (NodeId n = 0; n < machine.nodeCount(); ++n) {
+        machine.spawn(n, [hot, cfg, n](Context& ctx) {
+            Xoshiro256 rng(cfg.seed * 977 + n);
+            for (unsigned i = 0; i < cfg.opsPerNode; ++i) {
+                const Addr addr = hot + 4 * rng.below(256);
+                if (rng.chance(cfg.writeFraction)) {
+                    ctx.write(addr, static_cast<Word>(rng()));
+                } else {
+                    ctx.read(addr);
+                }
+                ctx.compute(cfg.computeBetween);
+            }
+            ctx.fence();
+        });
+    }
+}
+
+void
+runUpdateFlood(Machine& machine, const SyntheticConfig& cfg,
+               const std::vector<Addr>& pages)
+{
+    // Replicate each node's pages onto its successors, then write hard.
+    const unsigned nodes = machine.nodeCount();
+    for (NodeId n = 0; n < nodes; ++n) {
+        for (unsigned p = 0; p < cfg.pagesPerNode; ++p) {
+            const Addr page = pages[n * cfg.pagesPerNode + p];
+            for (unsigned c = 1; c < cfg.replication; ++c) {
+                machine.replicate(page, (n + c) % nodes);
+            }
+        }
+    }
+    machine.settle();
+    for (NodeId n = 0; n < nodes; ++n) {
+        const Addr own = pages[n * cfg.pagesPerNode];
+        machine.spawn(n, [own, cfg](Context& ctx) {
+            for (unsigned i = 0; i < cfg.opsPerNode; ++i) {
+                ctx.write(own + 4 * (i % 64), i);
+                ctx.compute(cfg.computeBetween);
+            }
+            ctx.fence();
+        });
+    }
+}
+
+void
+runProducerConsumer(Machine& machine, const SyntheticConfig& cfg,
+                    const std::vector<Addr>& pages, bool* correct)
+{
+    // Node n streams batches to node (n+1) mod N through its own page:
+    // words 1..8 are data, word 0 is the batch flag (Section 2.1 idiom).
+    const unsigned nodes = machine.nodeCount();
+    PLUS_ASSERT(nodes >= 2, "producer/consumer needs two nodes");
+    const unsigned batches = cfg.opsPerNode;
+    for (NodeId n = 0; n < nodes; ++n) {
+        const Addr out = pages[n * cfg.pagesPerNode];
+        const Addr in = pages[((n + nodes - 1) % nodes) *
+                              cfg.pagesPerNode];
+        machine.spawn(n, [out, in, batches, cfg, n, correct](
+                             Context& ctx) {
+            for (unsigned b = 1; b <= batches; ++b) {
+                // Produce batch b.
+                for (Word w = 1; w <= 8; ++w) {
+                    ctx.write(out + 4 * w, b * 10 + w);
+                }
+                ctx.fence();
+                ctx.write(out, b); // flag: batch b ready
+                // Consume batch b from the predecessor.
+                while (ctx.read(in) < b) {
+                    ctx.pause(cfg.computeBetween);
+                }
+                for (Word w = 1; w <= 8; ++w) {
+                    if (ctx.read(in + 4 * w) != b * 10 + w) {
+                        *correct = false;
+                    }
+                }
+                ctx.compute(cfg.computeBetween);
+            }
+        });
+    }
+}
+
+} // namespace
+
+const char*
+toString(SyntheticPattern pattern)
+{
+    switch (pattern) {
+      case SyntheticPattern::Uniform: return "uniform";
+      case SyntheticPattern::Hotspot: return "hotspot";
+      case SyntheticPattern::UpdateFlood: return "update-flood";
+      case SyntheticPattern::ProducerConsumer: return "producer-consumer";
+      default: return "?";
+    }
+}
+
+SyntheticResult
+runSynthetic(core::Machine& machine, const SyntheticConfig& cfg)
+{
+    SyntheticResult result;
+    const std::vector<Addr> pages =
+        allocPages(machine, std::max(1u, cfg.pagesPerNode));
+
+    switch (cfg.pattern) {
+      case SyntheticPattern::Uniform:
+        runUniform(machine, cfg, pages);
+        break;
+      case SyntheticPattern::Hotspot:
+        runHotspot(machine, cfg, pages);
+        break;
+      case SyntheticPattern::UpdateFlood:
+        runUpdateFlood(machine, cfg, pages);
+        break;
+      case SyntheticPattern::ProducerConsumer:
+        runProducerConsumer(machine, cfg, pages, &result.correct);
+        break;
+      default:
+        PLUS_PANIC("unknown synthetic pattern");
+    }
+
+    const Cycles start = machine.now();
+    const core::MachineReport baseline = machine.report();
+    machine.run();
+    result.elapsed = machine.now() - start;
+    result.report = machine.report() - baseline;
+    result.meanQueueing = machine.network().stats().queueing.mean();
+    return result;
+}
+
+} // namespace workloads
+} // namespace plus

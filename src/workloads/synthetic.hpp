@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Synthetic loads ("we also carried out some experiments with synthetic
+ * loads", Section 2.5): parameterized traffic patterns for stressing
+ * the memory system and network independently of any algorithm.
+ *
+ *  - Uniform: every node reads/writes uniformly random pages.
+ *  - Hotspot: all nodes hammer one node's pages (classic hot module).
+ *  - UpdateFlood: every node writes its own pages, which are replicated
+ *    k ways — the pattern behind Section 2.5's warning that
+ *    "uncontrolled replication can result in the system getting flooded
+ *    with update requests".
+ *  - ProducerConsumer: pairwise streams through data+flag pages using
+ *    the fence idiom of Section 2.1.
+ */
+
+#ifndef PLUS_WORKLOADS_SYNTHETIC_HPP_
+#define PLUS_WORKLOADS_SYNTHETIC_HPP_
+
+#include <cstdint>
+
+#include "core/machine.hpp"
+
+namespace plus {
+namespace workloads {
+
+/** Traffic pattern selector. */
+enum class SyntheticPattern {
+    Uniform,
+    Hotspot,
+    UpdateFlood,
+    ProducerConsumer,
+};
+
+const char* toString(SyntheticPattern pattern);
+
+/** Parameters of one synthetic run. */
+struct SyntheticConfig {
+    SyntheticPattern pattern = SyntheticPattern::Uniform;
+    /** Operations each node performs. */
+    unsigned opsPerNode = 200;
+    /** Fraction of operations that are writes (Uniform/Hotspot). */
+    double writeFraction = 0.3;
+    /** Computation between operations. */
+    Cycles computeBetween = 10;
+    /** Pages per node (Uniform/UpdateFlood). */
+    unsigned pagesPerNode = 1;
+    /** Copies per page (UpdateFlood). */
+    unsigned replication = 1;
+    /** Hot node (Hotspot). */
+    NodeId hotNode = 0;
+    std::uint64_t seed = 1;
+};
+
+/** Outcome of one synthetic run. */
+struct SyntheticResult {
+    Cycles elapsed = 0;
+    core::MachineReport report;
+    /** Mean network queueing per packet, cycles (contention signal). */
+    double meanQueueing = 0.0;
+    /** Data integrity check for ProducerConsumer (always true else). */
+    bool correct = true;
+};
+
+/** Run the configured pattern on a freshly constructed machine. */
+SyntheticResult runSynthetic(core::Machine& machine,
+                             const SyntheticConfig& cfg);
+
+} // namespace workloads
+} // namespace plus
+
+#endif // PLUS_WORKLOADS_SYNTHETIC_HPP_

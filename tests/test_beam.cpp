@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Correctness tests for the beam-search workload across the three
+ * latency-hiding variants of Figure 3-1 (blocking, delayed operations,
+ * context switching).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/machine.hpp"
+#include "workloads/beam.hpp"
+
+namespace plus {
+namespace workloads {
+namespace {
+
+MachineConfig
+cfgFor(unsigned nodes, ProcessorMode mode,
+       Cycles ctx_switch = 40)
+{
+    MachineConfig cfg;
+    cfg.nodes = nodes;
+    cfg.framesPerNode = 512;
+    cfg.mode = mode;
+    cfg.cost.ctxSwitchCycles = ctx_switch;
+    return cfg;
+}
+
+BeamConfig
+smallBeam()
+{
+    BeamConfig cfg;
+    cfg.layers = 10;
+    cfg.width = 32;
+    cfg.avgDegree = 2.5;
+    cfg.seed = 5;
+    return cfg;
+}
+
+TEST(Beam, ReferenceOnTinyGraph)
+{
+    // Two layers of two states: 0 -> {2, 3}.
+    Graph g(4);
+    g.addEdge(0, 2, 4);
+    g.addEdge(0, 3, 9);
+    g.seal();
+    const auto ref = beamReference(g, 2, 2);
+    ASSERT_EQ(ref.size(), 2u);
+    EXPECT_EQ(ref[0], 4u);
+    EXPECT_EQ(ref[1], 9u);
+}
+
+TEST(Beam, SingleNodeBlockingMatchesReference)
+{
+    core::Machine m(cfgFor(1, ProcessorMode::Blocking));
+    EXPECT_TRUE(runBeam(m, smallBeam()).correct);
+}
+
+TEST(Beam, FourNodesDelayedMatchesReference)
+{
+    core::Machine m(cfgFor(4, ProcessorMode::Delayed));
+    EXPECT_TRUE(runBeam(m, smallBeam()).correct);
+}
+
+TEST(Beam, ContextSwitchModeMatchesReference)
+{
+    core::Machine m(cfgFor(4, ProcessorMode::ContextSwitch, 40));
+    BeamConfig cfg = smallBeam();
+    cfg.threadsPerProcessor = 3;
+    EXPECT_TRUE(runBeam(m, cfg).correct);
+}
+
+struct BeamParam {
+    unsigned nodes;
+    ProcessorMode mode;
+    unsigned threads;
+};
+
+class BeamSweep : public ::testing::TestWithParam<BeamParam>
+{
+};
+
+TEST_P(BeamSweep, MatchesReference)
+{
+    const BeamParam p = GetParam();
+    core::Machine m(cfgFor(p.nodes, p.mode));
+    BeamConfig cfg = smallBeam();
+    cfg.threadsPerProcessor = p.threads;
+    const BeamResult r = runBeam(m, cfg);
+    EXPECT_TRUE(r.correct);
+    EXPECT_GT(r.expansions, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModesAndNodes, BeamSweep,
+    ::testing::Values(
+        BeamParam{1, ProcessorMode::Blocking, 1},
+        BeamParam{2, ProcessorMode::Blocking, 1},
+        BeamParam{8, ProcessorMode::Blocking, 1},
+        BeamParam{1, ProcessorMode::Delayed, 1},
+        BeamParam{2, ProcessorMode::Delayed, 1},
+        BeamParam{8, ProcessorMode::Delayed, 1},
+        BeamParam{2, ProcessorMode::ContextSwitch, 2},
+        BeamParam{4, ProcessorMode::ContextSwitch, 4},
+        BeamParam{8, ProcessorMode::ContextSwitch, 2}),
+    [](const ::testing::TestParamInfo<BeamParam>& info) {
+        return "n" + std::to_string(info.param.nodes) + "_" +
+               std::string(toString(info.param.mode) ==
+                                   std::string("context-switch")
+                               ? "ctx"
+                               : toString(info.param.mode)) +
+               "_t" + std::to_string(info.param.threads);
+    });
+
+TEST(Beam, PrunedSearchStaysSane)
+{
+    core::Machine m(cfgFor(4, ProcessorMode::Delayed));
+    BeamConfig cfg = smallBeam();
+    cfg.beamMargin = 40;
+    const BeamResult r = runBeam(m, cfg);
+    EXPECT_TRUE(r.correct); // no score below the exact optimum
+}
+
+TEST(Beam, DelayedModeBeatsBlockingOnWallClock)
+{
+    // The headline claim of Section 3: hiding synchronization latency
+    // with delayed operations speeds up the sync-heavy inner loop.
+    BeamConfig cfg = smallBeam();
+    cfg.layers = 12;
+    cfg.width = 48;
+
+    core::Machine blocking(cfgFor(8, ProcessorMode::Blocking));
+    const BeamResult rb = runBeam(blocking, cfg);
+
+    core::Machine delayed(cfgFor(8, ProcessorMode::Delayed));
+    const BeamResult rd = runBeam(delayed, cfg);
+
+    ASSERT_TRUE(rb.correct);
+    ASSERT_TRUE(rd.correct);
+    EXPECT_LT(rd.elapsed, rb.elapsed);
+}
+
+class BeamMarginSweep : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(BeamMarginSweep, TighterBeamExpandsFewerStates)
+{
+    // The pruning margin trades work for exactness: every margin must
+    // stay sane (never beat the exact optimum), and the expansion count
+    // must not grow as the beam narrows.
+    core::Machine m(cfgFor(4, ProcessorMode::Delayed));
+    BeamConfig cfg = smallBeam();
+    cfg.beamMargin = GetParam();
+    const BeamResult r = runBeam(m, cfg);
+    EXPECT_TRUE(r.correct);
+}
+
+INSTANTIATE_TEST_SUITE_P(Margins, BeamMarginSweep,
+                         ::testing::Values(10u, 30u, 100u, kInfDist),
+                         [](const ::testing::TestParamInfo<std::uint32_t>&
+                                info) {
+                             return info.param == kInfDist
+                                        ? std::string("exact")
+                                        : "m" + std::to_string(info.param);
+                         });
+
+TEST(Beam, NarrowBeamDoesLessWorkThanExact)
+{
+    BeamConfig cfg = smallBeam();
+    cfg.layers = 12;
+    cfg.width = 64;
+
+    core::Machine exact_m(cfgFor(4, ProcessorMode::Delayed));
+    cfg.beamMargin = kInfDist;
+    const BeamResult exact = runBeam(exact_m, cfg);
+
+    core::Machine pruned_m(cfgFor(4, ProcessorMode::Delayed));
+    cfg.beamMargin = 8;
+    const BeamResult pruned = runBeam(pruned_m, cfg);
+
+    ASSERT_TRUE(exact.correct);
+    ASSERT_TRUE(pruned.correct);
+    EXPECT_LT(pruned.expansions, exact.expansions);
+}
+
+} // namespace
+} // namespace workloads
+} // namespace plus

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Unit tests for the discrete-event engine: ordering, determinism,
+ * cancellation, and time-limit semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/panic.hpp"
+#include "sim/engine.hpp"
+
+namespace plus {
+namespace sim {
+namespace {
+
+TEST(Engine, StartsAtCycleZero)
+{
+    Engine engine;
+    EXPECT_EQ(engine.now(), 0u);
+    EXPECT_EQ(engine.pendingEvents(), 0u);
+}
+
+TEST(Engine, RunsEventsInTimeOrder)
+{
+    Engine engine;
+    std::vector<int> order;
+    engine.schedule(30, [&] { order.push_back(3); });
+    engine.schedule(10, [&] { order.push_back(1); });
+    engine.schedule(20, [&] { order.push_back(2); });
+    engine.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(engine.now(), 30u);
+}
+
+TEST(Engine, TiesBreakInScheduleOrder)
+{
+    Engine engine;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i) {
+        engine.schedule(5, [&order, i] { order.push_back(i); });
+    }
+    engine.run();
+    for (int i = 0; i < 10; ++i) {
+        EXPECT_EQ(order[i], i);
+    }
+}
+
+TEST(Engine, NowAdvancesToEventTime)
+{
+    Engine engine;
+    Cycles seen = 0;
+    engine.schedule(42, [&] { seen = engine.now(); });
+    engine.run();
+    EXPECT_EQ(seen, 42u);
+}
+
+TEST(Engine, EventsCanReschedule)
+{
+    Engine engine;
+    int fired = 0;
+    std::function<void()> tick = [&] {
+        ++fired;
+        if (fired < 5) {
+            engine.schedule(10, tick);
+        }
+    };
+    engine.schedule(10, tick);
+    engine.run();
+    EXPECT_EQ(fired, 5);
+    EXPECT_EQ(engine.now(), 50u);
+}
+
+TEST(Engine, CancelPreventsExecution)
+{
+    Engine engine;
+    bool ran = false;
+    const EventId id = engine.schedule(10, [&] { ran = true; });
+    EXPECT_TRUE(engine.cancel(id));
+    engine.run();
+    EXPECT_FALSE(ran);
+}
+
+TEST(Engine, CancelTwiceReturnsFalse)
+{
+    Engine engine;
+    const EventId id = engine.schedule(10, [] {});
+    EXPECT_TRUE(engine.cancel(id));
+    EXPECT_FALSE(engine.cancel(id));
+}
+
+TEST(Engine, CancelUnknownIdReturnsFalse)
+{
+    Engine engine;
+    EXPECT_FALSE(engine.cancel(kInvalidEvent));
+    EXPECT_FALSE(engine.cancel(9999));
+}
+
+TEST(Engine, RunUntilStopsAtLimit)
+{
+    Engine engine;
+    std::vector<Cycles> fired;
+    engine.schedule(10, [&] { fired.push_back(10); });
+    engine.schedule(20, [&] { fired.push_back(20); });
+    engine.schedule(30, [&] { fired.push_back(30); });
+    engine.runUntil(20);
+    EXPECT_EQ(fired, (std::vector<Cycles>{10, 20}));
+    EXPECT_EQ(engine.now(), 20u);
+    engine.run();
+    EXPECT_EQ(fired.size(), 3u);
+}
+
+TEST(Engine, RunUntilKeepsTimeAtLastEvent)
+{
+    Engine engine;
+    engine.schedule(5, [] {});
+    engine.runUntil(100);
+    EXPECT_EQ(engine.now(), 5u);
+}
+
+TEST(Engine, StopHaltsTheLoop)
+{
+    Engine engine;
+    int fired = 0;
+    engine.schedule(10, [&] {
+        ++fired;
+        engine.stop();
+    });
+    engine.schedule(20, [&] { ++fired; });
+    engine.run();
+    EXPECT_EQ(fired, 1);
+    engine.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(Engine, StepExecutesExactlyOneEvent)
+{
+    Engine engine;
+    int fired = 0;
+    engine.schedule(1, [&] { ++fired; });
+    engine.schedule(2, [&] { ++fired; });
+    EXPECT_TRUE(engine.step());
+    EXPECT_EQ(fired, 1);
+    EXPECT_TRUE(engine.step());
+    EXPECT_EQ(fired, 2);
+    EXPECT_FALSE(engine.step());
+}
+
+TEST(Engine, SchedulingInThePastPanics)
+{
+    Engine engine;
+    engine.schedule(10, [&] {
+        EXPECT_THROW(engine.scheduleAt(5, [] {}), PanicError);
+    });
+    engine.run();
+}
+
+TEST(Engine, CountsExecutedEvents)
+{
+    Engine engine;
+    for (int i = 0; i < 7; ++i) {
+        engine.schedule(i, [] {});
+    }
+    engine.run();
+    EXPECT_EQ(engine.executedEvents(), 7u);
+}
+
+TEST(Engine, PendingExcludesCancelled)
+{
+    Engine engine;
+    engine.schedule(1, [] {});
+    const EventId id = engine.schedule(2, [] {});
+    EXPECT_EQ(engine.pendingEvents(), 2u);
+    engine.cancel(id);
+    EXPECT_EQ(engine.pendingEvents(), 1u);
+}
+
+TEST(Engine, RandomScheduleCancelIsDeterministic)
+{
+    // Property: two engines fed the same pseudo-random schedule/cancel
+    // stream execute the same events at the same times.
+    auto run = [] {
+        sim::Engine engine;
+        std::vector<std::pair<Cycles, int>> log;
+        std::uint64_t state = 12345;
+        auto next = [&state] {
+            state = state * 6364136223846793005ull + 1442695040888963407ull;
+            return state >> 33;
+        };
+        std::vector<EventId> ids;
+        for (int i = 0; i < 200; ++i) {
+            const Cycles delay = next() % 50;
+            ids.push_back(engine.schedule(
+                delay, [&log, &engine, i] {
+                    log.push_back({engine.now(), i});
+                }));
+            if (next() % 4 == 0 && !ids.empty()) {
+                engine.cancel(ids[next() % ids.size()]);
+            }
+        }
+        engine.run();
+        return log;
+    };
+    EXPECT_EQ(run(), run());
+}
+
+} // namespace
+} // namespace sim
+} // namespace plus

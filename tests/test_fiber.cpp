@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Unit tests for the cooperative fibers underlying execution-driven
+ * simulation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/fiber.hpp"
+
+namespace plus {
+namespace sim {
+namespace {
+
+TEST(Fiber, RunsBodyToCompletion)
+{
+    bool ran = false;
+    Fiber fiber([&] { ran = true; }, 64 * 1024);
+    EXPECT_FALSE(fiber.finished());
+    fiber.resume();
+    EXPECT_TRUE(ran);
+    EXPECT_TRUE(fiber.finished());
+}
+
+TEST(Fiber, YieldReturnsToResumer)
+{
+    std::vector<int> order;
+    Fiber fiber([&] {
+        order.push_back(1);
+        Fiber::yield();
+        order.push_back(3);
+    }, 64 * 1024);
+    fiber.resume();
+    order.push_back(2);
+    fiber.resume();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_TRUE(fiber.finished());
+}
+
+TEST(Fiber, ManyYields)
+{
+    int counter = 0;
+    Fiber fiber([&] {
+        for (int i = 0; i < 100; ++i) {
+            ++counter;
+            Fiber::yield();
+        }
+    }, 64 * 1024);
+    for (int i = 0; i < 100; ++i) {
+        fiber.resume();
+        EXPECT_EQ(counter, i + 1);
+    }
+    EXPECT_FALSE(fiber.finished());
+    fiber.resume();
+    EXPECT_TRUE(fiber.finished());
+}
+
+TEST(Fiber, CurrentTracksRunningFiber)
+{
+    EXPECT_EQ(Fiber::current(), nullptr);
+    Fiber* seen = nullptr;
+    Fiber fiber([&] { seen = Fiber::current(); }, 64 * 1024);
+    fiber.resume();
+    EXPECT_EQ(seen, &fiber);
+    EXPECT_EQ(Fiber::current(), nullptr);
+}
+
+TEST(Fiber, InterleavesTwoFibers)
+{
+    std::vector<std::string> log;
+    Fiber a([&] {
+        log.push_back("a1");
+        Fiber::yield();
+        log.push_back("a2");
+    }, 64 * 1024);
+    Fiber b([&] {
+        log.push_back("b1");
+        Fiber::yield();
+        log.push_back("b2");
+    }, 64 * 1024);
+    a.resume();
+    b.resume();
+    a.resume();
+    b.resume();
+    EXPECT_EQ(log,
+              (std::vector<std::string>{"a1", "b1", "a2", "b2"}));
+}
+
+TEST(Fiber, DeepStackUsage)
+{
+    // Recursion must fit comfortably in the configured stack.
+    std::function<int(int)> fib = [&](int n) {
+        return n < 2 ? n : fib(n - 1) + fib(n - 2);
+    };
+    int result = 0;
+    Fiber fiber([&] { result = fib(18); }, 256 * 1024);
+    fiber.resume();
+    EXPECT_EQ(result, 2584);
+}
+
+TEST(Fiber, LocalStateSurvivesYield)
+{
+    int out = 0;
+    Fiber fiber([&] {
+        int local = 11;
+        Fiber::yield();
+        local += 31;
+        Fiber::yield();
+        out = local;
+    }, 64 * 1024);
+    fiber.resume();
+    fiber.resume();
+    fiber.resume();
+    EXPECT_EQ(out, 42);
+}
+
+} // namespace
+} // namespace sim
+} // namespace plus

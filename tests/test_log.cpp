@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Tests of the component-tagged trace logging: per-component gating,
+ * simulated-clock stamping, and stream redirection.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/log.hpp"
+#include "sim/engine.hpp"
+
+namespace plus {
+namespace {
+
+class LogTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        Log::instance().disableAll();
+        Log::instance().setStream(&out_);
+    }
+
+    void
+    TearDown() override
+    {
+        Log::instance().disableAll();
+        Log::instance().setStream(nullptr);
+        Log::instance().setClock(nullptr);
+    }
+
+    std::ostringstream out_;
+};
+
+TEST_F(LogTest, DisabledComponentIsSilent)
+{
+    PLUS_LOG(LogComponent::Proto, "should not appear");
+    EXPECT_TRUE(out_.str().empty());
+}
+
+TEST_F(LogTest, EnabledComponentWrites)
+{
+    Log::instance().enable(LogComponent::Proto);
+    PLUS_LOG(LogComponent::Proto, "hello ", 42);
+    EXPECT_NE(out_.str().find("proto: hello 42"), std::string::npos);
+}
+
+TEST_F(LogTest, ComponentsAreIndependent)
+{
+    Log::instance().enable(LogComponent::Net);
+    PLUS_LOG(LogComponent::Proto, "nope");
+    PLUS_LOG(LogComponent::Net, "yes");
+    const std::string s = out_.str();
+    EXPECT_EQ(s.find("nope"), std::string::npos);
+    EXPECT_NE(s.find("net: yes"), std::string::npos);
+}
+
+TEST_F(LogTest, ClockStampsMessages)
+{
+    sim::Engine engine; // registers itself as the clock
+    Log::instance().setStream(&out_);
+    Log::instance().enable(LogComponent::Engine);
+    engine.schedule(123, [] { PLUS_LOG(LogComponent::Engine, "tick"); });
+    engine.run();
+    EXPECT_NE(out_.str().find("[123] engine: tick"), std::string::npos);
+}
+
+TEST_F(LogTest, EnableAllCoversEveryComponent)
+{
+    Log::instance().enableAll();
+    for (unsigned c = 0;
+         c < static_cast<unsigned>(LogComponent::NumComponents); ++c) {
+        EXPECT_TRUE(
+            Log::instance().isEnabled(static_cast<LogComponent>(c)));
+    }
+}
+
+TEST_F(LogTest, ComponentNamesAreStable)
+{
+    EXPECT_STREQ(logComponentName(LogComponent::Machine), "machine");
+    EXPECT_STREQ(logComponentName(LogComponent::Workload), "workload");
+}
+
+} // namespace
+} // namespace plus

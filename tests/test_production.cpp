@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Correctness tests for the production-system workload: the parallel
+ * forward-chaining closure must equal the host-side exact fixpoint
+ * under every node count, mode and replication level.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/machine.hpp"
+#include "workloads/production.hpp"
+
+namespace plus {
+namespace workloads {
+namespace {
+
+MachineConfig
+cfgFor(unsigned nodes, ProcessorMode mode = ProcessorMode::Delayed)
+{
+    MachineConfig cfg;
+    cfg.nodes = nodes;
+    cfg.framesPerNode = 512;
+    cfg.mode = mode;
+    return cfg;
+}
+
+TEST(Production, ClosureOnTinyRuleBase)
+{
+    RuleBase base;
+    base.facts = 8;
+    base.initialFacts = {0, 1};
+    base.rules = {{0, 1, 2}, {1, 2, 3}, {3, 0, 4}, {5, 6, 7}};
+    const auto present = closure(base);
+    EXPECT_TRUE(present[0] && present[1] && present[2] && present[3] &&
+                present[4]);
+    EXPECT_FALSE(present[5] || present[6] || present[7]);
+}
+
+TEST(Production, RuleBaseCascades)
+{
+    Xoshiro256 rng(3);
+    const RuleBase base = makeRuleBase(512, 1536, 8, rng);
+    const auto present = closure(base);
+    const auto reached = std::accumulate(present.begin(), present.end(),
+                                         std::size_t{0});
+    // A healthy cascade: well beyond the initial facts, below everything.
+    EXPECT_GT(reached, base.initialFacts.size() * 4);
+}
+
+TEST(Production, SingleNodeMatchesClosure)
+{
+    core::Machine m(cfgFor(1));
+    ProductionConfig cfg;
+    cfg.facts = 256;
+    cfg.rules = 768;
+    const ProductionResult r = runProduction(m, cfg);
+    EXPECT_TRUE(r.correct);
+    EXPECT_GT(r.firings, 0u);
+}
+
+struct ProdParam {
+    unsigned nodes;
+    unsigned replication;
+    ProcessorMode mode;
+};
+
+class ProductionSweep : public ::testing::TestWithParam<ProdParam>
+{
+};
+
+TEST_P(ProductionSweep, MatchesClosure)
+{
+    const ProdParam p = GetParam();
+    core::Machine m(cfgFor(p.nodes, p.mode));
+    ProductionConfig cfg;
+    cfg.facts = 256;
+    cfg.rules = 768;
+    cfg.seed = 17;
+    cfg.replication = p.replication;
+    const ProductionResult r = runProduction(m, cfg);
+    EXPECT_TRUE(r.correct);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, ProductionSweep,
+    ::testing::Values(
+        ProdParam{2, 1, ProcessorMode::Delayed},
+        ProdParam{4, 1, ProcessorMode::Delayed},
+        ProdParam{4, 3, ProcessorMode::Delayed},
+        ProdParam{8, 1, ProcessorMode::Delayed},
+        ProdParam{8, 4, ProcessorMode::Delayed},
+        ProdParam{16, 4, ProcessorMode::Delayed},
+        ProdParam{4, 1, ProcessorMode::Blocking},
+        ProdParam{9, 3, ProcessorMode::Delayed}),
+    [](const ::testing::TestParamInfo<ProdParam>& info) {
+        return "n" + std::to_string(info.param.nodes) + "_r" +
+               std::to_string(info.param.replication) +
+               (info.param.mode == ProcessorMode::Blocking ? "_blocking"
+                                                           : "_delayed");
+    });
+
+TEST(Production, MatchesAreReadDominated)
+{
+    // The production system is the read-heavy member of the workload
+    // suite: matches (reads) far outnumber firings (interlocked ops).
+    core::Machine m(cfgFor(8));
+    ProductionConfig cfg;
+    cfg.facts = 256;
+    cfg.rules = 1024;
+    const ProductionResult r = runProduction(m, cfg);
+    ASSERT_TRUE(r.correct);
+    EXPECT_GT(r.matches, r.firings);
+}
+
+} // namespace
+} // namespace workloads
+} // namespace plus

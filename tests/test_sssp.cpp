@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Correctness tests for the parallel shortest-path workload: the PLUS
+ * implementation must compute exactly Dijkstra's distances under every
+ * processor count, replication level, and latency-hiding mode.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+#include "core/machine.hpp"
+#include "workloads/sssp.hpp"
+
+namespace plus {
+namespace workloads {
+namespace {
+
+MachineConfig
+cfgFor(unsigned nodes, ProcessorMode mode = ProcessorMode::Delayed)
+{
+    MachineConfig cfg;
+    cfg.nodes = nodes;
+    cfg.framesPerNode = 512;
+    cfg.mode = mode;
+    return cfg;
+}
+
+TEST(Graph, DijkstraOnKnownGraph)
+{
+    Graph g(4);
+    g.addEdge(0, 1, 5);
+    g.addEdge(0, 2, 2);
+    g.addEdge(1, 3, 1);
+    g.addEdge(2, 1, 1);
+    g.addEdge(2, 3, 7);
+    g.seal();
+    const auto dist = dijkstra(g, 0);
+    EXPECT_EQ(dist[0], 0u);
+    EXPECT_EQ(dist[1], 3u);
+    EXPECT_EQ(dist[2], 2u);
+    EXPECT_EQ(dist[3], 4u);
+}
+
+TEST(Graph, RandomGraphIsConnectedFromSource)
+{
+    Xoshiro256 rng(7);
+    const Graph g = makeRandomGraph(300, 3.0, 50, rng);
+    const auto dist = dijkstra(g, 0);
+    for (std::uint32_t v = 0; v < g.vertices(); ++v) {
+        EXPECT_LT(dist[v], kInfDist) << "vertex " << v << " unreachable";
+    }
+}
+
+TEST(Graph, GeneratorIsDeterministic)
+{
+    Xoshiro256 a(42);
+    Xoshiro256 b(42);
+    const Graph ga = makeRandomGraph(100, 4.0, 30, a);
+    const Graph gb = makeRandomGraph(100, 4.0, 30, b);
+    ASSERT_EQ(ga.edges(), gb.edges());
+    EXPECT_EQ(dijkstra(ga, 0), dijkstra(gb, 0));
+}
+
+TEST(Sssp, SingleNodeMatchesDijkstra)
+{
+    core::Machine m(cfgFor(1));
+    SsspConfig cfg;
+    cfg.vertices = 256;
+    const SsspResult r = runSssp(m, cfg);
+    EXPECT_TRUE(r.correct);
+    EXPECT_GT(r.elapsed, 0u);
+}
+
+TEST(Sssp, FourNodesMatchesDijkstra)
+{
+    core::Machine m(cfgFor(4));
+    SsspConfig cfg;
+    cfg.vertices = 256;
+    const SsspResult r = runSssp(m, cfg);
+    EXPECT_TRUE(r.correct);
+}
+
+TEST(Sssp, BlockingModeMatches)
+{
+    core::Machine m(cfgFor(4, ProcessorMode::Blocking));
+    SsspConfig cfg;
+    cfg.vertices = 256;
+    EXPECT_TRUE(runSssp(m, cfg).correct);
+}
+
+struct SsspParam {
+    unsigned nodes;
+    unsigned replication;
+};
+
+class SsspSweep : public ::testing::TestWithParam<SsspParam>
+{
+};
+
+TEST_P(SsspSweep, MatchesDijkstra)
+{
+    const SsspParam p = GetParam();
+    core::Machine m(cfgFor(p.nodes));
+    SsspConfig cfg;
+    cfg.vertices = 512;
+    cfg.replication = p.replication;
+    cfg.seed = 3;
+    const SsspResult r = runSssp(m, cfg);
+    EXPECT_TRUE(r.correct);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    NodesAndReplication, SsspSweep,
+    ::testing::Values(SsspParam{1, 1}, SsspParam{2, 1}, SsspParam{2, 2},
+                      SsspParam{4, 1}, SsspParam{4, 2}, SsspParam{4, 4},
+                      SsspParam{8, 1}, SsspParam{8, 3}, SsspParam{16, 1},
+                      SsspParam{16, 5}),
+    [](const ::testing::TestParamInfo<SsspParam>& info) {
+        return "n" + std::to_string(info.param.nodes) + "_r" +
+               std::to_string(info.param.replication);
+    });
+
+TEST(Sssp, ReplicationRaisesLocalReadRatio)
+{
+    // The Table 2-1 trend: more copies => relatively more local reads.
+    SsspConfig cfg;
+    cfg.vertices = 512;
+    cfg.seed = 11;
+
+    core::Machine m1(cfgFor(8));
+    cfg.replication = 1;
+    const SsspResult r1 = runSssp(m1, cfg);
+
+    core::Machine m4(cfgFor(8));
+    cfg.replication = 4;
+    const SsspResult r4 = runSssp(m4, cfg);
+
+    ASSERT_TRUE(r1.correct);
+    ASSERT_TRUE(r4.correct);
+    const double ratio1 = safeRatio(
+        static_cast<double>(r1.report.localReads),
+        static_cast<double>(r1.report.remoteReads));
+    const double ratio4 = safeRatio(
+        static_cast<double>(r4.report.localReads),
+        static_cast<double>(r4.report.remoteReads));
+    EXPECT_GT(ratio4, ratio1);
+    // And more update messages flow.
+    EXPECT_GT(r4.report.updateMessages, r1.report.updateMessages);
+}
+
+TEST(Sssp, FullReplicationStaysCorrect)
+{
+    // Regression: with every page replicated on every node, the popped
+    // vertex's distance must be read at the master (delayed-read); a
+    // replica read can be stale and silently lose propagation.
+    core::Machine m(cfgFor(16));
+    SsspConfig cfg;
+    cfg.vertices = 512;
+    cfg.kind = SsspGraphKind::Grid;
+    cfg.replication = 16;
+    cfg.seed = 9;
+    EXPECT_TRUE(runSssp(m, cfg).correct);
+}
+
+} // namespace
+} // namespace workloads
+} // namespace plus

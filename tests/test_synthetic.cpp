@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Tests of the synthetic traffic patterns: they must complete, keep
+ * their invariants (producer/consumer data integrity), and stress what
+ * they claim to stress (hotspot concentrates traffic; update flooding
+ * multiplies update messages with replication).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/machine.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace plus {
+namespace workloads {
+namespace {
+
+MachineConfig
+cfgFor(unsigned nodes, bool ideal = false)
+{
+    MachineConfig cfg;
+    cfg.nodes = nodes;
+    cfg.framesPerNode = 64;
+    cfg.network.ideal = ideal;
+    return cfg;
+}
+
+TEST(Synthetic, UniformCompletes)
+{
+    core::Machine m(cfgFor(8));
+    SyntheticConfig cfg;
+    cfg.pattern = SyntheticPattern::Uniform;
+    cfg.opsPerNode = 100;
+    const SyntheticResult r = runSynthetic(m, cfg);
+    EXPECT_TRUE(r.correct);
+    EXPECT_GT(r.elapsed, 0u);
+    EXPECT_GT(r.report.localReads + r.report.remoteReads, 0u);
+}
+
+TEST(Synthetic, HotspotConcentratesTrafficAtHotNode)
+{
+    core::Machine m(cfgFor(8));
+    SyntheticConfig cfg;
+    cfg.pattern = SyntheticPattern::Hotspot;
+    cfg.hotNode = 3;
+    cfg.opsPerNode = 100;
+    runSynthetic(m, cfg);
+    // The hot node's manager must be far busier than any other.
+    const Cycles hot = m.nodeAt(3).cm().stats().busyCycles;
+    for (NodeId n = 0; n < 8; ++n) {
+        if (n != 3) {
+            EXPECT_GT(hot, m.nodeAt(n).cm().stats().busyCycles);
+        }
+    }
+}
+
+TEST(Synthetic, UpdateFloodScalesUpdatesWithReplication)
+{
+    SyntheticConfig cfg;
+    cfg.pattern = SyntheticPattern::UpdateFlood;
+    cfg.opsPerNode = 100;
+
+    core::Machine m1(cfgFor(8));
+    cfg.replication = 1;
+    const SyntheticResult r1 = runSynthetic(m1, cfg);
+
+    core::Machine m4(cfgFor(8));
+    cfg.replication = 4;
+    const SyntheticResult r4 = runSynthetic(m4, cfg);
+
+    EXPECT_EQ(r1.report.updateMessages, 0u);
+    EXPECT_GT(r4.report.updateMessages,
+              300u); // ~3 updates per write, 800 writes
+    EXPECT_GT(r4.elapsed, r1.elapsed);
+}
+
+TEST(Synthetic, ProducerConsumerIntegrity)
+{
+    core::Machine m(cfgFor(6));
+    SyntheticConfig cfg;
+    cfg.pattern = SyntheticPattern::ProducerConsumer;
+    cfg.opsPerNode = 25; // batches per pair
+    const SyntheticResult r = runSynthetic(m, cfg);
+    EXPECT_TRUE(r.correct);
+}
+
+TEST(Synthetic, ProducerConsumerOnTwoNodes)
+{
+    core::Machine m(cfgFor(2));
+    SyntheticConfig cfg;
+    cfg.pattern = SyntheticPattern::ProducerConsumer;
+    cfg.opsPerNode = 10;
+    EXPECT_TRUE(runSynthetic(m, cfg).correct);
+}
+
+TEST(Synthetic, MeshShowsMoreQueueingThanIdeal)
+{
+    SyntheticConfig cfg;
+    cfg.pattern = SyntheticPattern::UpdateFlood;
+    cfg.opsPerNode = 150;
+    cfg.replication = 8;
+
+    core::Machine mesh(cfgFor(8, /*ideal=*/false));
+    const SyntheticResult rm = runSynthetic(mesh, cfg);
+
+    core::Machine ideal(cfgFor(8, /*ideal=*/true));
+    const SyntheticResult ri = runSynthetic(ideal, cfg);
+
+    EXPECT_GT(rm.meanQueueing, 0.0);
+    EXPECT_EQ(ri.meanQueueing, 0.0);
+    EXPECT_GE(rm.elapsed, ri.elapsed);
+}
+
+TEST(Synthetic, DeterministicAcrossRuns)
+{
+    SyntheticConfig cfg;
+    cfg.pattern = SyntheticPattern::Uniform;
+    cfg.opsPerNode = 80;
+    cfg.seed = 5;
+    core::Machine a(cfgFor(4));
+    core::Machine b(cfgFor(4));
+    EXPECT_EQ(runSynthetic(a, cfg).elapsed, runSynthetic(b, cfg).elapsed);
+}
+
+} // namespace
+} // namespace workloads
+} // namespace plus

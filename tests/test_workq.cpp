@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Tests for the distributed work queue: FIFO per lane, capacity
+ * behaviour, stealing order (replica-aware), and multi-producer /
+ * multi-consumer integrity.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "core/context.hpp"
+#include "core/machine.hpp"
+#include "core/workq.hpp"
+
+namespace plus {
+namespace core {
+namespace {
+
+MachineConfig
+cfgFor(unsigned nodes)
+{
+    MachineConfig cfg;
+    cfg.nodes = nodes;
+    cfg.framesPerNode = 128;
+    return cfg;
+}
+
+std::vector<NodeId>
+lanes(unsigned n)
+{
+    std::vector<NodeId> v(n);
+    for (NodeId i = 0; i < n; ++i) {
+        v[i] = i;
+    }
+    return v;
+}
+
+TEST(WorkQueue, FifoWithinOneLane)
+{
+    Machine m(cfgFor(2));
+    WorkQueue wq = WorkQueue::create(m, lanes(2));
+    std::vector<Word> popped;
+    m.spawn(0, [&](Context& ctx) {
+        for (Word i = 1; i <= 10; ++i) {
+            wq.push(ctx, 0, i);
+        }
+        while (auto item = wq.tryPop(ctx, 0)) {
+            popped.push_back(*item);
+        }
+    });
+    m.run();
+    ASSERT_EQ(popped.size(), 10u);
+    for (Word i = 0; i < 10; ++i) {
+        EXPECT_EQ(popped[i], i + 1);
+    }
+}
+
+TEST(WorkQueue, EmptyPopReturnsNothing)
+{
+    Machine m(cfgFor(2));
+    WorkQueue wq = WorkQueue::create(m, lanes(2));
+    bool empty_ok = false;
+    m.spawn(0, [&](Context& ctx) {
+        empty_ok = !wq.tryPop(ctx, 0).has_value() &&
+                   !wq.popAny(ctx, 0).has_value();
+    });
+    m.run();
+    EXPECT_TRUE(empty_ok);
+}
+
+TEST(WorkQueue, FillToCapacityThenOverflow)
+{
+    Machine m(cfgFor(1));
+    WorkQueue wq = WorkQueue::create(m, lanes(1));
+    const unsigned cap = wq.capacityPerLane();
+    unsigned accepted = 0;
+    bool overflow_rejected = false;
+    m.spawn(0, [&](Context& ctx) {
+        for (unsigned i = 0; i < cap; ++i) {
+            if (wq.tryPush(ctx, 0, i % 1000)) {
+                ++accepted;
+            }
+        }
+        overflow_rejected = !wq.tryPush(ctx, 0, 7);
+        // Drain one, then there is room again.
+        ASSERT_TRUE(wq.tryPop(ctx, 0).has_value());
+        EXPECT_TRUE(wq.tryPush(ctx, 0, 7));
+    });
+    m.run();
+    EXPECT_EQ(accepted, cap);
+    EXPECT_TRUE(overflow_rejected);
+}
+
+TEST(WorkQueue, WrapAroundPreservesOrder)
+{
+    Machine m(cfgFor(1));
+    WorkQueue wq = WorkQueue::create(m, lanes(1));
+    const unsigned cap = wq.capacityPerLane();
+    bool ok = true;
+    m.spawn(0, [&](Context& ctx) {
+        // Cycle more items than the capacity through the ring.
+        Word next_push = 0;
+        Word next_pop = 0;
+        for (int round = 0; round < 3; ++round) {
+            for (unsigned i = 0; i < cap / 2; ++i) {
+                wq.push(ctx, 0, next_push++ % 1024);
+            }
+            for (unsigned i = 0; i < cap / 2; ++i) {
+                auto item = wq.tryPop(ctx, 0);
+                if (!item || *item != next_pop++ % 1024) {
+                    ok = false;
+                }
+            }
+        }
+    });
+    m.run();
+    EXPECT_TRUE(ok);
+}
+
+TEST(WorkQueue, PopAnyStealsFromOtherLanes)
+{
+    Machine m(cfgFor(4));
+    WorkQueue wq = WorkQueue::create(m, lanes(4));
+    std::optional<Word> got;
+    m.spawn(0, [&](Context& ctx) {
+        wq.push(ctx, 3, 77); // work only on a remote lane
+        got = wq.popAny(ctx, 0);
+    });
+    m.run();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, 77u);
+}
+
+TEST(WorkQueue, BoundedScanDoesNotReachFarLanes)
+{
+    Machine m(cfgFor(4));
+    WorkQueue wq = WorkQueue::create(m, lanes(4));
+    std::optional<Word> got;
+    m.spawn(0, [&](Context& ctx) {
+        wq.push(ctx, 3, 77);
+        got = wq.popAny(ctx, 0, /*max_scan=*/1); // own lane only
+    });
+    m.run();
+    EXPECT_FALSE(got.has_value());
+}
+
+TEST(WorkQueue, CheapLanesGrowWithReplication)
+{
+    Machine m1(cfgFor(8));
+    WorkQueue unreplicated = WorkQueue::create(m1, lanes(8), 1);
+    EXPECT_EQ(unreplicated.cheapLanes(0), 1u);
+
+    Machine m2(cfgFor(8));
+    WorkQueue replicated = WorkQueue::create(m2, lanes(8), 4);
+    // Own lane + the lanes whose pages were replicated here.
+    EXPECT_GT(replicated.cheapLanes(0), 1u);
+}
+
+TEST(WorkQueue, MultiProducerMultiConsumerConservesItems)
+{
+    constexpr unsigned kNodes = 4;
+    constexpr unsigned kPerProducer = 50;
+    Machine m(cfgFor(kNodes));
+    WorkQueue wq = WorkQueue::create(m, lanes(kNodes));
+    const Addr sum = m.alloc(kPageBytes, 0);
+    const Addr produced = m.alloc(kPageBytes, 0);
+
+    for (NodeId n = 0; n < kNodes; ++n) {
+        m.spawn(n, [&, n](Context& ctx) {
+            // Produce tagged items, then consume until the global count
+            // of consumed items matches the expected total.
+            for (unsigned i = 0; i < kPerProducer; ++i) {
+                wq.push(ctx, n, n * 1000 + i);
+                ctx.fadd(produced, 1);
+            }
+            while (true) {
+                if (auto item = wq.popAny(ctx, n)) {
+                    ctx.fadd(sum, *item);
+                    ctx.fadd(produced, static_cast<Word>(-1));
+                } else if (ctx.read(produced) == 0) {
+                    break;
+                } else {
+                    ctx.pause(32);
+                }
+            }
+        });
+    }
+    m.run();
+
+    Word expected = 0;
+    for (unsigned n = 0; n < kNodes; ++n) {
+        for (unsigned i = 0; i < kPerProducer; ++i) {
+            expected += n * 1000 + i;
+        }
+    }
+    EXPECT_EQ(m.peek(sum), expected);
+}
+
+TEST(WorkQueue, ZeroPayloadItemRoundTrips)
+{
+    Machine m(cfgFor(1));
+    WorkQueue wq = WorkQueue::create(m, lanes(1));
+    std::optional<Word> got;
+    m.spawn(0, [&](Context& ctx) {
+        wq.push(ctx, 0, 0);
+        got = wq.tryPop(ctx, 0);
+    });
+    m.run();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, 0u);
+}
+
+} // namespace
+} // namespace core
+} // namespace plus
