@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_copylist.dir/ablation_copylist.cpp.o"
+  "CMakeFiles/ablation_copylist.dir/ablation_copylist.cpp.o.d"
+  "ablation_copylist"
+  "ablation_copylist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_copylist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_depths.dir/ablation_depths.cpp.o"
+  "CMakeFiles/ablation_depths.dir/ablation_depths.cpp.o.d"
+  "ablation_depths"
+  "ablation_depths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_depths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

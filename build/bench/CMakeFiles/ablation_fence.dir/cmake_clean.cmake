@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fence.dir/ablation_fence.cpp.o"
+  "CMakeFiles/ablation_fence.dir/ablation_fence.cpp.o.d"
+  "ablation_fence"
+  "ablation_fence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_snoop.dir/ablation_snoop.cpp.o"
+  "CMakeFiles/ablation_snoop.dir/ablation_snoop.cpp.o.d"
+  "ablation_snoop"
+  "ablation_snoop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_snoop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

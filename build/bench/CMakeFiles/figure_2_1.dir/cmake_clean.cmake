@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure_2_1.dir/figure_2_1.cpp.o"
+  "CMakeFiles/figure_2_1.dir/figure_2_1.cpp.o.d"
+  "figure_2_1"
+  "figure_2_1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure_2_1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

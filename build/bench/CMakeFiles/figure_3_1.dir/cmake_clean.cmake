@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure_3_1.dir/figure_3_1.cpp.o"
+  "CMakeFiles/figure_3_1.dir/figure_3_1.cpp.o.d"
+  "figure_3_1"
+  "figure_3_1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure_3_1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/placement_policies.dir/placement_policies.cpp.o"
+  "CMakeFiles/placement_policies.dir/placement_policies.cpp.o.d"
+  "placement_policies"
+  "placement_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/placement_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/production_replication.dir/production_replication.cpp.o"
+  "CMakeFiles/production_replication.dir/production_replication.cpp.o.d"
+  "production_replication"
+  "production_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/production_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

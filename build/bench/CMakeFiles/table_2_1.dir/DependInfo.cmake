@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table_2_1.cpp" "bench/CMakeFiles/table_2_1.dir/table_2_1.cpp.o" "gcc" "bench/CMakeFiles/table_2_1.dir/table_2_1.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/plus_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/plus_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/node/CMakeFiles/plus_node.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/plus_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/plus_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/plus_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/plus_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/plus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

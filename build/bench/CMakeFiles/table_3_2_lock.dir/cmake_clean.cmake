@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_3_2_lock.dir/table_3_2_lock.cpp.o"
+  "CMakeFiles/table_3_2_lock.dir/table_3_2_lock.cpp.o.d"
+  "table_3_2_lock"
+  "table_3_2_lock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_3_2_lock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/production_system.dir/production_system.cpp.o"
+  "CMakeFiles/production_system.dir/production_system.cpp.o.d"
+  "production_system"
+  "production_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/production_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shortest_path.dir/shortest_path.cpp.o"
+  "CMakeFiles/shortest_path.dir/shortest_path.cpp.o.d"
+  "shortest_path"
+  "shortest_path.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shortest_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

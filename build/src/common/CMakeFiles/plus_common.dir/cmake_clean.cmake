@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plus_common.dir/config.cpp.o"
+  "CMakeFiles/plus_common.dir/config.cpp.o.d"
+  "CMakeFiles/plus_common.dir/log.cpp.o"
+  "CMakeFiles/plus_common.dir/log.cpp.o.d"
+  "CMakeFiles/plus_common.dir/panic.cpp.o"
+  "CMakeFiles/plus_common.dir/panic.cpp.o.d"
+  "CMakeFiles/plus_common.dir/table.cpp.o"
+  "CMakeFiles/plus_common.dir/table.cpp.o.d"
+  "CMakeFiles/plus_common.dir/types.cpp.o"
+  "CMakeFiles/plus_common.dir/types.cpp.o.d"
+  "libplus_common.a"
+  "libplus_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plus_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

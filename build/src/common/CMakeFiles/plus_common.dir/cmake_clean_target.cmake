@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libplus_common.a"
+)

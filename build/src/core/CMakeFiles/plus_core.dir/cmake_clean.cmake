@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plus_core.dir/machine.cpp.o"
+  "CMakeFiles/plus_core.dir/machine.cpp.o.d"
+  "CMakeFiles/plus_core.dir/placement.cpp.o"
+  "CMakeFiles/plus_core.dir/placement.cpp.o.d"
+  "CMakeFiles/plus_core.dir/sync.cpp.o"
+  "CMakeFiles/plus_core.dir/sync.cpp.o.d"
+  "CMakeFiles/plus_core.dir/workq.cpp.o"
+  "CMakeFiles/plus_core.dir/workq.cpp.o.d"
+  "libplus_core.a"
+  "libplus_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plus_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/copy_list.cpp" "src/mem/CMakeFiles/plus_mem.dir/copy_list.cpp.o" "gcc" "src/mem/CMakeFiles/plus_mem.dir/copy_list.cpp.o.d"
+  "/root/repo/src/mem/local_memory.cpp" "src/mem/CMakeFiles/plus_mem.dir/local_memory.cpp.o" "gcc" "src/mem/CMakeFiles/plus_mem.dir/local_memory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/plus_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/plus_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/plus_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plus_mem.dir/copy_list.cpp.o"
+  "CMakeFiles/plus_mem.dir/copy_list.cpp.o.d"
+  "CMakeFiles/plus_mem.dir/local_memory.cpp.o"
+  "CMakeFiles/plus_mem.dir/local_memory.cpp.o.d"
+  "libplus_mem.a"
+  "libplus_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plus_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

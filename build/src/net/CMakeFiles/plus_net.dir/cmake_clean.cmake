@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plus_net.dir/network.cpp.o"
+  "CMakeFiles/plus_net.dir/network.cpp.o.d"
+  "libplus_net.a"
+  "libplus_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plus_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/node/cache.cpp" "src/node/CMakeFiles/plus_node.dir/cache.cpp.o" "gcc" "src/node/CMakeFiles/plus_node.dir/cache.cpp.o.d"
+  "/root/repo/src/node/node.cpp" "src/node/CMakeFiles/plus_node.dir/node.cpp.o" "gcc" "src/node/CMakeFiles/plus_node.dir/node.cpp.o.d"
+  "/root/repo/src/node/processor.cpp" "src/node/CMakeFiles/plus_node.dir/processor.cpp.o" "gcc" "src/node/CMakeFiles/plus_node.dir/processor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/proto/CMakeFiles/plus_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/plus_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/plus_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/plus_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/plus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plus_node.dir/cache.cpp.o"
+  "CMakeFiles/plus_node.dir/cache.cpp.o.d"
+  "CMakeFiles/plus_node.dir/node.cpp.o"
+  "CMakeFiles/plus_node.dir/node.cpp.o.d"
+  "CMakeFiles/plus_node.dir/processor.cpp.o"
+  "CMakeFiles/plus_node.dir/processor.cpp.o.d"
+  "libplus_node.a"
+  "libplus_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plus_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

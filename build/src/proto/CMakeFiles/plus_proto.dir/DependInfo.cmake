@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/proto/coherence_manager.cpp" "src/proto/CMakeFiles/plus_proto.dir/coherence_manager.cpp.o" "gcc" "src/proto/CMakeFiles/plus_proto.dir/coherence_manager.cpp.o.d"
+  "/root/repo/src/proto/messages.cpp" "src/proto/CMakeFiles/plus_proto.dir/messages.cpp.o" "gcc" "src/proto/CMakeFiles/plus_proto.dir/messages.cpp.o.d"
+  "/root/repo/src/proto/rmw.cpp" "src/proto/CMakeFiles/plus_proto.dir/rmw.cpp.o" "gcc" "src/proto/CMakeFiles/plus_proto.dir/rmw.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/plus_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/plus_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/plus_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/plus_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

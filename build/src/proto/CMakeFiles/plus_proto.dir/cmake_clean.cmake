@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plus_proto.dir/coherence_manager.cpp.o"
+  "CMakeFiles/plus_proto.dir/coherence_manager.cpp.o.d"
+  "CMakeFiles/plus_proto.dir/messages.cpp.o"
+  "CMakeFiles/plus_proto.dir/messages.cpp.o.d"
+  "CMakeFiles/plus_proto.dir/rmw.cpp.o"
+  "CMakeFiles/plus_proto.dir/rmw.cpp.o.d"
+  "libplus_proto.a"
+  "libplus_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plus_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plus_sim.dir/engine.cpp.o"
+  "CMakeFiles/plus_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/plus_sim.dir/fiber.cpp.o"
+  "CMakeFiles/plus_sim.dir/fiber.cpp.o.d"
+  "libplus_sim.a"
+  "libplus_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plus_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plus_workloads.dir/beam.cpp.o"
+  "CMakeFiles/plus_workloads.dir/beam.cpp.o.d"
+  "CMakeFiles/plus_workloads.dir/graph.cpp.o"
+  "CMakeFiles/plus_workloads.dir/graph.cpp.o.d"
+  "CMakeFiles/plus_workloads.dir/production.cpp.o"
+  "CMakeFiles/plus_workloads.dir/production.cpp.o.d"
+  "CMakeFiles/plus_workloads.dir/sssp.cpp.o"
+  "CMakeFiles/plus_workloads.dir/sssp.cpp.o.d"
+  "CMakeFiles/plus_workloads.dir/synthetic.cpp.o"
+  "CMakeFiles/plus_workloads.dir/synthetic.cpp.o.d"
+  "libplus_workloads.a"
+  "libplus_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plus_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

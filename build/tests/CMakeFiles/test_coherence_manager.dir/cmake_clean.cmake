@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coherence_manager.dir/test_coherence_manager.cpp.o"
+  "CMakeFiles/test_coherence_manager.dir/test_coherence_manager.cpp.o.d"
+  "test_coherence_manager"
+  "test_coherence_manager.pdb"
+  "test_coherence_manager[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coherence_manager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net_sweep.dir/test_net_sweep.cpp.o"
+  "CMakeFiles/test_net_sweep.dir/test_net_sweep.cpp.o.d"
+  "test_net_sweep"
+  "test_net_sweep.pdb"
+  "test_net_sweep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_production.dir/test_production.cpp.o"
+  "CMakeFiles/test_production.dir/test_production.cpp.o.d"
+  "test_production"
+  "test_production.pdb"
+  "test_production[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_production.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_proto_units.dir/test_proto_units.cpp.o"
+  "CMakeFiles/test_proto_units.dir/test_proto_units.cpp.o.d"
+  "test_proto_units"
+  "test_proto_units.pdb"
+  "test_proto_units[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_proto_units.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

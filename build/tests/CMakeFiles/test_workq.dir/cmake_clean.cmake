@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workq.dir/test_workq.cpp.o"
+  "CMakeFiles/test_workq.dir/test_workq.cpp.o.d"
+  "test_workq"
+  "test_workq.pdb"
+  "test_workq[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_write_fence.dir/test_write_fence.cpp.o"
+  "CMakeFiles/test_write_fence.dir/test_write_fence.cpp.o.d"
+  "test_write_fence"
+  "test_write_fence.pdb"
+  "test_write_fence[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_write_fence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_topology[1]_include.cmake")
+include("/root/repo/build/tests/test_network[1]_include.cmake")
+include("/root/repo/build/tests/test_net_sweep[1]_include.cmake")
+include("/root/repo/build/tests/test_mem[1]_include.cmake")
+include("/root/repo/build/tests/test_proto_units[1]_include.cmake")
+include("/root/repo/build/tests/test_coherence_manager[1]_include.cmake")
+include("/root/repo/build/tests/test_fiber[1]_include.cmake")
+include("/root/repo/build/tests/test_machine[1]_include.cmake")
+include("/root/repo/build/tests/test_costs[1]_include.cmake")
+include("/root/repo/build/tests/test_sssp[1]_include.cmake")
+include("/root/repo/build/tests/test_beam[1]_include.cmake")
+include("/root/repo/build/tests/test_sync[1]_include.cmake")
+include("/root/repo/build/tests/test_workq[1]_include.cmake")
+include("/root/repo/build/tests/test_cache[1]_include.cmake")
+include("/root/repo/build/tests/test_processor[1]_include.cmake")
+include("/root/repo/build/tests/test_replication[1]_include.cmake")
+include("/root/repo/build/tests/test_coherence_property[1]_include.cmake")
+include("/root/repo/build/tests/test_placement[1]_include.cmake")
+include("/root/repo/build/tests/test_production[1]_include.cmake")
+include("/root/repo/build/tests/test_synthetic[1]_include.cmake")
+include("/root/repo/build/tests/test_write_fence[1]_include.cmake")
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_node[1]_include.cmake")
+include("/root/repo/build/tests/test_log[1]_include.cmake")
