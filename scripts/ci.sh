@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Continuous-integration driver for the PLUS simulator.
+#
+#   1. tier-1:     regular build + full test suite
+#   2. sanitize:   ASan+UBSan build (PLUS_SANITIZE=ON) + full test suite
+#   3. tidy:       clang-tidy over src/ (skipped when the tool is absent)
+#
+# Usage: scripts/ci.sh [tier1|sanitize|tidy|all]   (default: all)
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${JOBS:-$(nproc)}"
+STAGE="${1:-all}"
+
+run_tier1() {
+    echo "=== tier-1: build + ctest ==="
+    cmake -B build -S . >/dev/null
+    cmake --build build -j "$JOBS"
+    ctest --test-dir build --output-on-failure -j "$JOBS"
+}
+
+run_sanitize() {
+    echo "=== sanitize: ASan+UBSan build + ctest ==="
+    cmake -B build-asan -S . -DPLUS_SANITIZE=ON >/dev/null
+    cmake --build build-asan -j "$JOBS"
+    # abort on the first sanitizer report so ctest marks the test failed
+    ASAN_OPTIONS="abort_on_error=1:detect_leaks=1" \
+    UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+        ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+}
+
+run_tidy() {
+    echo "=== tidy: clang-tidy over src/ ==="
+    if ! command -v clang-tidy >/dev/null 2>&1; then
+        echo "clang-tidy not installed; skipping (non-fatal)"
+        return 0
+    fi
+    cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+    find src -name '*.cpp' -print0 |
+        xargs -0 -n 8 -P "$JOBS" clang-tidy -p build --quiet
+}
+
+case "$STAGE" in
+    tier1)    run_tier1 ;;
+    sanitize) run_sanitize ;;
+    tidy)     run_tidy ;;
+    all)      run_tier1; run_sanitize; run_tidy ;;
+    *)
+        echo "unknown stage '$STAGE' (want tier1|sanitize|tidy|all)" >&2
+        exit 2
+        ;;
+esac
+
+echo "ci: $STAGE OK"

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Instrumentation hooks for the `plus::check` subsystem.
+ *
+ * The coherence manager, the pending-writes cache, the copy-list and the
+ * processor each hold an observer pointer that is null by default: when no
+ * checker is installed the hot path pays exactly one branch per event.
+ * When a checker is installed (see check::Checker, wired by core::Machine
+ * according to CheckConfig) every protocol and processor event is mirrored
+ * into it, where the invariant checker and the happens-before race
+ * detector validate the run as it unfolds.
+ *
+ * This header deliberately depends only on common/types.hpp so that every
+ * layer (mem, proto, node) can include it without linking the checker
+ * implementation.
+ */
+
+#ifndef PLUS_CHECK_HOOKS_HPP_
+#define PLUS_CHECK_HOOKS_HPP_
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace plus {
+
+namespace mem {
+class CopyList;
+} // namespace mem
+
+namespace check {
+
+/**
+ * Identity of one write-propagation chain: the journey of one write's (or
+ * one interlocked operation's) effects from the master copy down the
+ * copy-list to the tail. Assigned by the master's coherence manager when
+ * the chain starts and carried by every UpdateReq of the chain.
+ */
+using ChainId = std::uint64_t;
+
+/** Observer of one node's pending-writes cache (proto::PendingWrites). */
+class PendingWritesObserver
+{
+  public:
+    virtual ~PendingWritesObserver() = default;
+
+    /** A write occupied a pending-writes entry on @p node. */
+    virtual void
+    onPendingInsert(NodeId node, std::uint32_t tag, Vpn vpn,
+                    Addr word_offset)
+    {
+        (void)node; (void)tag; (void)vpn; (void)word_offset;
+    }
+
+    /** The entry with @p tag retired (acknowledged or completed). */
+    virtual void
+    onPendingComplete(NodeId node, std::uint32_t tag)
+    {
+        (void)node; (void)tag;
+    }
+};
+
+/** Observer of protocol milestones inside proto::CoherenceManager. */
+class ProtoObserver
+{
+  public:
+    virtual ~ProtoObserver() = default;
+
+    /**
+     * A write — or, when @p from_rmw, a tracked interlocked operation's
+     * pseudo-write — was issued by @p node and entered its pending-writes
+     * cache under @p tag. Qualifies the matching onPendingInsert().
+     */
+    virtual void
+    onWriteIssued(NodeId node, std::uint32_t tag, Vpn vpn, Addr word_offset,
+                  bool from_rmw)
+    {
+        (void)node; (void)tag; (void)vpn; (void)word_offset; (void)from_rmw;
+    }
+
+    /**
+     * Chain @p chain applied its effects at @p copy of page @p vpn.
+     * @p at_master is the applying manager's own belief that it acted as
+     * the chain's head; the checker validates it against the copy-list.
+     * @p tracked says the chain retires a pending-writes entry
+     * (@p originator, @p tag) when its tail acknowledges.
+     */
+    virtual void
+    onChainApplied(ChainId chain, PhysPage copy, Vpn vpn, Addr word_offset,
+                   unsigned words, NodeId originator, std::uint32_t tag,
+                   bool tracked, bool at_master)
+    {
+        (void)chain; (void)copy; (void)vpn; (void)word_offset; (void)words;
+        (void)originator; (void)tag; (void)tracked; (void)at_master;
+    }
+
+    /**
+     * A blocking fence completed on @p node; @p pending_empty reports the
+     * pending-writes cache state at that instant (must be empty).
+     */
+    virtual void
+    onFenceComplete(NodeId node, bool pending_empty)
+    {
+        (void)node; (void)pending_empty;
+    }
+
+    /**
+     * A processor-side read was served on @p node after any conflicting
+     * pending-write wait (must find no same-node write still in flight).
+     */
+    virtual void
+    onReadServed(NodeId node, Vpn vpn, Addr word_offset)
+    {
+        (void)node; (void)vpn; (void)word_offset;
+    }
+};
+
+/** Observer of structural mutations of a mem::CopyList. */
+class CopyListObserver
+{
+  public:
+    virtual ~CopyListObserver() = default;
+
+    /** The list changed via @p op (insert/append/remove/reorder). */
+    virtual void
+    onCopyListMutated(const mem::CopyList& list, const char* op)
+    {
+        (void)list; (void)op;
+    }
+};
+
+/** Observer of application-level accesses inside node::Processor. */
+class ProcObserver
+{
+  public:
+    virtual ~ProcObserver() = default;
+
+    /** Thread @p tid completed a coherent read of @p vaddr. */
+    virtual void
+    onProcRead(NodeId node, ThreadId tid, Addr vaddr)
+    {
+        (void)node; (void)tid; (void)vaddr;
+    }
+
+    /** Thread @p tid issued a coherent write of @p vaddr. */
+    virtual void
+    onProcWrite(NodeId node, ThreadId tid, Addr vaddr)
+    {
+        (void)node; (void)tid; (void)vaddr;
+    }
+
+    /** Thread @p tid issued an interlocked operation on @p vaddr. */
+    virtual void
+    onProcRmwIssue(NodeId node, ThreadId tid, Addr vaddr, std::uint8_t op)
+    {
+        (void)node; (void)tid; (void)vaddr; (void)op;
+    }
+
+    /** Thread @p tid consumed the delayed result of an op on @p vaddr. */
+    virtual void
+    onProcVerify(NodeId node, ThreadId tid, Addr vaddr)
+    {
+        (void)node; (void)tid; (void)vaddr;
+    }
+
+    /** Thread @p tid completed a full (blocking) fence. */
+    virtual void
+    onProcFence(NodeId node, ThreadId tid)
+    {
+        (void)node; (void)tid;
+    }
+
+    /** Thread @p tid armed the paper's non-blocking write fence. */
+    virtual void
+    onProcWriteFence(NodeId node, ThreadId tid)
+    {
+        (void)node; (void)tid;
+    }
+};
+
+/** Convenience base implementing every hook family. */
+class Observer : public PendingWritesObserver,
+                 public ProtoObserver,
+                 public CopyListObserver,
+                 public ProcObserver
+{
+};
+
+} // namespace check
+} // namespace plus
+
+#endif // PLUS_CHECK_HOOKS_HPP_

@@ -1,0 +1,286 @@
+#include "check/invariant_checker.hpp"
+
+#include <algorithm>
+
+#include "common/panic.hpp"
+#include "mem/copy_list.hpp"
+
+namespace plus {
+namespace check {
+
+namespace {
+
+using detail::concat;
+
+} // namespace
+
+InvariantChecker::InvariantChecker(EventTrace* trace) : trace_(trace)
+{
+    PLUS_ASSERT(trace_, "invariant checker needs an event trace");
+}
+
+std::uint64_t
+InvariantChecker::generation(Vpn vpn) const
+{
+    auto it = generations_.find(vpn);
+    return it == generations_.end() ? 0 : it->second;
+}
+
+const mem::CopyList*
+InvariantChecker::listOf(Vpn vpn) const
+{
+    return resolve_ ? resolve_(vpn) : nullptr;
+}
+
+void
+InvariantChecker::copyListChanged(Vpn vpn)
+{
+    generations_[vpn] += 1;
+}
+
+std::uint64_t
+InvariantChecker::writesInFlight() const
+{
+    std::uint64_t total = 0;
+    for (const auto& [node, entries] : entries_) {
+        (void)node;
+        total += entries.size();
+    }
+    return total;
+}
+
+void
+InvariantChecker::pendingInsert(NodeId node, Tag tag, Vpn vpn,
+                                Addr word_offset)
+{
+    auto [it, inserted] = entries_[node].emplace(
+        tag, Entry{vpn, word_offset, false, 0, false});
+    (void)it;
+    if (!inserted) {
+        violation(concat("node ", node, " re-used in-flight write tag ",
+                         tag));
+    }
+}
+
+void
+InvariantChecker::writeIssued(NodeId node, Tag tag, Vpn vpn,
+                              Addr word_offset, bool from_rmw)
+{
+    auto nit = entries_.find(node);
+    auto it = nit == entries_.end() ? decltype(nit->second.begin()){}
+                                    : nit->second.find(tag);
+    if (nit == entries_.end() || it == nit->second.end()) {
+        violation(concat("node ", node, " issued write tag ", tag,
+                         " without a pending-writes entry"));
+    }
+    if (it->second.vpn != vpn || it->second.wordOffset != word_offset) {
+        violation(concat("node ", node, " write tag ", tag,
+                         " issued for a different address than its "
+                         "pending-writes entry"));
+    }
+    it->second.fromRmw = from_rmw;
+}
+
+void
+InvariantChecker::chainApplied(ChainId chain, PhysPage copy, Vpn vpn,
+                               Addr word_offset, unsigned words,
+                               NodeId originator, Tag tag, bool tracked,
+                               bool at_master)
+{
+    (void)word_offset;
+    (void)words;
+    const mem::CopyList* list = listOf(vpn);
+    const std::uint64_t gen = generation(vpn);
+
+    auto markTail = [&](Chain& c) {
+        if (c.tracked) {
+            auto nit = entries_.find(c.originator);
+            if (nit == entries_.end() ||
+                nit->second.find(c.tag) == nit->second.end()) {
+                violation(concat("chain ", chain,
+                                 " reached the copy-list tail but its "
+                                 "originator n", c.originator,
+                                 " holds no pending entry with tag ",
+                                 c.tag));
+            }
+            nit->second.find(c.tag)->second.chainDone = true;
+        }
+        ++chainsCompleted_;
+    };
+
+    if (at_master) {
+        if (chains_.count(chain)) {
+            violation(concat("chain ", chain,
+                             " applied at the master copy twice"));
+        }
+        if (!list || list->empty()) {
+            violation(concat("chain ", chain, " applied on page ", vpn,
+                             " which has no copy-list"));
+        }
+        if (!(list->master() == copy)) {
+            violation(concat("write took effect at ", toString(copy),
+                             " as chain head, but the master copy of page ",
+                             vpn, " is ", toString(list->master())));
+        }
+        Chain c;
+        c.vpn = vpn;
+        c.originator = originator;
+        c.tag = tag;
+        c.tracked = tracked;
+        c.lastCopy = copy;
+        c.genAtStart = gen;
+        c.visited.push_back(copy);
+        if (tracked) {
+            auto nit = entries_.find(originator);
+            auto eit = nit == entries_.end() ? decltype(nit->second.end()){}
+                                             : nit->second.find(tag);
+            if (nit == entries_.end() || eit == nit->second.end()) {
+                violation(concat("tracked chain ", chain,
+                                 " started for n", originator, " tag ", tag,
+                                 " with no pending-writes entry"));
+            }
+            if (eit->second.chain != 0) {
+                violation(concat("pending entry n", originator, " tag ",
+                                 tag, " re-used by a second chain"));
+            }
+            eit->second.chain = chain;
+        }
+        const bool tail = !list->successorOf(copy).has_value();
+        if (tail) {
+            markTail(c);
+            if (!tracked) {
+                return; // fully verified; nothing retires it later
+            }
+        }
+        chains_.emplace(chain, std::move(c));
+        return;
+    }
+
+    auto cit = chains_.find(chain);
+    if (cit == chains_.end()) {
+        violation(concat("chain ", chain, " applied its effects at replica ",
+                         toString(copy), " of page ", vpn,
+                         " before (or without) the master copy"));
+    }
+    Chain& c = cit->second;
+    if (c.vpn != vpn) {
+        violation(concat("chain ", chain, " crossed from page ", c.vpn,
+                         " to page ", vpn));
+    }
+    if (std::find(c.visited.begin(), c.visited.end(), copy) !=
+        c.visited.end()) {
+        violation(concat("chain ", chain, " applied twice at copy ",
+                         toString(copy)));
+    }
+    // Strict list-order checking only while the list is unchanged since
+    // the chain started; an OS splice mid-flight legally re-routes it.
+    const bool strict = list != nullptr && c.genAtStart == gen;
+    if (strict) {
+        const auto expected = list->successorOf(c.lastCopy);
+        if (!expected) {
+            violation(concat("chain ", chain, " applied at ",
+                             toString(copy),
+                             " past the tail of the copy-list of page ",
+                             vpn));
+        }
+        if (!(*expected == copy)) {
+            violation(concat("copy-list propagation of chain ", chain,
+                             " on page ", vpn, " skipped: expected ",
+                             toString(*expected), " after ",
+                             toString(c.lastCopy), " but got ",
+                             toString(copy)));
+        }
+    }
+    c.lastCopy = copy;
+    c.visited.push_back(copy);
+    const bool tail = list == nullptr ||
+                      !list->successorOf(copy).has_value();
+    if (tail) {
+        markTail(c);
+        if (!c.tracked && strict) {
+            chains_.erase(cit);
+        }
+    }
+}
+
+void
+InvariantChecker::pendingComplete(NodeId node, Tag tag)
+{
+    auto nit = entries_.find(node);
+    auto it = nit == entries_.end() ? decltype(nit->second.begin()){}
+                                    : nit->second.find(tag);
+    if (nit == entries_.end() || it == nit->second.end()) {
+        violation(concat("node ", node, " retired write tag ", tag,
+                         " which is not in flight (double retire?)"));
+    }
+    const Entry entry = it->second;
+    if (entry.chain != 0) {
+        if (!entry.chainDone) {
+            const auto cit = chains_.find(entry.chain);
+            const bool relaxed =
+                cit != chains_.end() &&
+                cit->second.genAtStart != generation(entry.vpn);
+            if (!relaxed) {
+                violation(concat("node ", node, " retired write tag ", tag,
+                                 " before the last copy of page ",
+                                 entry.vpn, " acknowledged"));
+            }
+        }
+        chains_.erase(entry.chain);
+    } else if (!entry.fromRmw) {
+        violation(concat("node ", node, " retired write tag ", tag,
+                         " which never took effect at the master copy"));
+    }
+    nit->second.erase(it);
+    ++retired_;
+}
+
+void
+InvariantChecker::fenceComplete(NodeId node, bool pending_empty)
+{
+    if (!pending_empty) {
+        violation(concat("fence completed on n", node,
+                         " with a non-empty pending-writes cache"));
+    }
+    auto nit = entries_.find(node);
+    if (nit != entries_.end() && !nit->second.empty()) {
+        violation(concat("fence completed on n", node, " with ",
+                         nit->second.size(),
+                         " write(s) still unretired (checker view)"));
+    }
+}
+
+void
+InvariantChecker::readServed(NodeId node, Vpn vpn, Addr word_offset)
+{
+    auto nit = entries_.find(node);
+    if (nit == entries_.end()) {
+        return;
+    }
+    for (const auto& [tag, entry] : nit->second) {
+        if (entry.vpn == vpn && entry.wordOffset == word_offset) {
+            violation(concat("read on n", node, " of page ", vpn,
+                             " word ", word_offset,
+                             " served while its own write (tag ", tag,
+                             ") is still in flight"));
+        }
+    }
+}
+
+void
+InvariantChecker::copyListMutated(const mem::CopyList& list, const char* op)
+{
+    const auto& copies = list.copies();
+    for (std::size_t i = 0; i < copies.size(); ++i) {
+        for (std::size_t j = i + 1; j < copies.size(); ++j) {
+            if (copies[i].node == copies[j].node) {
+                violation(concat("copy-list ", op,
+                                 " left two copies on node ",
+                                 copies[i].node));
+            }
+        }
+    }
+}
+
+} // namespace check
+} // namespace plus

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Protocol-invariant checker: validates, on every instrumented event,
+ * the ordering rules PLUS's correctness rests on (PAPER.md Sections 2.3
+ * and 3.1):
+ *
+ *  - every write takes effect at the master copy before any replica;
+ *  - a chain's effects walk the copy-list in order, with no skipped and
+ *    no twice-updated copies;
+ *  - a pending-write entry retires exactly once, and only after the last
+ *    copy in the list acknowledged (or, for an interlocked operation with
+ *    no memory effect, immediately);
+ *  - a processor's read of a location with an in-flight write by the same
+ *    processor is served only after that write completes;
+ *  - a blocking fence completes only on an empty pending-writes cache.
+ *
+ * Any violation panics (PanicError) with the recent event history.
+ *
+ * Copy-list mutations by the OS (replication, deletion, migration) are
+ * legal while chains are in flight; the checker tracks a generation
+ * counter per page and relaxes the strict order check — but never the
+ * master-first, no-duplicate or retire-once checks — for chains that
+ * overlap a mutation.
+ */
+
+#ifndef PLUS_CHECK_INVARIANT_CHECKER_HPP_
+#define PLUS_CHECK_INVARIANT_CHECKER_HPP_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "check/hooks.hpp"
+#include "check/trace.hpp"
+#include "common/types.hpp"
+
+namespace plus {
+namespace check {
+
+/** Checks the protocol ordering invariants; see file comment. */
+class InvariantChecker
+{
+  public:
+    using Tag = std::uint32_t;
+
+    /** Resolve a page's current copy-list (null if the page is gone). */
+    using CopyListResolver =
+        std::function<const mem::CopyList*(Vpn)>;
+
+    explicit InvariantChecker(EventTrace* trace);
+
+    void setCopyListResolver(CopyListResolver resolver)
+    {
+        resolve_ = std::move(resolver);
+    }
+
+    /** The OS mutated the copy-list of @p vpn (splice, reorder, ...). */
+    void copyListChanged(Vpn vpn);
+
+    // --- event entry points (mirroring check::Observer) -------------------
+
+    void pendingInsert(NodeId node, Tag tag, Vpn vpn, Addr word_offset);
+    void writeIssued(NodeId node, Tag tag, Vpn vpn, Addr word_offset,
+                     bool from_rmw);
+    void pendingComplete(NodeId node, Tag tag);
+    void chainApplied(ChainId chain, PhysPage copy, Vpn vpn,
+                      Addr word_offset, unsigned words, NodeId originator,
+                      Tag tag, bool tracked, bool at_master);
+    void fenceComplete(NodeId node, bool pending_empty);
+    void readServed(NodeId node, Vpn vpn, Addr word_offset);
+    void copyListMutated(const mem::CopyList& list, const char* op);
+
+    // --- diagnostics ------------------------------------------------------
+
+    /** Pending-write entries retired so far. */
+    std::uint64_t writesRetired() const { return retired_; }
+
+    /** Chains whose full list walk was verified. */
+    std::uint64_t chainsCompleted() const { return chainsCompleted_; }
+
+    /** Entries currently in flight across all nodes (checker view). */
+    std::uint64_t writesInFlight() const;
+
+  private:
+    struct Entry {
+        Vpn vpn = 0;
+        Addr wordOffset = 0;
+        bool fromRmw = false;
+        ChainId chain = 0;
+        bool chainDone = false;
+    };
+
+    struct Chain {
+        Vpn vpn = 0;
+        NodeId originator = kInvalidNode;
+        Tag tag = 0;
+        bool tracked = false;
+        PhysPage lastCopy;
+        std::uint64_t genAtStart = 0;
+        std::vector<PhysPage> visited;
+    };
+
+    [[noreturn]] void violation(const std::string& message) const
+    {
+        trace_->violation(message);
+    }
+
+    std::uint64_t generation(Vpn vpn) const;
+    const mem::CopyList* listOf(Vpn vpn) const;
+
+    EventTrace* trace_;
+    CopyListResolver resolve_;
+
+    /** In-flight pending-write entries, per node, keyed by tag. */
+    std::unordered_map<NodeId, std::unordered_map<Tag, Entry>> entries_;
+    /** Open propagation chains by chain id. */
+    std::unordered_map<ChainId, Chain> chains_;
+    /** Copy-list mutation counters per page. */
+    std::unordered_map<Vpn, std::uint64_t> generations_;
+
+    std::uint64_t retired_ = 0;
+    std::uint64_t chainsCompleted_ = 0;
+};
+
+} // namespace check
+} // namespace plus
+
+#endif // PLUS_CHECK_INVARIANT_CHECKER_HPP_

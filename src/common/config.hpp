@@ -178,6 +178,23 @@ struct CostModel {
     Addr queueBaseOffset = 2;
 };
 
+/**
+ * Runtime checking (the plus::check subsystem): a protocol-invariant
+ * checker over the coherence traffic and a happens-before race detector
+ * over the application's accesses. Always compiled in; each layer is
+ * toggled here and costs one null-pointer branch per event when off.
+ */
+struct CheckConfig {
+    /** Validate protocol ordering invariants; panic on violation. */
+    bool invariants = true;
+    /** Run the happens-before race detector (off: seed workloads race). */
+    bool races = false;
+    /** Panic at the first detected race instead of recording it. */
+    bool panicOnRace = false;
+    /** Events of history to keep for violation reports. */
+    unsigned traceDepth = 64;
+};
+
 /** Top-level machine description. */
 struct MachineConfig {
     /** Number of nodes (each: processor + memory + coherence manager). */
@@ -191,6 +208,7 @@ struct MachineConfig {
 
     NetworkConfig network;
     CostModel cost;
+    CheckConfig check;
 
     /** Seed for all workload randomness. */
     std::uint64_t seed = 1;

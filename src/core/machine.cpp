@@ -49,6 +49,20 @@ Machine::Machine(MachineConfig config)
                               config_.meshHeight());
     network_ = net::makeNetwork(engine_, topology_, config_.network);
 
+    if (config_.check.invariants || config_.check.races) {
+        check::Options opts;
+        opts.invariants = config_.check.invariants;
+        opts.races = config_.check.races;
+        opts.panicOnRace = config_.check.panicOnRace;
+        opts.traceDepth = config_.check.traceDepth;
+        checker_ = std::make_unique<check::Checker>(opts, &engine_);
+        checker_->setCopyListResolver(
+            [this](Vpn vpn) -> const mem::CopyList* {
+                return directory_.contains(vpn) ? &directory_.copyList(vpn)
+                                                : nullptr;
+            });
+    }
+
     nodes_.reserve(config_.nodes);
     for (NodeId id = 0; id < config_.nodes; ++id) {
         nodes_.push_back(std::make_unique<node::Node>(
@@ -64,6 +78,10 @@ Machine::Machine(MachineConfig config)
         n.processor().setTranslator([this, id](Vpn vpn) {
             return translateFor(id, vpn);
         });
+        if (checker_) {
+            n.cm().setCheckObserver(checker_.get());
+            n.processor().setCheckObserver(checker_.get());
+        }
     }
 }
 
@@ -141,6 +159,9 @@ Machine::alloc(std::size_t bytes, NodeId home)
         const FrameId frame = nodes_[home]->memory().allocFrame();
         const PhysPage master{home, frame};
         directory_.create(vpn, master);
+        if (checker_) {
+            directory_.copyList(vpn).setCheckObserver(checker_.get());
+        }
         nodes_[home]->tables().setMaster(frame, master);
     }
     PLUS_LOG(LogComponent::Machine, "alloc ", pages, " page(s) at vpn ",
@@ -199,6 +220,9 @@ Machine::replicate(Addr addr, NodeId target)
     }
     const std::optional<PhysPage> successor = cl.successorOf(anchor);
     cl.insertAfter(anchor, new_copy);
+    if (checker_) {
+        checker_->onCopyListChanged(vpn);
+    }
 
     // Make the new copy visible to the coherence hardware *before* the
     // data copy starts, so concurrent writes flow through it.
@@ -274,6 +298,9 @@ Machine::deleteCopy(Addr addr, NodeId node)
     }
     const std::optional<PhysPage> successor = cl.successorOf(victim);
     cl.removeOn(node);
+    if (checker_) {
+        checker_->onCopyListChanged(vpn);
+    }
 
     // Splice first (future updates bypass the victim), shoot down the
     // mappings, then flush via the predecessor so in-flight updates the
@@ -300,6 +327,9 @@ Machine::reorderCopyListQuiesced(Addr addr)
         return;
     }
     cl.orderForPathLength(topology_);
+    if (checker_) {
+        checker_->onCopyListChanged(vpn);
+    }
     const std::vector<PhysPage> order = cl.copies();
     for (std::size_t i = 0; i < order.size(); ++i) {
         mem::CoherenceTables& tables = nodes_[order[i].node]->tables();
@@ -345,10 +375,15 @@ Machine::promoteMasterQuiesced(Addr addr, NodeId node)
     PLUS_ASSERT(cl.empty(), "copy-list rebuild lost track");
     for (const PhysPage& copy : order) {
         if (cl.empty()) {
+            // Copy-assignment wipes the observer; re-install it below.
             cl = mem::CopyList(copy);
         } else {
             cl.append(copy);
         }
+    }
+    if (checker_) {
+        cl.setCheckObserver(checker_.get());
+        checker_->onCopyListChanged(vpn);
     }
 
     for (std::size_t i = 0; i < order.size(); ++i) {

@@ -30,6 +30,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "check/checker.hpp"
 #include "common/config.hpp"
 #include "common/types.hpp"
 #include "mem/page_table.hpp"
@@ -193,6 +194,12 @@ class Machine
     void enableCompetitiveReplication(std::uint64_t threshold,
                                       unsigned max_copies);
 
+    /**
+     * The machine's plus::check instance (invariant checker and race
+     * detector), or null when MachineConfig::check disables everything.
+     */
+    check::Checker* checker() { return checker_.get(); }
+
   private:
     friend class Context;
 
@@ -210,6 +217,9 @@ class Machine
 
     mem::PageDirectory directory_;
     Vpn nextVpn_ = 1; ///< vpn 0 is reserved (null page)
+
+    /** Runtime checking; nodes hold raw observer pointers into this. */
+    std::unique_ptr<check::Checker> checker_;
 
     struct PendingCopy {
         Vpn vpn;

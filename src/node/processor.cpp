@@ -298,6 +298,9 @@ Processor::read(Addr vaddr)
     if (!local) {
         charge(cost_.procRemoteReadComplete, &ProcessorStats::memBusy);
     }
+    if (check_) {
+        check_->onProcRead(self_, threads_[t].id, vaddr);
+    }
     return state->value;
 }
 
@@ -331,6 +334,9 @@ Processor::write(Addr vaddr, Word value)
     if (!state->done) {
         state->yielded = true;
         blockCurrent(StallKind::PendingFull);
+    }
+    if (check_) {
+        check_->onProcWrite(self_, threads_[t].id, vaddr);
     }
 }
 
@@ -366,6 +372,11 @@ Processor::issueRmw(proto::RmwOp op, Addr vaddr, Word operand)
         state->yielded = true;
         blockCurrent(StallKind::IssueSlot);
     }
+    rmwTargets_[state->handle] = vaddr;
+    if (check_) {
+        check_->onProcRmwIssue(self_, threads_[t].id, vaddr,
+                               static_cast<std::uint8_t>(op));
+    }
     return state->handle;
 }
 
@@ -378,6 +389,13 @@ Processor::rmwReady(proto::DelayedOpHandle handle) const
 Word
 Processor::verify(proto::DelayedOpHandle handle)
 {
+    // Resolve the handle's target before the wait: once the result is
+    // consumed the cache slot (and the handle) can be reallocated.
+    Addr target = kInvalidAddr;
+    if (auto it = rmwTargets_.find(handle); it != rmwTargets_.end()) {
+        target = it->second;
+        rmwTargets_.erase(it);
+    }
     auto state = std::make_shared<WaitState>();
     const unsigned t = current_;
     deps_.cm->procVerify(handle, [this, state, t](Word value) {
@@ -394,6 +412,9 @@ Processor::verify(proto::DelayedOpHandle handle)
         blockCurrent(StallKind::Verify);
     }
     charge(cost_.procReadResult, &ProcessorStats::verifyBusy);
+    if (check_ && target != kInvalidAddr) {
+        check_->onProcVerify(self_, threads_[t].id, target);
+    }
     return state->value;
 }
 
@@ -410,6 +431,9 @@ Processor::writeFence()
     stats_.fences += 1;
     deps_.cm->procWriteFence();
     charge(1, &ProcessorStats::issueBusy);
+    if (check_) {
+        check_->onProcWriteFence(self_, currentThreadId());
+    }
 }
 
 void
@@ -427,6 +451,9 @@ Processor::fence()
     if (!state->done) {
         state->yielded = true;
         blockCurrent(StallKind::Fence);
+    }
+    if (check_) {
+        check_->onProcFence(self_, threads_[t].id);
     }
 }
 

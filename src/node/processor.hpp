@@ -28,8 +28,10 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
+#include "check/hooks.hpp"
 #include "common/config.hpp"
 #include "common/types.hpp"
 #include "node/cache.hpp"
@@ -122,6 +124,12 @@ class Processor
 
     /** Install the OS translation service. */
     void setTranslator(Translator t) { translate_ = std::move(t); }
+
+    /**
+     * Mirror application-level accesses into the plus::check subsystem
+     * (feeds the happens-before race detector). Null disables.
+     */
+    void setCheckObserver(check::ProcObserver* check) { check_ = check; }
 
     /** Invoked once every resident thread has finished. */
     void setAllFinishedHandler(std::function<void()> fn)
@@ -238,6 +246,15 @@ class Processor
     Deps deps_;
     Translator translate_;
     std::function<void()> allFinished_;
+    check::ProcObserver* check_ = nullptr;
+
+    /**
+     * Target address of each outstanding delayed operation, so verify()
+     * can report which word the acquire synchronized on. Keyed by handle;
+     * the entry is consumed at verify entry, before the cache slot (and
+     * with it the handle) can be reused.
+     */
+    std::unordered_map<proto::DelayedOpHandle, Addr> rmwTargets_;
 
     std::vector<Thread> threads_;
     std::deque<unsigned> readyQueue_;

@@ -83,6 +83,11 @@ CoherenceManager::procRead(Vpn vpn, Addr word_offset, PhysAddr phys,
     pendingWrites_.whenAddrClear(
         vpn, word_offset,
         [this, vpn, word_offset, phys, done = std::move(done)]() mutable {
+            if (check_) {
+                // The conflicting-write wait is over: the checker verifies
+                // no same-node write to the location is still in flight.
+                check_->onReadServed(self_, vpn, word_offset);
+            }
             if (phys.page.node == self_) {
                 stats_.localReads += 1;
                 done(deps_.memory->read(phys.page.frame, word_offset));
@@ -157,6 +162,10 @@ CoherenceManager::procWrite(Vpn vpn, Addr word_offset, PhysAddr phys,
                 const WriteTag tag =
                     pendingWrites_.insert(vpn, word_offset);
                 pendingWrites_.noteHighWater();
+                if (check_) {
+                    check_->onWriteIssued(self_, tag, vpn, word_offset,
+                                          /*from_rmw=*/false);
+                }
                 accepted();
                 dispatchWrite(vpn, word_offset, phys, value, tag);
             });
@@ -212,14 +221,20 @@ void
 CoherenceManager::writeAtMaster(Vpn vpn, FrameId frame, Addr word_offset,
                                 Word value, NodeId originator, WriteTag tag)
 {
-    (void)vpn;
     applyLocal(frame, word_offset, value);
-    continueChain(frame, {WordWrite{word_offset, value}}, originator, tag,
-                  /*from_rmw=*/false, /*need_ack=*/true);
+    const check::ChainId chain = nextChainId();
+    if (check_) {
+        check_->onChainApplied(chain, PhysPage{self_, frame}, vpn,
+                               word_offset, 1, originator, tag,
+                               /*tracked=*/true, /*at_master=*/true);
+    }
+    continueChain(vpn, chain, frame, {WordWrite{word_offset, value}},
+                  originator, tag, /*from_rmw=*/false, /*need_ack=*/true);
 }
 
 void
-CoherenceManager::continueChain(FrameId frame, std::vector<WordWrite> writes,
+CoherenceManager::continueChain(Vpn vpn, check::ChainId chain, FrameId frame,
+                                std::vector<WordWrite> writes,
                                 NodeId originator, WriteTag tag,
                                 bool from_rmw, bool need_ack)
 {
@@ -227,9 +242,11 @@ CoherenceManager::continueChain(FrameId frame, std::vector<WordWrite> writes,
     if (next) {
         auto msg = std::make_unique<UpdateReq>();
         msg->target = *next;
+        msg->vpn = vpn;
         msg->writes = std::move(writes);
         msg->originator = originator;
         msg->tag = tag;
+        msg->chainId = chain;
         msg->fromRmw = from_rmw;
         msg->needAck = need_ack;
         const unsigned bytes = msg->bytes();
@@ -283,6 +300,11 @@ CoherenceManager::issueRmwUngated(
                         const WriteTag tag =
                             pendingWrites_.insert(vpn, word_offset);
                         pendingWrites_.noteHighWater();
+                        if (check_) {
+                            check_->onWriteIssued(self_, tag, vpn,
+                                                  word_offset,
+                                                  /*from_rmw=*/true);
+                        }
                         issued(handle);
                         dispatchRmw(op, vpn, word_offset, phys, operand,
                                     handle, tag, /*track=*/true);
@@ -351,7 +373,6 @@ CoherenceManager::rmwAtMaster(RmwOp op, Vpn vpn, FrameId frame,
                               NodeId originator, OpTag op_tag,
                               WriteTag write_tag, bool track)
 {
-    (void)vpn;
     PageView view{[this, frame](Addr off) {
         return deps_.memory->read(frame, off);
     }};
@@ -377,8 +398,16 @@ CoherenceManager::rmwAtMaster(RmwOp op, Vpn vpn, FrameId frame,
     }
 
     if (!writes.empty()) {
-        continueChain(frame, std::move(writes), originator, write_tag,
-                      /*from_rmw=*/true, /*need_ack=*/track);
+        const check::ChainId chain = nextChainId();
+        if (check_) {
+            check_->onChainApplied(chain, PhysPage{self_, frame}, vpn,
+                                   writes.front().wordOffset,
+                                   static_cast<unsigned>(writes.size()),
+                                   originator, write_tag,
+                                   /*tracked=*/track, /*at_master=*/true);
+        }
+        continueChain(vpn, chain, frame, std::move(writes), originator,
+                      write_tag, /*from_rmw=*/true, /*need_ack=*/track);
     } else if (track) {
         // Nothing to propagate: retire the tracked pseudo-write now.
         if (originator == self_) {
@@ -420,7 +449,12 @@ CoherenceManager::procFence(std::function<void()> done)
     // A blocking fence must also wait for writes still gated behind an
     // earlier write fence, so it joins the gate queue itself.
     gateBehindFence([this, done = std::move(done)]() mutable {
-        pendingWrites_.whenEmpty(std::move(done));
+        pendingWrites_.whenEmpty([this, done = std::move(done)]() mutable {
+            if (check_) {
+                check_->onFenceComplete(self_, pendingWrites_.empty());
+            }
+            done();
+        });
     });
 }
 
@@ -600,8 +634,15 @@ CoherenceManager::onUpdateReq(const UpdateReq& msg)
         for (const WordWrite& w : msg.writes) {
             applyLocal(frame, w.wordOffset, w.value);
         }
-        continueChain(frame, msg.writes, msg.originator, msg.tag,
-                      msg.fromRmw, msg.needAck);
+        if (check_) {
+            check_->onChainApplied(
+                msg.chainId, msg.target, msg.vpn,
+                msg.writes.empty() ? 0 : msg.writes.front().wordOffset,
+                static_cast<unsigned>(msg.writes.size()), msg.originator,
+                msg.tag, /*tracked=*/msg.needAck, /*at_master=*/false);
+        }
+        continueChain(msg.vpn, msg.chainId, frame, msg.writes,
+                      msg.originator, msg.tag, msg.fromRmw, msg.needAck);
     });
 }
 

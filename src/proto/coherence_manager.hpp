@@ -31,6 +31,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "check/hooks.hpp"
 #include "common/config.hpp"
 #include "common/types.hpp"
 #include "mem/coherence_tables.hpp"
@@ -123,6 +124,17 @@ class CoherenceManager
     void setPageCopyDoneHandler(PageCopyDoneHandler h)
     {
         pageCopyDone_ = std::move(h);
+    }
+
+    /**
+     * Mirror protocol milestones (and the pending-writes cache) into the
+     * plus::check subsystem. Null (the default) disables instrumentation.
+     */
+    void
+    setCheckObserver(check::Observer* check)
+    {
+        check_ = check;
+        pendingWrites_.setCheckObserver(check, self_);
     }
 
     // --- processor-side interface ------------------------------------------
@@ -225,10 +237,17 @@ class CoherenceManager
     void writeAtMaster(Vpn vpn, FrameId frame, Addr word_offset, Word value,
                        NodeId originator, WriteTag tag);
     /** Forward effects down the list or acknowledge the originator. */
-    void continueChain(FrameId frame, std::vector<WordWrite> writes,
-                       NodeId originator, WriteTag tag, bool from_rmw,
-                       bool need_ack);
+    void continueChain(Vpn vpn, check::ChainId chain, FrameId frame,
+                       std::vector<WordWrite> writes, NodeId originator,
+                       WriteTag tag, bool from_rmw, bool need_ack);
     void retireWrite(WriteTag tag);
+
+    /** Chain identity for a write this master starts propagating. */
+    check::ChainId
+    nextChainId()
+    {
+        return (static_cast<check::ChainId>(self_) << 32) | ++chainCounter_;
+    }
 
     // RMW path.
     void issueRmwUngated(RmwOp op, Vpn vpn, Addr word_offset,
@@ -291,6 +310,8 @@ class CoherenceManager
     Translator translate_;
     SnoopHook snoop_;
     PageCopyDoneHandler pageCopyDone_;
+    check::Observer* check_ = nullptr;
+    std::uint32_t chainCounter_ = 0;
 
     CmStats stats_;
 };

@@ -105,9 +105,12 @@ struct WriteReq : ProtoMsg {
 struct UpdateReq : ProtoMsg {
     UpdateReq() : ProtoMsg(MsgType::UpdateReq) {}
     PhysPage target; ///< the copy to update
+    Vpn vpn = 0;
     std::vector<WordWrite> writes;
     NodeId originator = kInvalidNode;
     WriteTag tag = 0;
+    /** Chain identity assigned by the master (see check::ChainId). */
+    std::uint64_t chainId = 0;
     bool fromRmw = false;
     /** Whether the tail of the chain must acknowledge the originator. */
     bool needAck = true;

@@ -17,6 +17,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "check/hooks.hpp"
 #include "common/panic.hpp"
 #include "common/types.hpp"
 
@@ -35,6 +36,14 @@ class PendingWrites
         PLUS_ASSERT(capacity_ > 0, "pending-writes cache needs capacity");
     }
 
+    /** Mirror cache events into @p check (null to disable). */
+    void
+    setCheckObserver(check::PendingWritesObserver* check, NodeId self)
+    {
+        check_ = check;
+        self_ = self;
+    }
+
     unsigned capacity() const { return capacity_; }
     unsigned inFlight() const { return static_cast<unsigned>(map_.size()); }
     bool full() const { return inFlight() >= capacity_; }
@@ -51,6 +60,9 @@ class PendingWrites
         PLUS_ASSERT(!full(), "pending-writes cache overflow");
         const Tag tag = nextTag_++;
         map_.emplace(tag, Key{vpn, word_offset});
+        if (check_) {
+            check_->onPendingInsert(self_, tag, vpn, word_offset);
+        }
         return tag;
     }
 
@@ -58,6 +70,11 @@ class PendingWrites
     void
     complete(Tag tag)
     {
+        if (check_) {
+            // Before the assert: a double retire must reach the checker so
+            // the panic carries the event history.
+            check_->onPendingComplete(self_, tag);
+        }
         auto it = map_.find(tag);
         PLUS_ASSERT(it != map_.end(), "ack for unknown write tag ", tag);
         map_.erase(it);
@@ -172,6 +189,8 @@ class PendingWrites
     };
 
     unsigned capacity_;
+    check::PendingWritesObserver* check_ = nullptr;
+    NodeId self_ = kInvalidNode;
     Tag nextTag_ = 1;
     std::unordered_map<Tag, Key> map_;
     std::vector<Waiter> emptyWaiters_;

@@ -4,6 +4,22 @@
 
 #include "common/panic.hpp"
 
+// When built with AddressSanitizer, every stack switch must be announced
+// so ASan tracks the fake-stack of the context being entered; otherwise
+// ucontext switches look like wild stack changes and produce false
+// positives (or crashes with detect_stack_use_after_return).
+#if defined(__SANITIZE_ADDRESS__)
+#define PLUS_ASAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define PLUS_ASAN_FIBERS 1
+#endif
+#endif
+
+#if defined(PLUS_ASAN_FIBERS)
+#include <sanitizer/common_interface_defs.h>
+#endif
+
 namespace plus {
 namespace sim {
 
@@ -12,10 +28,39 @@ namespace {
 /** Fiber currently executing (single-threaded simulator). */
 Fiber* currentFiber = nullptr;
 
+/** Thrown from yield() to unwind a fiber being cancelled. */
+struct Cancelled {};
+
+void
+startSwitch(void** fake_stack_save, const void* bottom, std::size_t size)
+{
+#if defined(PLUS_ASAN_FIBERS)
+    __sanitizer_start_switch_fiber(fake_stack_save, bottom, size);
+#else
+    (void)fake_stack_save;
+    (void)bottom;
+    (void)size;
+#endif
+}
+
+void
+finishSwitch(void* fake_stack_save, const void** bottom_old,
+             std::size_t* size_old)
+{
+#if defined(PLUS_ASAN_FIBERS)
+    __sanitizer_finish_switch_fiber(fake_stack_save, bottom_old, size_old);
+#else
+    (void)fake_stack_save;
+    (void)bottom_old;
+    (void)size_old;
+#endif
+}
+
 } // namespace
 
 Fiber::Fiber(std::function<void()> body, std::size_t stack_bytes)
-    : body_(std::move(body)), stack_(new char[stack_bytes])
+    : body_(std::move(body)), stack_(new char[stack_bytes]),
+      stackBytes_(stack_bytes)
 {
     PLUS_ASSERT(body_, "fiber needs a body");
     if (getcontext(&context_) != 0) {
@@ -33,7 +78,10 @@ Fiber::Fiber(std::function<void()> body, std::size_t stack_bytes)
                 2, hi, lo);
 }
 
-Fiber::~Fiber() = default;
+Fiber::~Fiber()
+{
+    cancel();
+}
 
 void
 Fiber::trampoline(unsigned hi, unsigned lo)
@@ -41,33 +89,76 @@ Fiber::trampoline(unsigned hi, unsigned lo)
     auto self = reinterpret_cast<Fiber*>(
         (static_cast<std::uintptr_t>(hi) << 32) |
         static_cast<std::uintptr_t>(lo));
+    // First activation: no fake stack to restore; learn the resumer
+    // stack's bounds for the switches back.
+    finishSwitch(nullptr, &self->returnBottom_, &self->returnSize_);
     self->run();
 }
 
 void
 Fiber::run()
 {
-    body_();
+    try {
+        body_();
+    } catch (const Cancelled&) {
+        // Destructor-driven unwind; nobody is waiting for a result.
+    } catch (...) {
+        // Unwinding across swapcontext is undefined behaviour; park the
+        // exception and let resume() rethrow it on the resumer's stack.
+        pending_ = std::current_exception();
+    }
     finished_ = true;
     // Return control to the resumer for the last time. The context swap
-    // never comes back here.
+    // never comes back here; a null fake-stack save tells ASan to destroy
+    // this fiber's fake stack.
     Fiber* self = currentFiber;
     currentFiber = nullptr;
+    startSwitch(nullptr, self->returnBottom_, self->returnSize_);
     swapcontext(&self->context_, &self->returnContext_);
     PLUS_PANIC("resumed a finished fiber");
 }
 
 void
-Fiber::resume()
+Fiber::switchIn()
 {
     PLUS_ASSERT(!finished_, "resume of a finished fiber");
     PLUS_ASSERT(currentFiber == nullptr,
                 "nested fiber resume is not supported");
     started_ = true;
     currentFiber = this;
+    void* resumer_fake_stack = nullptr;
+    startSwitch(&resumer_fake_stack, stack_.get(), stackBytes_);
     if (swapcontext(&returnContext_, &context_) != 0) {
         PLUS_PANIC("swapcontext into fiber failed");
     }
+    finishSwitch(resumer_fake_stack, nullptr, nullptr);
+}
+
+void
+Fiber::resume()
+{
+    switchIn();
+    if (pending_) {
+        std::exception_ptr pending = std::move(pending_);
+        pending_ = nullptr;
+        std::rethrow_exception(pending);
+    }
+}
+
+void
+Fiber::cancel()
+{
+    if (!started_ || finished_) {
+        return;
+    }
+    cancelling_ = true;
+    // A body that swallows the cancellation and yields again is resumed
+    // until it finishes; any exception it raises while unwinding is
+    // discarded (we are in a destructor).
+    while (!finished_) {
+        switchIn();
+    }
+    pending_ = nullptr;
 }
 
 void
@@ -76,11 +167,19 @@ Fiber::yield()
     Fiber* self = currentFiber;
     PLUS_ASSERT(self != nullptr, "yield outside any fiber");
     currentFiber = nullptr;
+    startSwitch(&self->fiberFakeStack_, self->returnBottom_,
+                self->returnSize_);
     if (swapcontext(&self->context_, &self->returnContext_) != 0) {
         PLUS_PANIC("swapcontext out of fiber failed");
     }
-    // Resumed again: restore the current-fiber marker.
+    // Resumed again: restore the current-fiber marker and refresh the
+    // resumer-stack bounds (the resumer may differ between activations).
+    finishSwitch(self->fiberFakeStack_, &self->returnBottom_,
+                 &self->returnSize_);
     currentFiber = self;
+    if (self->cancelling_) {
+        throw Cancelled{};
+    }
 }
 
 Fiber*

@@ -15,6 +15,7 @@
 #include <ucontext.h>
 
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <memory>
 
@@ -34,6 +35,14 @@ class Fiber
      *                     application call chain.
      */
     Fiber(std::function<void()> body, std::size_t stack_bytes);
+
+    /**
+     * A started-but-unfinished fiber is cancelled on destruction: it is
+     * resumed with a cancellation flag that makes yield() throw, so the
+     * body unwinds and destructors of objects on the fiber stack run
+     * (the stack itself is just a byte array — without the unwind, any
+     * heap references parked on it would leak).
+     */
     ~Fiber();
 
     Fiber(const Fiber&) = delete;
@@ -42,6 +51,10 @@ class Fiber
     /**
      * Transfer control into the fiber. Must not be called from inside any
      * fiber other than the scheduler context, and not on a finished fiber.
+     *
+     * An exception escaping the fiber body is captured on the fiber stack
+     * and rethrown here, on the resumer's stack, after the fiber is marked
+     * finished — unwinding across a context switch is undefined behaviour.
      */
     void resume();
 
@@ -60,13 +73,24 @@ class Fiber
   private:
     static void trampoline(unsigned hi, unsigned lo);
     void run();
+    void switchIn();
+    void cancel();
 
     std::function<void()> body_;
     std::unique_ptr<char[]> stack_;
+    std::size_t stackBytes_;
     ucontext_t context_;
     ucontext_t returnContext_;
     bool started_ = false;
     bool finished_ = false;
+    bool cancelling_ = false;
+    /** Exception that escaped the body, rethrown by resume(). */
+    std::exception_ptr pending_;
+
+    // AddressSanitizer fake-stack bookkeeping (unused otherwise).
+    void* fiberFakeStack_ = nullptr;
+    const void* returnBottom_ = nullptr;
+    std::size_t returnSize_ = 0;
 };
 
 } // namespace sim
