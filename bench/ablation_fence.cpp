@@ -13,10 +13,11 @@
 #include "workloads/beam.hpp"
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace plus;
     using namespace plus::bench;
+    parseHarnessArgs(argc, argv);
 
     printHeader("Ablation D: explicit vs implicit (DASH-style) fences",
                 "beam search, delayed operations, 2-16 processors");
@@ -46,16 +47,11 @@ main()
         table.addRow(
             {std::to_string(nodes), TablePrinter::num(r1.elapsed),
              TablePrinter::num(r2.elapsed),
-             TablePrinter::num(
-                 100.0 * (static_cast<double>(r2.elapsed) /
-                              static_cast<double>(r1.elapsed) -
-                          1.0),
-                 1) +
-                 "%"});
+             percentDelta(r1.elapsed, r2.elapsed)});
     }
-    table.print(std::cout);
-    std::cout << "\nExpected: forcing strong ordering at every "
-                 "synchronization operation costs cycles that\nPLUS's "
-                 "selective explicit fence avoids.\n\n";
+    finishTable(table,
+                "Expected: forcing strong ordering at every "
+                "synchronization operation costs cycles that\nPLUS's "
+                "selective explicit fence avoids.");
     return 0;
 }

@@ -55,6 +55,7 @@ runFlood(unsigned nodes, unsigned copies, bool ideal)
         });
     }
     machine.run();
+    exportTelemetry(machine);
     const auto& net = machine.network().stats();
     return {machine.now(), net.queueing.mean(), net.packets};
 }
@@ -62,8 +63,9 @@ runFlood(unsigned nodes, unsigned copies, bool ideal)
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    parseHarnessArgs(argc, argv);
     printHeader("Ablation B: mesh contention vs ideal network",
                 "update flooding as replication grows (Section 2.5)");
 
@@ -77,14 +79,14 @@ main()
         table.addRow(
             {std::to_string(copies), TablePrinter::num(mesh.elapsed),
              TablePrinter::num(ideal.elapsed),
-             TablePrinter::num(static_cast<double>(mesh.elapsed) /
-                               static_cast<double>(ideal.elapsed)),
+             TablePrinter::num(ratioOf(static_cast<double>(mesh.elapsed),
+                                       static_cast<double>(ideal.elapsed))),
              TablePrinter::num(mesh.meanQueueing),
              TablePrinter::num(mesh.messages)});
     }
-    table.print(std::cout);
-    std::cout << "\nExpected: with few copies the mesh tracks the ideal "
-                 "network; at full replication\nthe update fan-out "
-                 "saturates links and the mesh falls behind.\n\n";
+    finishTable(table,
+                "Expected: with few copies the mesh tracks the ideal "
+                "network; at full replication\nthe update fan-out "
+                "saturates links and the mesh falls behind.");
     return 0;
 }

@@ -1,13 +1,18 @@
 /**
  * @file
- * Shared helpers for the table/figure reproduction harnesses.
+ * Shared helpers for the table/figure reproduction harnesses: the
+ * common machine configuration, the ratio / efficiency arithmetic the
+ * tables print, and the telemetry command-line plumbing
+ * (--trace-out=<file> / --stats-out=<file>) every bench accepts.
  */
 
 #ifndef PLUS_BENCH_BENCH_UTIL_HPP_
 #define PLUS_BENCH_BENCH_UTIL_HPP_
 
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "common/config.hpp"
 #include "common/table.hpp"
@@ -15,6 +20,48 @@
 
 namespace plus {
 namespace bench {
+
+/** Telemetry outputs requested on the command line. */
+struct HarnessOptions {
+    std::string traceOut; ///< --trace-out=<file>: Perfetto JSON trace
+    std::string statsOut; ///< --stats-out=<file>: metrics + traffic JSON
+
+    /** True when any output was requested, i.e. telemetry should run. */
+    bool telemetry() const
+    {
+        return !traceOut.empty() || !statsOut.empty();
+    }
+};
+
+/** The process-wide options parseHarnessArgs() fills in. */
+inline HarnessOptions&
+harnessOptions()
+{
+    static HarnessOptions opts;
+    return opts;
+}
+
+/**
+ * Consume the harness options from @p argv and return whatever remains
+ * (bench-specific flags, minus argv[0]). Call once at the top of main;
+ * machineConfig() then enables event tracing automatically.
+ */
+inline std::vector<std::string>
+parseHarnessArgs(int argc, char** argv)
+{
+    std::vector<std::string> rest;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg(argv[i]);
+        if (arg.rfind("--trace-out=", 0) == 0) {
+            harnessOptions().traceOut = arg.substr(12);
+        } else if (arg.rfind("--stats-out=", 0) == 0) {
+            harnessOptions().statsOut = arg.substr(12);
+        } else {
+            rest.push_back(arg);
+        }
+    }
+    return rest;
+}
 
 /** Machine configuration used by the reproduction experiments. */
 inline MachineConfig
@@ -24,7 +71,37 @@ machineConfig(unsigned nodes, ProcessorMode mode = ProcessorMode::Delayed)
     cfg.nodes = nodes;
     cfg.framesPerNode = 4096;
     cfg.mode = mode;
+    cfg.telemetry.trace = harnessOptions().telemetry();
     return cfg;
+}
+
+/**
+ * Write the files requested on the command line from @p machine's
+ * telemetry. Benches that build several machines call this on the one
+ * the files should describe (conventionally the last run); each call
+ * overwrites. No-op when no output was requested.
+ */
+inline bool
+exportTelemetry(const core::Machine& machine)
+{
+    const HarnessOptions& opts = harnessOptions();
+    if (!opts.traceOut.empty() && machine.telemetry() != nullptr) {
+        std::ofstream os(opts.traceOut);
+        if (!os) {
+            std::cerr << "cannot open " << opts.traceOut << "\n";
+            return false;
+        }
+        machine.writeTraceJson(os);
+    }
+    if (!opts.statsOut.empty()) {
+        std::ofstream os(opts.statsOut);
+        if (!os) {
+            std::cerr << "cannot open " << opts.statsOut << "\n";
+            return false;
+        }
+        machine.writeStatsJson(os);
+    }
+    return true;
 }
 
 /** Ratio of local to remote operations as Table 2-1 prints it. */
@@ -36,6 +113,33 @@ localRemoteRatio(std::uint64_t local, std::uint64_t remote)
                              static_cast<double>(remote);
 }
 
+/** num/den with a zero denominator mapped to 0 (slowdowns, speedups). */
+inline double
+ratioOf(double num, double den)
+{
+    return den == 0 ? 0.0 : num / den;
+}
+
+/** Parallel efficiency t1 / (n * tn) against a one-processor baseline. */
+inline double
+efficiency(Cycles t1, unsigned nodes, Cycles tn)
+{
+    return ratioOf(static_cast<double>(t1),
+                   static_cast<double>(nodes) * static_cast<double>(tn));
+}
+
+/** "+x.y%" overhead of @p other relative to @p base. */
+inline std::string
+percentDelta(Cycles base, Cycles other)
+{
+    return TablePrinter::num(
+               100.0 * (ratioOf(static_cast<double>(other),
+                                static_cast<double>(base)) -
+                        1.0),
+               1) +
+           "%";
+}
+
 inline void
 printHeader(const std::string& what, const std::string& paper_ref)
 {
@@ -43,6 +147,18 @@ printHeader(const std::string& what, const std::string& paper_ref)
               << "Reproduces: " << paper_ref << "\n"
               << "(absolute numbers differ from the 1990 testbed; the "
                  "trends are the result)\n\n";
+}
+
+/** Print @p table followed by the closing commentary every bench ends
+ *  with (pass "" for none). */
+inline void
+finishTable(TablePrinter& table, const std::string& note = "")
+{
+    table.print(std::cout);
+    std::cout << "\n";
+    if (!note.empty()) {
+        std::cout << note << "\n\n";
+    }
 }
 
 } // namespace bench

@@ -43,21 +43,20 @@ runOnce(unsigned nodes, unsigned replication, plus::Cycles t1)
         std::exit(1);
     }
     Sample s;
-    s.efficiency = t1 == 0 ? 1.0
-                           : static_cast<double>(t1) /
-                                 (static_cast<double>(nodes) *
-                                  static_cast<double>(r.elapsed));
+    s.efficiency = t1 == 0 ? 1.0 : efficiency(t1, nodes, r.elapsed);
     s.utilization = r.report.utilization(nodes);
+    exportTelemetry(machine);
     return s;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace plus;
     using namespace plus::bench;
+    parseHarnessArgs(argc, argv);
 
     printHeader("Figure 2-1(b): SSSP efficiency and utilization",
                 "efficiency/utilization vs processors, replication off/on");
@@ -94,10 +93,10 @@ main()
                       TablePrinter::num(repl.efficiency),
                       TablePrinter::num(repl.utilization)});
     }
-    table.print(std::cout);
-    std::cout << "\nExpected shape: the no-replication utilization decays "
-                 "past a few processors;\nthe replicated curves stay high "
-                 "until ~32 processors, then fall as the fixed-size\n"
-                 "problem runs out of parallelism.\n\n";
+    finishTable(table,
+                "Expected shape: the no-replication utilization decays "
+                "past a few processors;\nthe replicated curves stay high "
+                "until ~32 processors, then fall as the fixed-size\n"
+                "problem runs out of parallelism.");
     return 0;
 }

@@ -54,8 +54,9 @@ runOnce(unsigned nodes, ProcessorMode mode, Cycles ctx_cost,
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    parseHarnessArgs(argc, argv);
     printHeader("Figure 3-1: beam-search efficiency vs sync cost",
                 "blocking vs delayed ops vs context switching 16/40/140");
 
@@ -67,9 +68,7 @@ main()
                      "ctx-140"});
     for (unsigned nodes : {1u, 2u, 4u, 8u, 16u}) {
         auto eff = [&](Cycles tn) {
-            return TablePrinter::num(
-                static_cast<double>(t1) /
-                (static_cast<double>(nodes) * static_cast<double>(tn)));
+            return TablePrinter::num(efficiency(t1, nodes, tn));
         };
         const Cycles blocking =
             runOnce(nodes, ProcessorMode::Blocking, 0, 1);
@@ -84,8 +83,8 @@ main()
         table.addRow({std::to_string(nodes), eff(blocking), eff(delayed),
                       eff(ctx16), eff(ctx40), eff(ctx140)});
     }
-    table.print(std::cout);
-    std::cout << "\nExpected ordering at scale: ctx-16 >= delayed > "
-                 "ctx-40 > blocking >= ctx-140.\n\n";
+    finishTable(table,
+                "Expected ordering at scale: ctx-16 >= delayed > "
+                "ctx-40 > blocking >= ctx-140.");
     return 0;
 }

@@ -24,10 +24,11 @@
 #include "workloads/sssp.hpp"
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace plus;
     using namespace plus::bench;
+    parseHarnessArgs(argc, argv);
 
     printHeader("Table 2-1: Effect of Replication on Messages",
                 "SSSP, 16 processors, replication level 1-5");
@@ -68,10 +69,11 @@ main()
         // "Update" counts the write-carrying messages (write requests
         // travelling to the master plus copy-list updates).
         const double ratio =
-            rep.writeCarryingMessages == 0
-                ? 0.0
-                : static_cast<double>(rep.totalMessages) /
-                      static_cast<double>(rep.writeCarryingMessages);
+            ratioOf(static_cast<double>(rep.totalMessages),
+                    static_cast<double>(rep.writeCarryingMessages));
+        if (copies == 5) {
+            exportTelemetry(machine);
+        }
         table.addRow({std::to_string(copies),
                       TablePrinter::num(reads),
                       TablePrinter::num(paper[copies - 1].reads),
@@ -80,7 +82,6 @@ main()
                       TablePrinter::num(ratio),
                       TablePrinter::num(paper[copies - 1].ratio)});
     }
-    table.print(std::cout);
-    std::cout << "\n";
+    finishTable(table);
     return 0;
 }

@@ -70,7 +70,7 @@ measureOp(RmwOp op, unsigned hops)
 }
 
 Cycles
-measureRemoteRead(unsigned hops)
+measureRemoteRead(unsigned hops, bool export_telemetry = false)
 {
     Machine machine(machineConfig(16));
     const Addr page = machine.alloc(kPageBytes, hops);
@@ -82,14 +82,18 @@ measureRemoteRead(unsigned hops)
         measured = ctx.machine().now() - before;
     });
     machine.run();
+    if (export_telemetry) {
+        exportTelemetry(machine);
+    }
     return measured;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    plus::bench::parseHarnessArgs(argc, argv);
     printHeader("Table 3-1: PLUS's delayed operations",
                 "per-op coherence-manager occupancy and end-to-end cost");
 
@@ -139,7 +143,7 @@ main()
     net.setHeader({"Hops", "Read latency", "(model 32+RTT)"});
     for (unsigned h = 1; h <= 3; ++h) {
         const Cycles rtt = 2 * (10 + 2 * h);
-        const Cycles got = measureRemoteRead(h);
+        const Cycles got = measureRemoteRead(h, h == 3);
         if (got != 32 + rtt) {
             ok = false;
         }

@@ -53,8 +53,9 @@ runLockBench(unsigned nodes, unsigned acquisitions_per_thread,
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    parseHarnessArgs(argc, argv);
     printHeader("Table 3-2: lock with queue",
                 "queued lock (fadd + queue/dequeue) vs test-and-set lock");
 
@@ -109,6 +110,9 @@ main()
                           << ")\n";
                 return 1;
             }
+            if (nodes == 16) {
+                exportTelemetry(machine);
+            }
         }
         table.addRow({std::to_string(nodes),
                       TablePrinter::num(spin.elapsed),
@@ -116,9 +120,9 @@ main()
                       TablePrinter::num(spin.rmwMessages),
                       TablePrinter::num(queued.rmwMessages)});
     }
-    table.print(std::cout);
-    std::cout << "\nBoth locks preserve mutual exclusion; the queued "
-                 "lock trades spinning rmw traffic\nfor one queue/dequeue "
-                 "pair per contended handoff.\n\n";
+    finishTable(table,
+                "Both locks preserve mutual exclusion; the queued "
+                "lock trades spinning rmw traffic\nfor one queue/dequeue "
+                "pair per contended handoff.");
     return 0;
 }

@@ -4,8 +4,11 @@
 #   1. tier-1:     regular build + full test suite
 #   2. sanitize:   ASan+UBSan build (PLUS_SANITIZE=ON) + full test suite
 #   3. tidy:       clang-tidy over src/ (skipped when the tool is absent)
+#   4. trace:      telemetry smoke test — run a 4-node workload with
+#                  --trace-out/--stats-out, validate both as JSON, and
+#                  check that tracing leaves bench output bit-identical
 #
-# Usage: scripts/ci.sh [tier1|sanitize|tidy|all]   (default: all)
+# Usage: scripts/ci.sh [tier1|sanitize|tidy|trace|all]   (default: all)
 
 set -euo pipefail
 
@@ -41,13 +44,45 @@ run_tidy() {
         xargs -0 -n 8 -P "$JOBS" clang-tidy -p build --quiet
 }
 
+run_trace() {
+    echo "=== trace: telemetry export smoke test ==="
+    cmake -B build -S . >/dev/null
+    cmake --build build -j "$JOBS" --target sim_harness table_3_1
+    local out
+    out="$(mktemp -d)"
+    trap 'rm -rf "$out"' RETURN
+
+    build/bench/sim_harness --nodes=4 \
+        --trace-out="$out/trace.json" --stats-out="$out/stats.json"
+    python3 - "$out/trace.json" "$out/stats.json" <<'EOF'
+import json, sys
+trace = json.load(open(sys.argv[1]))
+events = trace["traceEvents"]
+assert events, "empty trace"
+assert any(e.get("ph") == "s" for e in events), "no flow events"
+assert any(e.get("pid", 0) >= 1000 for e in events), "no link tracks"
+stats = json.load(open(sys.argv[2]))
+assert stats["metrics"]["counters"], "no counters"
+assert stats["traffic"]["perLink"], "no link traffic"
+print(f"trace OK: {len(events)} events")
+EOF
+
+    # Telemetry must never perturb the simulation.
+    build/bench/table_3_1 > "$out/plain.txt"
+    build/bench/table_3_1 --trace-out="$out/t.json" \
+        --stats-out="$out/s.json" > "$out/traced.txt"
+    diff "$out/plain.txt" "$out/traced.txt"
+    echo "bench output bit-identical with telemetry enabled"
+}
+
 case "$STAGE" in
     tier1)    run_tier1 ;;
     sanitize) run_sanitize ;;
     tidy)     run_tidy ;;
-    all)      run_tier1; run_sanitize; run_tidy ;;
+    trace)    run_trace ;;
+    all)      run_tier1; run_sanitize; run_tidy; run_trace ;;
     *)
-        echo "unknown stage '$STAGE' (want tier1|sanitize|tidy|all)" >&2
+        echo "unknown stage '$STAGE' (want tier1|sanitize|tidy|trace|all)" >&2
         exit 2
         ;;
 esac

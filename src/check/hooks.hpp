@@ -113,6 +113,57 @@ class ProtoObserver
     {
         (void)node; (void)vpn; (void)word_offset;
     }
+
+    /**
+     * The coherence manager of @p src handed a protocol message of
+     * @p msg_class (a proto::MsgType value) to the network, bound for
+     * @p dst. @p vpn attributes the traffic to a page when the message
+     * addresses one (0 — the reserved null page — otherwise).
+     */
+    virtual void
+    onMessageSent(NodeId src, NodeId dst, std::uint8_t msg_class,
+                  unsigned bytes, Vpn vpn)
+    {
+        (void)src; (void)dst; (void)msg_class; (void)bytes; (void)vpn;
+    }
+};
+
+/**
+ * Observer of network-level packet movement (net::Network). Kept separate
+ * from ProtoObserver because the network layer cannot name protocol types:
+ * @p msg_class is the proto::MsgType value carried opaquely on the packet
+ * (0xff when the sender did not classify it).
+ */
+class NetObserver
+{
+  public:
+    virtual ~NetObserver() = default;
+
+    /**
+     * A packet reached its destination. @p latency is end-to-end cycles
+     * from injection, of which @p queueing was spent behind busy links.
+     */
+    virtual void
+    onPacketDelivered(NodeId src, NodeId dst, std::uint8_t msg_class,
+                      unsigned bytes, unsigned hops, Cycles latency,
+                      Cycles queueing)
+    {
+        (void)src; (void)dst; (void)msg_class; (void)bytes; (void)hops;
+        (void)latency; (void)queueing;
+    }
+
+    /**
+     * The directed mesh link @p from -> @p to was occupied for
+     * @p duration cycles starting at @p start, serializing a packet of
+     * class @p msg_class carrying @p bytes of payload.
+     */
+    virtual void
+    onLinkBusy(NodeId from, NodeId to, std::uint8_t msg_class,
+               unsigned bytes, Cycles start, Cycles duration)
+    {
+        (void)from; (void)to; (void)msg_class; (void)bytes; (void)start;
+        (void)duration;
+    }
 };
 
 /** Observer of structural mutations of a mem::CopyList. */
@@ -176,6 +227,19 @@ class ProcObserver
     {
         (void)node; (void)tid;
     }
+
+    /**
+     * The processor on @p node just left a free interval: it had been
+     * waiting since @p start for @p duration cycles with @p kind (a
+     * node::StallKind value) as the recorded reason. Emitted when the
+     * interval closes, so begin and end arrive together.
+     */
+    virtual void
+    onProcStall(NodeId node, std::uint8_t kind, Cycles start,
+                Cycles duration)
+    {
+        (void)node; (void)kind; (void)start; (void)duration;
+    }
 };
 
 /** Convenience base implementing every hook family. */
@@ -184,6 +248,139 @@ class Observer : public PendingWritesObserver,
                  public CopyListObserver,
                  public ProcObserver
 {
+};
+
+/**
+ * Fan-out to two observers. Each instrumented subsystem holds a single
+ * observer pointer (keeping the disabled cost at one branch per event);
+ * when both the checker and the telemetry tracer are installed,
+ * core::Machine interposes one of these.
+ */
+class TeeObserver final : public Observer
+{
+  public:
+    TeeObserver(Observer* first, Observer* second)
+        : a_(first), b_(second)
+    {
+    }
+
+    void
+    onPendingInsert(NodeId node, std::uint32_t tag, Vpn vpn,
+                    Addr word_offset) override
+    {
+        a_->onPendingInsert(node, tag, vpn, word_offset);
+        b_->onPendingInsert(node, tag, vpn, word_offset);
+    }
+
+    void
+    onPendingComplete(NodeId node, std::uint32_t tag) override
+    {
+        a_->onPendingComplete(node, tag);
+        b_->onPendingComplete(node, tag);
+    }
+
+    void
+    onWriteIssued(NodeId node, std::uint32_t tag, Vpn vpn, Addr word_offset,
+                  bool from_rmw) override
+    {
+        a_->onWriteIssued(node, tag, vpn, word_offset, from_rmw);
+        b_->onWriteIssued(node, tag, vpn, word_offset, from_rmw);
+    }
+
+    void
+    onChainApplied(ChainId chain, PhysPage copy, Vpn vpn, Addr word_offset,
+                   unsigned words, NodeId originator, std::uint32_t tag,
+                   bool tracked, bool at_master) override
+    {
+        a_->onChainApplied(chain, copy, vpn, word_offset, words, originator,
+                           tag, tracked, at_master);
+        b_->onChainApplied(chain, copy, vpn, word_offset, words, originator,
+                           tag, tracked, at_master);
+    }
+
+    void
+    onFenceComplete(NodeId node, bool pending_empty) override
+    {
+        a_->onFenceComplete(node, pending_empty);
+        b_->onFenceComplete(node, pending_empty);
+    }
+
+    void
+    onReadServed(NodeId node, Vpn vpn, Addr word_offset) override
+    {
+        a_->onReadServed(node, vpn, word_offset);
+        b_->onReadServed(node, vpn, word_offset);
+    }
+
+    void
+    onMessageSent(NodeId src, NodeId dst, std::uint8_t msg_class,
+                  unsigned bytes, Vpn vpn) override
+    {
+        a_->onMessageSent(src, dst, msg_class, bytes, vpn);
+        b_->onMessageSent(src, dst, msg_class, bytes, vpn);
+    }
+
+    void
+    onCopyListMutated(const mem::CopyList& list, const char* op) override
+    {
+        a_->onCopyListMutated(list, op);
+        b_->onCopyListMutated(list, op);
+    }
+
+    void
+    onProcRead(NodeId node, ThreadId tid, Addr vaddr) override
+    {
+        a_->onProcRead(node, tid, vaddr);
+        b_->onProcRead(node, tid, vaddr);
+    }
+
+    void
+    onProcWrite(NodeId node, ThreadId tid, Addr vaddr) override
+    {
+        a_->onProcWrite(node, tid, vaddr);
+        b_->onProcWrite(node, tid, vaddr);
+    }
+
+    void
+    onProcRmwIssue(NodeId node, ThreadId tid, Addr vaddr,
+                   std::uint8_t op) override
+    {
+        a_->onProcRmwIssue(node, tid, vaddr, op);
+        b_->onProcRmwIssue(node, tid, vaddr, op);
+    }
+
+    void
+    onProcVerify(NodeId node, ThreadId tid, Addr vaddr) override
+    {
+        a_->onProcVerify(node, tid, vaddr);
+        b_->onProcVerify(node, tid, vaddr);
+    }
+
+    void
+    onProcFence(NodeId node, ThreadId tid) override
+    {
+        a_->onProcFence(node, tid);
+        b_->onProcFence(node, tid);
+    }
+
+    void
+    onProcWriteFence(NodeId node, ThreadId tid) override
+    {
+        a_->onProcWriteFence(node, tid);
+        b_->onProcWriteFence(node, tid);
+    }
+
+    void
+    onProcStall(NodeId node, std::uint8_t kind, Cycles start,
+                Cycles duration) override
+    {
+        a_->onProcStall(node, kind, start, duration);
+        b_->onProcStall(node, kind, start, duration);
+    }
+
+  private:
+    Observer* a_;
+    Observer* b_;
 };
 
 } // namespace check

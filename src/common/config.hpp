@@ -195,6 +195,22 @@ struct CheckConfig {
     unsigned traceDepth = 64;
 };
 
+/**
+ * Telemetry (the plus::telemetry subsystem): a cycle-stamped structured
+ * event tracer plus per-message-class latency distributions and traffic
+ * attribution, fed by the same observer hooks as the checker. The metrics
+ * registry itself is always on (it pulls counters the subsystems keep
+ * anyway); the tracer is opt-in and costs one null-pointer branch per
+ * event when off. Tracing only observes — it never schedules events or
+ * touches protocol state, so enabling it cannot change any timing.
+ */
+struct TelemetryConfig {
+    /** Record events into the trace ring and the traffic summaries. */
+    bool trace = false;
+    /** Bounded event-ring capacity; older events are overwritten. */
+    std::size_t ringCapacity = 1u << 18;
+};
+
 /** Top-level machine description. */
 struct MachineConfig {
     /** Number of nodes (each: processor + memory + coherence manager). */
@@ -209,6 +225,7 @@ struct MachineConfig {
     NetworkConfig network;
     CostModel cost;
     CheckConfig check;
+    TelemetryConfig telemetry;
 
     /** Seed for all workload randomness. */
     std::uint64_t seed = 1;

@@ -1,5 +1,7 @@
 #include "common/log.hpp"
 
+#include <cstdlib>
+
 namespace plus {
 
 const char*
@@ -18,11 +20,69 @@ logComponentName(LogComponent c)
     }
 }
 
+Log::Log()
+{
+    disableAll();
+    applyEnvSpec(std::getenv("PLUS_LOG"));
+}
+
 Log&
 Log::instance()
 {
     static Log log;
     return log;
+}
+
+bool
+Log::componentFromName(const std::string& name, LogComponent& out)
+{
+    for (unsigned i = 0;
+         i < static_cast<unsigned>(LogComponent::NumComponents); ++i) {
+        const auto c = static_cast<LogComponent>(i);
+        if (name == logComponentName(c)) {
+            out = c;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+Log::applyEnvSpec(const char* spec)
+{
+    if (spec == nullptr) {
+        return;
+    }
+    std::string token;
+    const std::string all(spec);
+    for (std::size_t i = 0; i <= all.size(); ++i) {
+        const char c = i < all.size() ? all[i] : ',';
+        if (c != ',' && c != ' ' && c != ';') {
+            token += c;
+            continue;
+        }
+        if (token.empty()) {
+            continue;
+        }
+        if (token == "all") {
+            enableAll();
+        } else if (LogComponent component; componentFromName(token,
+                                                            component)) {
+            enable(component);
+        } else {
+            std::cerr << "PLUS_LOG: unknown component '" << token
+                      << "' (want all or a list of:";
+            for (unsigned i2 = 0;
+                 i2 < static_cast<unsigned>(LogComponent::NumComponents);
+                 ++i2) {
+                std::cerr << " "
+                          << logComponentName(
+                                 static_cast<LogComponent>(i2));
+            }
+            std::cerr << ")\n";
+        }
+        token.clear();
+    }
 }
 
 void

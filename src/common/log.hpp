@@ -9,6 +9,10 @@
  * @endcode
  * Messages carry the current simulated cycle when a clock source has been
  * registered (the sim::Engine registers itself).
+ *
+ * Components can also be enabled without recompiling through the PLUS_LOG
+ * environment variable, read once at startup: a comma-separated list of
+ * component names ("PLUS_LOG=proto,net"), or "all".
  */
 
 #ifndef PLUS_COMMON_LOG_HPP_
@@ -52,6 +56,19 @@ class Log
     void disableAll();
     bool isEnabled(LogComponent c) const { return enabled_[index(c)]; }
 
+    /**
+     * Enable the components named in @p spec — the PLUS_LOG syntax: a
+     * comma/space/semicolon-separated list of logComponentName() names,
+     * or "all". Unknown names are reported to stderr and skipped; a null
+     * or empty spec is a no-op. The constructor applies getenv("PLUS_LOG")
+     * so runs can be traced without recompiling.
+     */
+    void applyEnvSpec(const char* spec);
+
+    /** Parse one component name; false if it is not a component. */
+    static bool componentFromName(const std::string& name,
+                                  LogComponent& out);
+
     /** Register the simulated-clock source; pass nullptr to clear. */
     void setClock(std::function<Cycles()> clock) { clock_ = std::move(clock); }
 
@@ -61,7 +78,7 @@ class Log
     void write(LogComponent c, const std::string& msg);
 
   private:
-    Log() { disableAll(); }
+    Log();
 
     static unsigned index(LogComponent c) { return static_cast<unsigned>(c); }
 

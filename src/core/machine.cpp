@@ -6,6 +6,7 @@
 #include "common/log.hpp"
 #include "common/panic.hpp"
 #include "core/context.hpp"
+#include "telemetry/export.hpp"
 
 namespace plus {
 namespace core {
@@ -63,6 +64,26 @@ Machine::Machine(MachineConfig config)
             });
     }
 
+    if (config_.telemetry.trace) {
+        telemetry_ = std::make_unique<telemetry::Telemetry>(
+            config_.telemetry, &engine_);
+        network_->setTelemetryObserver(telemetry_.get());
+    }
+
+    // Checker and tracer share the per-subsystem observer slots; when
+    // both are live a tee fans each event out, keeping the disabled cost
+    // at one null-pointer branch.
+    check::Observer* observer = nullptr;
+    if (checker_ && telemetry_) {
+        observerTee_ = std::make_unique<check::TeeObserver>(
+            checker_.get(), telemetry_.get());
+        observer = observerTee_.get();
+    } else if (checker_) {
+        observer = checker_.get();
+    } else if (telemetry_) {
+        observer = telemetry_.get();
+    }
+
     nodes_.reserve(config_.nodes);
     for (NodeId id = 0; id < config_.nodes; ++id) {
         nodes_.push_back(std::make_unique<node::Node>(
@@ -78,14 +99,188 @@ Machine::Machine(MachineConfig config)
         n.processor().setTranslator([this, id](Vpn vpn) {
             return translateFor(id, vpn);
         });
-        if (checker_) {
-            n.cm().setCheckObserver(checker_.get());
-            n.processor().setCheckObserver(checker_.get());
+        if (observer) {
+            n.cm().setCheckObserver(observer);
+            n.processor().setCheckObserver(observer);
         }
     }
+
+    registerMetrics();
 }
 
 Machine::~Machine() = default;
+
+void
+Machine::registerMetrics()
+{
+    // Machine-wide aggregates: each getter re-sums the per-node structs
+    // at snapshot time, so registration costs the hot path nothing.
+    auto sumCm = [this](std::uint64_t proto::CmStats::* field) {
+        return [this, field] {
+            std::uint64_t total = 0;
+            for (const auto& n : nodes_) {
+                total += n->cm().stats().*field;
+            }
+            return total;
+        };
+    };
+    metrics_.addCounter("cm.localReads",
+                        sumCm(&proto::CmStats::localReads));
+    metrics_.addCounter("cm.remoteReads",
+                        sumCm(&proto::CmStats::remoteReads));
+    metrics_.addCounter("cm.localWrites",
+                        sumCm(&proto::CmStats::localWrites));
+    metrics_.addCounter("cm.remoteWrites",
+                        sumCm(&proto::CmStats::remoteWrites));
+    metrics_.addCounter("cm.localRmws", sumCm(&proto::CmStats::localRmws));
+    metrics_.addCounter("cm.remoteRmws",
+                        sumCm(&proto::CmStats::remoteRmws));
+    metrics_.addCounter("cm.retries", sumCm(&proto::CmStats::retries));
+    metrics_.addCounter("cm.busyCycles", [this] {
+        std::uint64_t total = 0;
+        for (const auto& n : nodes_) {
+            total += n->cm().stats().busyCycles;
+        }
+        return total;
+    });
+    for (std::size_t t = 0;
+         t < static_cast<std::size_t>(proto::MsgType::NumTypes); ++t) {
+        const auto type = static_cast<proto::MsgType>(t);
+        metrics_.addCounter(
+            std::string("cm.sent.") + proto::toString(type),
+            [this, type] {
+                std::uint64_t total = 0;
+                for (const auto& n : nodes_) {
+                    total += n->cm().stats().sentOf(type);
+                }
+                return total;
+            });
+    }
+
+    auto sumProcEvents = [this](std::uint64_t node::ProcessorStats::* f) {
+        return [this, f] {
+            std::uint64_t total = 0;
+            for (const auto& n : nodes_) {
+                total += n->processor().stats().*f;
+            }
+            return total;
+        };
+    };
+    metrics_.addCounter("proc.reads",
+                        sumProcEvents(&node::ProcessorStats::reads));
+    metrics_.addCounter("proc.writes",
+                        sumProcEvents(&node::ProcessorStats::writes));
+    metrics_.addCounter("proc.rmwIssues",
+                        sumProcEvents(&node::ProcessorStats::rmwIssues));
+    metrics_.addCounter("proc.fences",
+                        sumProcEvents(&node::ProcessorStats::fences));
+    metrics_.addCounter("proc.ctxSwitches",
+                        sumProcEvents(&node::ProcessorStats::ctxSwitches));
+    metrics_.addCounter("proc.pageFaults",
+                        sumProcEvents(&node::ProcessorStats::pageFaults));
+
+    auto sumProcCycles = [this](Cycles node::ProcessorStats::* f) {
+        return [this, f]() -> std::uint64_t {
+            Cycles total = 0;
+            for (const auto& n : nodes_) {
+                total += n->processor().stats().*f;
+            }
+            return total;
+        };
+    };
+    metrics_.addCounter("proc.cycles.compute",
+                        sumProcCycles(&node::ProcessorStats::compute));
+    metrics_.addCounter("proc.cycles.memBusy",
+                        sumProcCycles(&node::ProcessorStats::memBusy));
+    metrics_.addCounter("proc.cycles.issueBusy",
+                        sumProcCycles(&node::ProcessorStats::issueBusy));
+    metrics_.addCounter("proc.cycles.verifyBusy",
+                        sumProcCycles(&node::ProcessorStats::verifyBusy));
+    metrics_.addCounter("proc.cycles.ctxOverhead",
+                        sumProcCycles(&node::ProcessorStats::ctxOverhead));
+    for (unsigned k = 1;
+         k < static_cast<unsigned>(node::StallKind::NumKinds); ++k) {
+        const auto kind = static_cast<node::StallKind>(k);
+        metrics_.addCounter(
+            std::string("proc.stall.") + node::toString(kind),
+            [this, k] {
+                std::uint64_t total = 0;
+                for (const auto& n : nodes_) {
+                    total += n->processor().stats().stall[k];
+                }
+                return total;
+            });
+    }
+
+    auto sumCache = [this](std::uint64_t node::Cache::Stats::* f) {
+        return [this, f] {
+            std::uint64_t total = 0;
+            for (const auto& n : nodes_) {
+                if (const node::Cache* cache = n->cache()) {
+                    total += cache->stats().*f;
+                }
+            }
+            return total;
+        };
+    };
+    metrics_.addCounter("cache.hits",
+                        sumCache(&node::Cache::Stats::hits));
+    metrics_.addCounter("cache.misses",
+                        sumCache(&node::Cache::Stats::misses));
+    metrics_.addCounter("cache.evictions",
+                        sumCache(&node::Cache::Stats::evictions));
+    metrics_.addCounter("cache.snoopUpdates",
+                        sumCache(&node::Cache::Stats::snoopUpdates));
+    metrics_.addCounter("cache.snoopInvalidates",
+                        sumCache(&node::Cache::Stats::snoopInvalidates));
+
+    metrics_.addGauge("pending.maxInFlight", [this] {
+        unsigned high = 0;
+        for (const auto& n : nodes_) {
+            high = std::max(high, n->cm().pendingWrites().maxInFlight());
+        }
+        return static_cast<double>(high);
+    });
+    metrics_.addGauge("delayed.maxInFlight", [this] {
+        unsigned high = 0;
+        for (const auto& n : nodes_) {
+            high = std::max(high, n->cm().delayedOps().maxInFlight());
+        }
+        return static_cast<double>(high);
+    });
+
+    metrics_.addCounter("net.packets",
+                        [this] { return network_->stats().packets; });
+    metrics_.addCounter("net.payloadBytes",
+                        [this] { return network_->stats().payloadBytes; });
+    metrics_.addCounter("net.totalHops",
+                        [this] { return network_->stats().totalHops; });
+    metrics_.addDistribution("net.latency", &network_->stats().latency);
+    metrics_.addDistribution("net.queueing", &network_->stats().queueing);
+
+    metrics_.addGauge("machine.pendingPageCopies", [this] {
+        return static_cast<double>(pendingCopies_);
+    });
+
+    if (telemetry_) {
+        telemetry_->registerMetrics(metrics_);
+    }
+}
+
+void
+Machine::writeTraceJson(std::ostream& os) const
+{
+    PLUS_ASSERT(telemetry_,
+                "writeTraceJson needs MachineConfig::telemetry.trace");
+    telemetry::writePerfettoTrace(os, *telemetry_, config_.nodes);
+}
+
+void
+Machine::writeStatsJson(std::ostream& os) const
+{
+    telemetry::writeStatsJson(os, metrics_.snapshot(engine_.now()),
+                              telemetry_.get());
+}
 
 node::Node&
 Machine::nodeAt(NodeId id)

@@ -37,6 +37,8 @@
 #include "net/network.hpp"
 #include "node/node.hpp"
 #include "sim/engine.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/tracer.hpp"
 
 namespace plus {
 namespace core {
@@ -200,6 +202,42 @@ class Machine
      */
     check::Checker* checker() { return checker_.get(); }
 
+    /**
+     * The machine's metrics registry. Always live: every subsystem's
+     * counters are registered at construction, so a snapshot at any
+     * cycle sees the whole machine. Harnesses may register their own
+     * sources next to them.
+     */
+    telemetry::MetricsRegistry& metrics() { return metrics_; }
+
+    /** Current values of every registered metric. */
+    telemetry::MetricsRegistry::Snapshot metricsSnapshot() const
+    {
+        return metrics_.snapshot(engine_.now());
+    }
+
+    /**
+     * The event tracer, or null unless MachineConfig::telemetry.trace
+     * enabled it.
+     */
+    telemetry::Telemetry* telemetry() { return telemetry_.get(); }
+    const telemetry::Telemetry* telemetry() const
+    {
+        return telemetry_.get();
+    }
+
+    /**
+     * Write the retained event trace as Chrome-trace/Perfetto JSON
+     * (see docs/OBSERVABILITY.md). Requires telemetry.trace.
+     */
+    void writeTraceJson(std::ostream& os) const;
+
+    /**
+     * Write a metrics snapshot plus the tracer's traffic attribution
+     * (empty arrays when tracing is off) as one JSON object.
+     */
+    void writeStatsJson(std::ostream& os) const;
+
   private:
     friend class Context;
 
@@ -218,8 +256,19 @@ class Machine
     mem::PageDirectory directory_;
     Vpn nextVpn_ = 1; ///< vpn 0 is reserved (null page)
 
+    /** Register every subsystem's stat sources; ctor-only. */
+    void registerMetrics();
+
     /** Runtime checking; nodes hold raw observer pointers into this. */
     std::unique_ptr<check::Checker> checker_;
+
+    /** Event tracing; null unless config_.telemetry.trace. */
+    std::unique_ptr<telemetry::Telemetry> telemetry_;
+
+    /** Fan-out installed when both checker and tracer are live. */
+    std::unique_ptr<check::TeeObserver> observerTee_;
+
+    telemetry::MetricsRegistry metrics_;
 
     struct PendingCopy {
         Vpn vpn;

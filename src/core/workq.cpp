@@ -16,6 +16,18 @@ WorkQueue::create(Machine& machine, const std::vector<NodeId>& lane_nodes,
     PLUS_ASSERT(replication >= 1, "replication counts total copies");
 
     WorkQueue wq;
+    wq.stats_ = std::make_shared<WorkQueueStats>();
+    {
+        const std::shared_ptr<WorkQueueStats> stats = wq.stats_;
+        telemetry::MetricsRegistry& m = machine.metrics();
+        m.addCounter("workq.pushes", [stats] { return stats->pushes; });
+        m.addCounter("workq.pushFull",
+                     [stats] { return stats->pushFull; });
+        m.addCounter("workq.pops", [stats] { return stats->pops; });
+        m.addCounter("workq.emptyPolls",
+                     [stats] { return stats->emptyPolls; });
+        m.addCounter("workq.steals", [stats] { return stats->steals; });
+    }
     wq.queueBase_ = machine.config().cost.queueBaseOffset;
     const Word base = static_cast<Word>(wq.queueBase_);
 
@@ -103,7 +115,9 @@ WorkQueue::tryPush(Context& ctx, unsigned lane, Word item)
 {
     PLUS_ASSERT(lane < lanes(), "push to unknown lane");
     PLUS_ASSERT(!(item & kTopBit), "work items are 31-bit payloads");
-    return !(ctx.enqueue(lanePages_[lane], item) & kTopBit);
+    const bool ok = !(ctx.enqueue(lanePages_[lane], item) & kTopBit);
+    (ok ? stats_->pushes : stats_->pushFull) += 1;
+    return ok;
 }
 
 void
@@ -129,12 +143,15 @@ WorkQueue::tryPop(Context& ctx, unsigned lane)
                       static_cast<Word>(kPageWords);
     const Word slot = ctx.read(page + kWordBytes * Addr{head});
     if (!(slot & kTopBit)) {
+        stats_->emptyPolls += 1;
         return std::nullopt;
     }
     const Word got = ctx.dequeue(page + kWordBytes);
     if (got & kTopBit) {
+        stats_->pops += 1;
         return got & kPayloadMask;
     }
+    stats_->emptyPolls += 1;
     return std::nullopt;
 }
 
@@ -148,6 +165,9 @@ WorkQueue::popAny(Context& ctx, unsigned home_lane, unsigned max_scan)
             break;
         }
         if (auto item = tryPop(ctx, lane)) {
+            if (lane != home_lane) {
+                stats_->steals += 1;
+            }
             return item;
         }
     }

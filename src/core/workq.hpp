@@ -11,6 +11,7 @@
 #ifndef PLUS_CORE_WORKQ_HPP_
 #define PLUS_CORE_WORKQ_HPP_
 
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -20,6 +21,19 @@
 
 namespace plus {
 namespace core {
+
+/**
+ * Work-queue activity counters, registered with the machine's metrics
+ * registry as workq.* at create(). Shared-pointer owned so the getters
+ * stay valid across the queue's by-value moves.
+ */
+struct WorkQueueStats {
+    std::uint64_t pushes = 0;     ///< items successfully enqueued
+    std::uint64_t pushFull = 0;   ///< tryPush hit a full lane
+    std::uint64_t pops = 0;       ///< items successfully dequeued
+    std::uint64_t emptyPolls = 0; ///< tryPop found the lane empty
+    std::uint64_t steals = 0;     ///< pops served by a non-home lane
+};
 
 /** Multi-lane distributed queue of 31-bit work items. */
 class WorkQueue
@@ -71,9 +85,12 @@ class WorkQueue
      */
     unsigned cheapLanes(unsigned lane) const { return cheap_[lane]; }
 
+    const WorkQueueStats& stats() const { return *stats_; }
+
   private:
     WorkQueue() = default;
 
+    std::shared_ptr<WorkQueueStats> stats_;
     std::vector<Addr> lanePages_;
     /** stealOrder_[lane] = all lanes, cheap (local-replica) ones first,
      *  then by mesh distance. */

@@ -40,6 +40,12 @@ Network::deliver(Packet packet, unsigned hops, Cycles injected_at,
     stats_.latency.record(
         static_cast<double>(engine_.now() - injected_at));
     stats_.queueing.record(static_cast<double>(queueing));
+    if (telemetry_) {
+        telemetry_->onPacketDelivered(packet.src, packet.dst,
+                                      packet.msgClass, packet.payloadBytes,
+                                      hops, engine_.now() - injected_at,
+                                      queueing);
+    }
 
     const NodeId dst = packet.dst;
     PLUS_ASSERT(dst < handlers_.size() && handlers_[dst],
@@ -109,6 +115,12 @@ MeshNetwork::hop(std::shared_ptr<Transit> transit)
         serializationCycles(transit->packet.payloadBytes);
     link.freeAt = start + serialization;
     link.busyCycles += serialization;
+    if (telemetry_) {
+        telemetry_->onLinkBusy(transit->at, next,
+                               transit->packet.msgClass,
+                               transit->packet.payloadBytes, start,
+                               serialization);
+    }
 
     transit->queueing += wait;
     transit->hops += 1;

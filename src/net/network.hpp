@@ -27,6 +27,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "check/hooks.hpp"
 #include "common/config.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
@@ -50,6 +51,12 @@ struct Packet {
     NodeId dst = kInvalidNode;
     /** Payload size in bytes, excluding the link-level header. */
     unsigned payloadBytes = 0;
+    /**
+     * Sender's classification (a proto::MsgType value), carried opaquely
+     * for telemetry attribution; 0xff when unclassified. The network
+     * itself never interprets it.
+     */
+    std::uint8_t msgClass = 0xff;
     std::unique_ptr<Payload> payload;
 };
 
@@ -82,6 +89,16 @@ class Network
     void setDeliveryHandler(NodeId node, DeliveryHandler handler);
 
     /**
+     * Mirror deliveries (and, on the mesh, per-link occupancy) into the
+     * telemetry tracer. Null (the default) disables: the hot path then
+     * pays one branch per event, like the check observers.
+     */
+    void setTelemetryObserver(check::NetObserver* observer)
+    {
+        telemetry_ = observer;
+    }
+
+    /**
      * Inject a packet at its source node at the current cycle. src == dst
      * is rejected: local traffic never enters the network.
      */
@@ -109,6 +126,7 @@ class Network
     NetworkConfig config_;
     NetworkStats stats_;
     std::vector<DeliveryHandler> handlers_;
+    check::NetObserver* telemetry_ = nullptr;
 };
 
 /** Contention-free model: latency formula only. */

@@ -213,6 +213,11 @@ Processor::closeFreeInterval()
 {
     const Cycles waited = deps_.engine->now() - freeSince_;
     stats_.stall[static_cast<unsigned>(freeReason_)] += waited;
+    if (check_ && waited > 0 && freeReason_ != StallKind::None) {
+        check_->onProcStall(self_,
+                            static_cast<std::uint8_t>(freeReason_),
+                            freeSince_, waited);
+    }
     freeReason_ = StallKind::None;
 }
 

@@ -16,6 +16,26 @@ namespace {
 /** Words per background page-copy batch. */
 constexpr Addr kPageCopyBatchWords = 32;
 
+/** Page a message addresses, for traffic attribution (0 = none). */
+Vpn
+vpnOf(const ProtoMsg& msg)
+{
+    switch (msg.type) {
+      case MsgType::ReadReq:
+        return static_cast<const ReadReq&>(msg).vpn;
+      case MsgType::WriteReq:
+        return static_cast<const WriteReq&>(msg).vpn;
+      case MsgType::UpdateReq:
+        return static_cast<const UpdateReq&>(msg).vpn;
+      case MsgType::RmwReq:
+        return static_cast<const RmwReq&>(msg).vpn;
+      case MsgType::Nack:
+        return static_cast<const Nack&>(msg).vpn;
+      default:
+        return 0;
+    }
+}
+
 } // namespace
 
 std::uint64_t
@@ -53,10 +73,16 @@ CoherenceManager::send(NodeId dst, std::unique_ptr<ProtoMsg> msg,
     stats_.sent[static_cast<std::size_t>(msg->type)] += 1;
     PLUS_LOG(LogComponent::Proto, "n", self_, " -> n", dst, " ",
              toString(msg->type));
+    if (check_) {
+        check_->onMessageSent(self_, dst,
+                              static_cast<std::uint8_t>(msg->type), bytes,
+                              vpnOf(*msg));
+    }
     net::Packet packet;
     packet.src = self_;
     packet.dst = dst;
     packet.payloadBytes = bytes;
+    packet.msgClass = static_cast<std::uint8_t>(msg->type);
     packet.payload = std::move(msg);
     deps_.network->send(std::move(packet));
 }

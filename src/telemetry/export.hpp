@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Trace and statistics exporters.
+ *
+ * writePerfettoTrace() emits the Chrome trace-event JSON format
+ * ({"traceEvents":[...]}), which both chrome://tracing and
+ * https://ui.perfetto.dev open directly. Track layout:
+ *
+ *  - one process per node (pid = node id) with a "processor" track
+ *    (stall slices, rmw issue/verify, fences) and a "coherence manager"
+ *    track (message sends/receives, chain applies, write issues);
+ *  - one process per directed mesh link (pid = 1000 + index) whose
+ *    slices are the link's serialization occupancy;
+ *  - pending-write lifetimes as async ("b"/"e") spans under their node;
+ *  - update chains as flow arrows ("s"/"t"/"f") connecting the chain's
+ *    applies across nodes.
+ *
+ * Timestamps are simulated cycles written into the microsecond field:
+ * 1 displayed microsecond == 1 cycle.
+ *
+ * writeStatsJson() dumps a metrics snapshot plus the tracer's per-page /
+ * per-link traffic attribution as a single JSON object; see
+ * docs/OBSERVABILITY.md for the schema.
+ */
+
+#ifndef PLUS_TELEMETRY_EXPORT_HPP_
+#define PLUS_TELEMETRY_EXPORT_HPP_
+
+#include <iosfwd>
+#include <string>
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/tracer.hpp"
+
+namespace plus {
+namespace telemetry {
+
+/** Write the retained trace as Chrome-trace/Perfetto JSON. */
+void writePerfettoTrace(std::ostream& os, const Telemetry& telemetry,
+                        unsigned nodes);
+
+/**
+ * Write one JSON object combining a metrics snapshot with the traffic
+ * attribution (@p telemetry may be null: the traffic arrays are then
+ * empty and only the registry contents appear).
+ */
+void writeStatsJson(std::ostream& os,
+                    const MetricsRegistry::Snapshot& snapshot,
+                    const Telemetry* telemetry);
+
+/** Per-page and per-link traffic attribution as aligned text tables. */
+std::string renderTrafficTables(const Telemetry& telemetry);
+
+} // namespace telemetry
+} // namespace plus
+
+#endif // PLUS_TELEMETRY_EXPORT_HPP_

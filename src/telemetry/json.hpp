@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Minimal JSON emission helpers shared by the metrics and trace
+ * exporters. Writing only — the simulator never parses JSON.
+ */
+
+#ifndef PLUS_TELEMETRY_JSON_HPP_
+#define PLUS_TELEMETRY_JSON_HPP_
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+namespace plus {
+namespace telemetry {
+
+/** Quote and escape a string for use as a JSON string literal. */
+inline std::string
+jsonQuoted(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    out += '"';
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+/** Format a double as a JSON number (JSON has no NaN/Infinity). */
+inline std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v)) {
+        return "0";
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+}
+
+} // namespace telemetry
+} // namespace plus
+
+#endif // PLUS_TELEMETRY_JSON_HPP_

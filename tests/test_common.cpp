@@ -246,6 +246,83 @@ TEST(Histogram, RecordAfterPercentileKeepsOrderCorrect)
     EXPECT_EQ(h.percentile(0), 1.0);
 }
 
+TEST(Histogram, EmptyIsZeroEverywhere)
+{
+    const Histogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.sum(), 0.0);
+    EXPECT_EQ(h.min(), 0.0);
+    EXPECT_EQ(h.max(), 0.0);
+    EXPECT_EQ(h.mean(), 0.0);
+    EXPECT_EQ(h.percentile(0), 0.0);
+    EXPECT_EQ(h.median(), 0.0);
+    EXPECT_EQ(h.percentile(100), 0.0);
+}
+
+TEST(Histogram, SingleSampleAtEveryPercentile)
+{
+    Histogram h;
+    h.record(7);
+    EXPECT_EQ(h.percentile(0), 7.0);
+    EXPECT_EQ(h.median(), 7.0);
+    EXPECT_EQ(h.percentile(100), 7.0);
+    EXPECT_EQ(h.min(), 7.0);
+    EXPECT_EQ(h.max(), 7.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 7.0);
+}
+
+TEST(Histogram, NearestRankBoundaries)
+{
+    Histogram h;
+    for (double v : {10.0, 20.0, 30.0, 40.0}) {
+        h.record(v);
+    }
+    // rank(p) = round(p/100 * (n-1)) over the sorted samples.
+    EXPECT_EQ(h.percentile(0), 10.0);
+    EXPECT_EQ(h.percentile(25), 20.0);  // rank 1.25 -> 1
+    EXPECT_EQ(h.percentile(50), 30.0);  // rank 2
+    EXPECT_EQ(h.percentile(100), 40.0); // clamped to n-1
+}
+
+TEST(Histogram, PercentileOutOfRangePanics)
+{
+    Histogram h;
+    h.record(1);
+    EXPECT_THROW(h.percentile(-1), PanicError);
+    EXPECT_THROW(h.percentile(101), PanicError);
+}
+
+TEST(Histogram, MergeIntoEmptyAndFromEmpty)
+{
+    Histogram filled;
+    filled.record(2);
+    filled.record(8);
+
+    Histogram empty;
+    empty.merge(filled); // into empty: adopts the samples
+    EXPECT_EQ(empty.count(), 2u);
+    EXPECT_EQ(empty.min(), 2.0);
+    EXPECT_EQ(empty.max(), 8.0);
+
+    const Histogram nothing;
+    filled.merge(nothing); // from empty: no-op
+    EXPECT_EQ(filled.count(), 2u);
+    EXPECT_DOUBLE_EQ(filled.sum(), 10.0);
+}
+
+TEST(Histogram, ClearResetsExtremaForReuse)
+{
+    Histogram h;
+    h.record(1000);
+    h.record(-1000);
+    h.clear();
+    h.record(5);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_EQ(h.min(), 5.0);
+    EXPECT_EQ(h.max(), 5.0);
+    EXPECT_DOUBLE_EQ(h.sum(), 5.0);
+}
+
 // --- TablePrinter ---------------------------------------------------------------
 
 TEST(Table, AlignsColumns)
@@ -279,6 +356,9 @@ TEST(Stats, SafeRatio)
 {
     EXPECT_EQ(safeRatio(4, 2), 2.0);
     EXPECT_EQ(safeRatio(4, 0), 0.0);
+    EXPECT_EQ(safeRatio(0, 0), 0.0);
+    EXPECT_EQ(safeRatio(-6, 3), -2.0);
+    EXPECT_EQ(safeRatio(0, 5), 0.0);
 }
 
 } // namespace

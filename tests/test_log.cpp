@@ -84,5 +84,61 @@ TEST_F(LogTest, ComponentNamesAreStable)
     EXPECT_STREQ(logComponentName(LogComponent::Workload), "workload");
 }
 
+TEST_F(LogTest, ComponentFromNameRoundTrips)
+{
+    for (unsigned i = 0;
+         i < static_cast<unsigned>(LogComponent::NumComponents); ++i) {
+        const auto c = static_cast<LogComponent>(i);
+        LogComponent parsed{};
+        ASSERT_TRUE(Log::componentFromName(logComponentName(c), parsed));
+        EXPECT_EQ(parsed, c);
+    }
+    LogComponent unused{};
+    EXPECT_FALSE(Log::componentFromName("bogus", unused));
+    EXPECT_FALSE(Log::componentFromName("", unused));
+    EXPECT_FALSE(Log::componentFromName("Proto", unused)); // case-sensitive
+}
+
+TEST_F(LogTest, EnvSpecEnablesListedComponents)
+{
+    Log::instance().applyEnvSpec("proto,net");
+    EXPECT_TRUE(Log::instance().isEnabled(LogComponent::Proto));
+    EXPECT_TRUE(Log::instance().isEnabled(LogComponent::Net));
+    EXPECT_FALSE(Log::instance().isEnabled(LogComponent::Engine));
+    EXPECT_FALSE(Log::instance().isEnabled(LogComponent::Mem));
+}
+
+TEST_F(LogTest, EnvSpecAcceptsAlternativeSeparators)
+{
+    Log::instance().applyEnvSpec("engine; mem  thread,");
+    EXPECT_TRUE(Log::instance().isEnabled(LogComponent::Engine));
+    EXPECT_TRUE(Log::instance().isEnabled(LogComponent::Mem));
+    EXPECT_TRUE(Log::instance().isEnabled(LogComponent::Thread));
+    EXPECT_FALSE(Log::instance().isEnabled(LogComponent::Proto));
+}
+
+TEST_F(LogTest, EnvSpecAllEnablesEverything)
+{
+    Log::instance().applyEnvSpec("all");
+    for (unsigned c = 0;
+         c < static_cast<unsigned>(LogComponent::NumComponents); ++c) {
+        EXPECT_TRUE(
+            Log::instance().isEnabled(static_cast<LogComponent>(c)));
+    }
+}
+
+TEST_F(LogTest, EnvSpecSkipsUnknownNamesAndNull)
+{
+    Log::instance().applyEnvSpec(nullptr); // no-op
+    Log::instance().applyEnvSpec("");      // no-op
+    // Unknown names warn on stderr but still apply the valid ones.
+    testing::internal::CaptureStderr();
+    Log::instance().applyEnvSpec("bogus,node");
+    const std::string err = testing::internal::GetCapturedStderr();
+    EXPECT_NE(err.find("bogus"), std::string::npos);
+    EXPECT_TRUE(Log::instance().isEnabled(LogComponent::Node));
+    EXPECT_FALSE(Log::instance().isEnabled(LogComponent::Proto));
+}
+
 } // namespace
 } // namespace plus
