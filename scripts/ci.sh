@@ -7,8 +7,15 @@
 #   4. trace:      telemetry smoke test — run a 4-node workload with
 #                  --trace-out/--stats-out, validate both as JSON, and
 #                  check that tracing leaves bench output bit-identical
+#   5. determinism: the timing-wheel engine and its heap reference
+#                  backend must produce byte-for-byte identical bench
+#                  output (PLUS_ENGINE=heap vs the default)
+#   6. perf-smoke: engine_throughput --quick, fail if the wheel's
+#                  throughput regressed >25% vs the committed
+#                  BENCH_engine.json or the speedup target is missed
 #
-# Usage: scripts/ci.sh [tier1|sanitize|tidy|trace|all]   (default: all)
+# Usage: scripts/ci.sh [tier1|sanitize|tidy|trace|determinism|perf-smoke|all]
+#        (default: all)
 
 set -euo pipefail
 
@@ -75,14 +82,60 @@ EOF
     echo "bench output bit-identical with telemetry enabled"
 }
 
+run_determinism() {
+    echo "=== determinism: wheel vs heap backend, byte-for-byte ==="
+    cmake -B build -S . >/dev/null
+    cmake --build build -j "$JOBS" --target sim_harness table_3_1
+    local out
+    out="$(mktemp -d)"
+    trap 'rm -rf "$out"' RETURN
+
+    build/bench/table_3_1 > "$out/wheel_table.txt"
+    PLUS_ENGINE=heap build/bench/table_3_1 > "$out/heap_table.txt"
+    diff "$out/wheel_table.txt" "$out/heap_table.txt"
+
+    build/bench/sim_harness --nodes=16 > "$out/wheel_harness.txt"
+    PLUS_ENGINE=heap build/bench/sim_harness --nodes=16 \
+        > "$out/heap_harness.txt"
+    diff "$out/wheel_harness.txt" "$out/heap_harness.txt"
+    echo "wheel and heap backends are cycle-for-cycle identical"
+}
+
+run_perf_smoke() {
+    echo "=== perf-smoke: engine throughput vs committed baseline ==="
+    cmake -B build -S . >/dev/null
+    cmake --build build -j "$JOBS" --target engine_throughput
+    local out
+    out="$(mktemp -d)"
+    trap 'rm -rf "$out"' RETURN
+
+    build/bench/engine_throughput --quick --out="$out/bench.json"
+    python3 - "$out/bench.json" BENCH_engine.json <<'EOF'
+import json, sys
+now = json.load(open(sys.argv[1]))
+committed = json.load(open(sys.argv[2]))
+wheel, base = now["wheelEventsPerSec"], committed["wheelEventsPerSec"]
+print(f"wheel: {wheel:.3g} ev/s now vs {base:.3g} ev/s committed")
+assert wheel >= 0.75 * base, \
+    f"wheel throughput regressed >25%: {wheel:.3g} < 0.75 * {base:.3g}"
+assert now["speedup"] >= 2.0, \
+    f"wheel no longer >=2x the priority-queue baseline: {now['speedup']:.2f}x"
+print(f"perf OK: {now['speedup']:.2f}x vs baseline pq")
+EOF
+}
+
 case "$STAGE" in
-    tier1)    run_tier1 ;;
-    sanitize) run_sanitize ;;
-    tidy)     run_tidy ;;
-    trace)    run_trace ;;
-    all)      run_tier1; run_sanitize; run_tidy; run_trace ;;
+    tier1)       run_tier1 ;;
+    sanitize)    run_sanitize ;;
+    tidy)        run_tidy ;;
+    trace)       run_trace ;;
+    determinism) run_determinism ;;
+    perf-smoke)  run_perf_smoke ;;
+    all)         run_tier1; run_sanitize; run_tidy; run_trace
+                 run_determinism; run_perf_smoke ;;
     *)
-        echo "unknown stage '$STAGE' (want tier1|sanitize|tidy|trace|all)" >&2
+        echo "unknown stage '$STAGE'" \
+             "(want tier1|sanitize|tidy|trace|determinism|perf-smoke|all)" >&2
         exit 2
         ;;
 esac

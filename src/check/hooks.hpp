@@ -268,23 +268,21 @@ class TeeObserver final : public Observer
     onPendingInsert(NodeId node, std::uint32_t tag, Vpn vpn,
                     Addr word_offset) override
     {
-        a_->onPendingInsert(node, tag, vpn, word_offset);
-        b_->onPendingInsert(node, tag, vpn, word_offset);
+        tee(&Observer::onPendingInsert, node, tag, vpn, word_offset);
     }
 
     void
     onPendingComplete(NodeId node, std::uint32_t tag) override
     {
-        a_->onPendingComplete(node, tag);
-        b_->onPendingComplete(node, tag);
+        tee(&Observer::onPendingComplete, node, tag);
     }
 
     void
     onWriteIssued(NodeId node, std::uint32_t tag, Vpn vpn, Addr word_offset,
                   bool from_rmw) override
     {
-        a_->onWriteIssued(node, tag, vpn, word_offset, from_rmw);
-        b_->onWriteIssued(node, tag, vpn, word_offset, from_rmw);
+        tee(&Observer::onWriteIssued, node, tag, vpn, word_offset,
+            from_rmw);
     }
 
     void
@@ -292,93 +290,92 @@ class TeeObserver final : public Observer
                    unsigned words, NodeId originator, std::uint32_t tag,
                    bool tracked, bool at_master) override
     {
-        a_->onChainApplied(chain, copy, vpn, word_offset, words, originator,
-                           tag, tracked, at_master);
-        b_->onChainApplied(chain, copy, vpn, word_offset, words, originator,
-                           tag, tracked, at_master);
+        tee(&Observer::onChainApplied, chain, copy, vpn, word_offset,
+            words, originator, tag, tracked, at_master);
     }
 
     void
     onFenceComplete(NodeId node, bool pending_empty) override
     {
-        a_->onFenceComplete(node, pending_empty);
-        b_->onFenceComplete(node, pending_empty);
+        tee(&Observer::onFenceComplete, node, pending_empty);
     }
 
     void
     onReadServed(NodeId node, Vpn vpn, Addr word_offset) override
     {
-        a_->onReadServed(node, vpn, word_offset);
-        b_->onReadServed(node, vpn, word_offset);
+        tee(&Observer::onReadServed, node, vpn, word_offset);
     }
 
     void
     onMessageSent(NodeId src, NodeId dst, std::uint8_t msg_class,
                   unsigned bytes, Vpn vpn) override
     {
-        a_->onMessageSent(src, dst, msg_class, bytes, vpn);
-        b_->onMessageSent(src, dst, msg_class, bytes, vpn);
+        tee(&Observer::onMessageSent, src, dst, msg_class, bytes, vpn);
     }
 
     void
     onCopyListMutated(const mem::CopyList& list, const char* op) override
     {
-        a_->onCopyListMutated(list, op);
-        b_->onCopyListMutated(list, op);
+        tee(&Observer::onCopyListMutated, list, op);
     }
 
     void
     onProcRead(NodeId node, ThreadId tid, Addr vaddr) override
     {
-        a_->onProcRead(node, tid, vaddr);
-        b_->onProcRead(node, tid, vaddr);
+        tee(&Observer::onProcRead, node, tid, vaddr);
     }
 
     void
     onProcWrite(NodeId node, ThreadId tid, Addr vaddr) override
     {
-        a_->onProcWrite(node, tid, vaddr);
-        b_->onProcWrite(node, tid, vaddr);
+        tee(&Observer::onProcWrite, node, tid, vaddr);
     }
 
     void
     onProcRmwIssue(NodeId node, ThreadId tid, Addr vaddr,
                    std::uint8_t op) override
     {
-        a_->onProcRmwIssue(node, tid, vaddr, op);
-        b_->onProcRmwIssue(node, tid, vaddr, op);
+        tee(&Observer::onProcRmwIssue, node, tid, vaddr, op);
     }
 
     void
     onProcVerify(NodeId node, ThreadId tid, Addr vaddr) override
     {
-        a_->onProcVerify(node, tid, vaddr);
-        b_->onProcVerify(node, tid, vaddr);
+        tee(&Observer::onProcVerify, node, tid, vaddr);
     }
 
     void
     onProcFence(NodeId node, ThreadId tid) override
     {
-        a_->onProcFence(node, tid);
-        b_->onProcFence(node, tid);
+        tee(&Observer::onProcFence, node, tid);
     }
 
     void
     onProcWriteFence(NodeId node, ThreadId tid) override
     {
-        a_->onProcWriteFence(node, tid);
-        b_->onProcWriteFence(node, tid);
+        tee(&Observer::onProcWriteFence, node, tid);
     }
 
     void
     onProcStall(NodeId node, std::uint8_t kind, Cycles start,
                 Cycles duration) override
     {
-        a_->onProcStall(node, kind, start, duration);
-        b_->onProcStall(node, kind, start, duration);
+        tee(&Observer::onProcStall, node, kind, start, duration);
     }
 
   private:
+    /**
+     * Forward one hook to both observers through a member pointer: two
+     * virtual calls per event, no per-event closure copies.
+     */
+    template <typename Hook, typename... Args>
+    void
+    tee(Hook hook, const Args&... args)
+    {
+        (a_->*hook)(args...);
+        (b_->*hook)(args...);
+    }
+
     Observer* a_;
     Observer* b_;
 };

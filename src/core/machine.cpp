@@ -262,6 +262,23 @@ Machine::registerMetrics()
         return static_cast<double>(pendingCopies_);
     });
 
+    // Engine health: how hard the event core itself is working (see
+    // docs/PERF.md for what healthy numbers look like).
+    metrics_.addCounter("sim.eventsScheduled",
+                        [this] { return engine_.stats().scheduled; });
+    metrics_.addCounter("sim.eventsExecuted",
+                        [this] { return engine_.stats().executed; });
+    metrics_.addCounter("sim.eventsCancelled",
+                        [this] { return engine_.stats().cancelled; });
+    metrics_.addCounter("sim.wheelCascades",
+                        [this] { return engine_.stats().cascades; });
+    metrics_.addGauge("sim.slabHighWater", [this] {
+        return static_cast<double>(engine_.stats().slabHighWater);
+    });
+    metrics_.addGauge("sim.slabSlots", [this] {
+        return static_cast<double>(engine_.stats().slabSlots);
+    });
+
     if (telemetry_) {
         telemetry_->registerMetrics(metrics_);
     }

@@ -59,11 +59,13 @@ IdealNetwork::send(Packet packet)
     PLUS_ASSERT(packet.src != packet.dst, "local traffic on the network");
     const unsigned hops = topology_.distance(packet.src, packet.dst);
     const Cycles injected_at = engine_.now();
-    auto shared = std::make_shared<Packet>(std::move(packet));
-    engine_.schedule(zeroLoadLatency(hops), [this, shared, hops,
-                                             injected_at]() mutable {
-        deliver(std::move(*shared), hops, injected_at, 0);
-    });
+    // sim::Event takes move-only captures, so the packet rides inline
+    // in the event record — no allocation per send.
+    engine_.schedule(zeroLoadLatency(hops),
+                     [this, p = std::move(packet), hops,
+                      injected_at]() mutable {
+                         deliver(std::move(p), hops, injected_at, 0);
+                     });
 }
 
 MeshNetwork::MeshNetwork(sim::Engine& engine, const Topology& topology,
@@ -82,12 +84,33 @@ MeshNetwork::linkBetween(NodeId from, NodeId to)
     return links_[key];
 }
 
+MeshNetwork::Transit*
+MeshNetwork::acquireTransit()
+{
+    if (freeTransits_.empty()) {
+        transitPool_.push_back(std::make_unique<Transit>());
+        return transitPool_.back().get();
+    }
+    Transit* transit = freeTransits_.back();
+    freeTransits_.pop_back();
+    return transit;
+}
+
+void
+MeshNetwork::releaseTransit(Transit* transit)
+{
+    transit->packet = Packet{};
+    freeTransits_.push_back(transit);
+}
+
 void
 MeshNetwork::send(Packet packet)
 {
     PLUS_ASSERT(packet.src != packet.dst, "local traffic on the network");
-    auto transit = std::make_shared<Transit>();
+    Transit* transit = acquireTransit();
     transit->injectedAt = engine_.now();
+    transit->queueing = 0;
+    transit->hops = 0;
     transit->at = packet.src;
     transit->packet = std::move(packet);
     // The fixed overhead covers the network interface and first-router
@@ -97,12 +120,17 @@ MeshNetwork::send(Packet packet)
 }
 
 void
-MeshNetwork::hop(std::shared_ptr<Transit> transit)
+MeshNetwork::hop(Transit* transit)
 {
     const NodeId dst = transit->packet.dst;
     if (transit->at == dst) {
-        deliver(std::move(transit->packet), transit->hops,
-                transit->injectedAt, transit->queueing);
+        Packet packet = std::move(transit->packet);
+        const unsigned hops = transit->hops;
+        const Cycles injected_at = transit->injectedAt;
+        const Cycles queueing = transit->queueing;
+        // Recycle before delivering: the handler may send() again.
+        releaseTransit(transit);
+        deliver(std::move(packet), hops, injected_at, queueing);
         return;
     }
 

@@ -163,17 +163,27 @@ class MeshNetwork : public Network
     /** State threaded through the hop-by-hop events. */
     struct Transit {
         Packet packet;
-        Cycles injectedAt;
+        Cycles injectedAt = 0;
         Cycles queueing = 0;
         unsigned hops = 0;
-        NodeId at;
+        NodeId at = kInvalidNode;
     };
 
     Link& linkBetween(NodeId from, NodeId to);
-    void hop(std::shared_ptr<Transit> transit);
+    void hop(Transit* transit);
+
+    /**
+     * Grab a pooled transit so every in-flight packet costs one pool
+     * hit instead of a shared_ptr allocation per send.
+     */
+    Transit* acquireTransit();
+    void releaseTransit(Transit* transit);
 
     /** key = from * nodes + to, adjacent pairs only. */
     std::unordered_map<std::uint64_t, Link> links_;
+    /** Owning pool of transits; recycled through freeTransits_. */
+    std::vector<std::unique_ptr<Transit>> transitPool_;
+    std::vector<Transit*> freeTransits_;
 };
 
 /** Factory honouring NetworkConfig::ideal. */

@@ -11,7 +11,13 @@ namespace node {
 
 namespace {
 
-/** Shared state between an operation and its completion continuation. */
+/**
+ * State shared between an operation and its completion continuation.
+ * Lives on the issuing fiber's stack: the fiber stays blocked (stack
+ * intact) until the continuation runs, and at teardown un-run
+ * continuations are destroyed, never invoked, so a raw pointer capture
+ * is safe and keeps the closure within sim::Event's inline budget.
+ */
 struct WaitState {
     bool done = false;
     bool yielded = false;
@@ -287,17 +293,17 @@ Processor::read(Addr vaddr)
         charge(cost_.procRemoteReadIssue, &ProcessorStats::memBusy);
     }
 
-    auto state = std::make_shared<WaitState>();
+    WaitState state;
     const unsigned t = current_;
-    deps_.cm->procRead(vpn, off, phys, [this, state, t](Word value) {
-        state->value = value;
-        state->done = true;
-        if (state->yielded) {
+    deps_.cm->procRead(vpn, off, phys, [this, &state, t](Word value) {
+        state.value = value;
+        state.done = true;
+        if (state.yielded) {
             wake(t);
         }
     });
-    if (!state->done) {
-        state->yielded = true;
+    if (!state.done) {
+        state.yielded = true;
         blockCurrent(StallKind::Read);
     }
     if (!local) {
@@ -306,7 +312,7 @@ Processor::read(Addr vaddr)
     if (check_) {
         check_->onProcRead(self_, threads_[t].id, vaddr);
     }
-    return state->value;
+    return state.value;
 }
 
 void
@@ -328,16 +334,16 @@ Processor::write(Addr vaddr, Word value)
         charge(cost_.procIssueWrite, &ProcessorStats::memBusy);
     }
 
-    auto state = std::make_shared<WaitState>();
+    WaitState state;
     const unsigned t = current_;
-    deps_.cm->procWrite(vpn, off, phys, value, [this, state, t] {
-        state->done = true;
-        if (state->yielded) {
+    deps_.cm->procWrite(vpn, off, phys, value, [this, &state, t] {
+        state.done = true;
+        if (state.yielded) {
             wake(t);
         }
     });
-    if (!state->done) {
-        state->yielded = true;
+    if (!state.done) {
+        state.yielded = true;
         blockCurrent(StallKind::PendingFull);
     }
     if (check_) {
@@ -362,27 +368,27 @@ Processor::issueRmw(proto::RmwOp op, Addr vaddr, Word operand)
     }
     charge(cost_.procIssueOp, &ProcessorStats::issueBusy);
 
-    auto state = std::make_shared<WaitState>();
+    WaitState state;
     const unsigned t = current_;
     deps_.cm->procIssueRmw(
         op, vpn, off, phys, operand,
-        [this, state, t](proto::DelayedOpHandle handle) {
-            state->handle = handle;
-            state->done = true;
-            if (state->yielded) {
+        [this, &state, t](proto::DelayedOpHandle handle) {
+            state.handle = handle;
+            state.done = true;
+            if (state.yielded) {
                 wake(t);
             }
         });
-    if (!state->done) {
-        state->yielded = true;
+    if (!state.done) {
+        state.yielded = true;
         blockCurrent(StallKind::IssueSlot);
     }
-    rmwTargets_[state->handle] = vaddr;
+    rmwTargets_[state.handle] = vaddr;
     if (check_) {
         check_->onProcRmwIssue(self_, threads_[t].id, vaddr,
                                static_cast<std::uint8_t>(op));
     }
-    return state->handle;
+    return state.handle;
 }
 
 bool
@@ -401,26 +407,26 @@ Processor::verify(proto::DelayedOpHandle handle)
         target = it->second;
         rmwTargets_.erase(it);
     }
-    auto state = std::make_shared<WaitState>();
+    WaitState state;
     const unsigned t = current_;
-    deps_.cm->procVerify(handle, [this, state, t](Word value) {
-        state->value = value;
-        state->done = true;
-        if (state->yielded) {
+    deps_.cm->procVerify(handle, [this, &state, t](Word value) {
+        state.value = value;
+        state.done = true;
+        if (state.yielded) {
             wake(t);
         }
     });
-    if (!state->done) {
+    if (!state.done) {
         // Result not available: in ContextSwitch mode blockCurrent lets
         // another resident thread run; otherwise the processor stalls.
-        state->yielded = true;
+        state.yielded = true;
         blockCurrent(StallKind::Verify);
     }
     charge(cost_.procReadResult, &ProcessorStats::verifyBusy);
     if (check_ && target != kInvalidAddr) {
         check_->onProcVerify(self_, threads_[t].id, target);
     }
-    return state->value;
+    return state.value;
 }
 
 Word
@@ -445,16 +451,16 @@ void
 Processor::fence()
 {
     stats_.fences += 1;
-    auto state = std::make_shared<WaitState>();
+    WaitState state;
     const unsigned t = current_;
-    deps_.cm->procFence([this, state, t] {
-        state->done = true;
-        if (state->yielded) {
+    deps_.cm->procFence([this, &state, t] {
+        state.done = true;
+        if (state.yielded) {
             wake(t);
         }
     });
-    if (!state->done) {
-        state->yielded = true;
+    if (!state.done) {
+        state.yielded = true;
         blockCurrent(StallKind::Fence);
     }
     if (check_) {

@@ -16,6 +16,14 @@ namespace {
 /** Words per background page-copy batch. */
 constexpr Addr kPageCopyBatchWords = 32;
 
+/** Downcast an owned protocol message to its concrete type. */
+template <typename T>
+std::unique_ptr<T>
+take(std::unique_ptr<ProtoMsg>& msg)
+{
+    return std::unique_ptr<T>(static_cast<T*>(msg.release()));
+}
+
 /** Page a message addresses, for traffic attribution (0 = none). */
 Vpn
 vpnOf(const ProtoMsg& msg)
@@ -55,7 +63,7 @@ CoherenceManager::CoherenceManager(NodeId self, const CostModel& cost,
 }
 
 void
-CoherenceManager::enqueue(Cycles occupancy, std::function<void()> work)
+CoherenceManager::enqueue(Cycles occupancy, sim::Event work)
 {
     const Cycles now = deps_.engine->now();
     const Cycles start = std::max(now, busyUntil_);
@@ -532,38 +540,40 @@ CoherenceManager::sendPageCopyBatch(FrameId src_frame, PhysPage dst,
 void
 CoherenceManager::onPacket(net::Packet packet)
 {
-    auto* msg = dynamic_cast<ProtoMsg*>(packet.payload.get());
-    PLUS_ASSERT(msg != nullptr, "non-protocol packet at coherence manager");
+    PLUS_ASSERT(dynamic_cast<ProtoMsg*>(packet.payload.get()) != nullptr,
+                "non-protocol packet at coherence manager");
+    std::unique_ptr<ProtoMsg> msg(
+        static_cast<ProtoMsg*>(packet.payload.release()));
     PLUS_LOG(LogComponent::Proto, "n", self_, " <- n", packet.src, " ",
              toString(msg->type));
 
     switch (msg->type) {
       case MsgType::ReadReq:
-        onReadReq(static_cast<const ReadReq&>(*msg));
+        onReadReq(take<ReadReq>(msg));
         break;
       case MsgType::ReadResp:
         onReadResp(static_cast<const ReadResp&>(*msg));
         break;
       case MsgType::WriteReq:
-        onWriteReq(static_cast<const WriteReq&>(*msg));
+        onWriteReq(take<WriteReq>(msg));
         break;
       case MsgType::UpdateReq:
-        onUpdateReq(static_cast<const UpdateReq&>(*msg));
+        onUpdateReq(take<UpdateReq>(msg));
         break;
       case MsgType::WriteAck:
         onWriteAck(static_cast<const WriteAck&>(*msg));
         break;
       case MsgType::RmwReq:
-        onRmwReq(static_cast<const RmwReq&>(*msg));
+        onRmwReq(take<RmwReq>(msg));
         break;
       case MsgType::RmwResp:
         onRmwResp(static_cast<const RmwResp&>(*msg));
         break;
       case MsgType::Nack:
-        onNack(static_cast<const Nack&>(*msg));
+        onNack(take<Nack>(msg));
         break;
       case MsgType::PageCopyData:
-        onPageCopyData(static_cast<const PageCopyData&>(*msg), packet.src);
+        onPageCopyData(take<PageCopyData>(msg), packet.src);
         break;
       case MsgType::PageCopyDone:
         onPageCopyDone(static_cast<const PageCopyDone&>(*msg));
@@ -577,23 +587,23 @@ CoherenceManager::onPacket(net::Packet packet)
 }
 
 void
-CoherenceManager::onReadReq(const ReadReq& msg)
+CoherenceManager::onReadReq(std::unique_ptr<ReadReq> msg)
 {
-    enqueue(cost_.cmServiceReadReq, [this, msg] {
-        const FrameId frame = msg.target.page.frame;
+    enqueue(cost_.cmServiceReadReq, [this, m = std::move(msg)] {
+        const FrameId frame = m->target.page.frame;
         if (!deps_.memory->allocated(frame)) {
             auto nack = std::make_unique<Nack>();
             nack->kind = NackedKind::Read;
-            nack->vpn = msg.vpn;
-            nack->wordOffset = msg.target.wordOffset;
-            nack->readTag = msg.tag;
-            send(msg.originator, std::move(nack), Nack::kBytes);
+            nack->vpn = m->vpn;
+            nack->wordOffset = m->target.wordOffset;
+            nack->readTag = m->tag;
+            send(m->originator, std::move(nack), Nack::kBytes);
             return;
         }
         auto resp = std::make_unique<ReadResp>();
-        resp->tag = msg.tag;
-        resp->value = deps_.memory->read(frame, msg.target.wordOffset);
-        send(msg.originator, std::move(resp), ReadResp::kBytes);
+        resp->tag = m->tag;
+        resp->value = deps_.memory->read(frame, m->target.wordOffset);
+        send(m->originator, std::move(resp), ReadResp::kBytes);
     });
 }
 
@@ -608,9 +618,9 @@ CoherenceManager::onReadResp(const ReadResp& msg)
 }
 
 void
-CoherenceManager::onWriteReq(const WriteReq& msg)
+CoherenceManager::onWriteReq(std::unique_ptr<WriteReq> msg)
 {
-    const FrameId frame = msg.target.page.frame;
+    const FrameId frame = msg->target.page.frame;
     // The occupancy estimate may use the receive-time table state, but
     // correctness decisions must use the state at execution time: a
     // FrameFlush queued ahead of us may free the frame first.
@@ -619,8 +629,8 @@ CoherenceManager::onWriteReq(const WriteReq& msg)
                                  deps_.tables->master(frame).node == self_;
     const Cycles occupancy = master_estimate ? cost_.cmServiceWrite
                                              : cost_.cmForward;
-    enqueue(occupancy, [this, msg] {
-        const FrameId frame = msg.target.page.frame;
+    enqueue(occupancy, [this, m = std::move(msg)]() mutable {
+        const FrameId frame = m->target.page.frame;
         const bool known = deps_.memory->allocated(frame) &&
                            deps_.tables->knows(frame);
         const bool master_here =
@@ -628,72 +638,74 @@ CoherenceManager::onWriteReq(const WriteReq& msg)
         if (!known) {
             auto nack = std::make_unique<Nack>();
             nack->kind = NackedKind::Write;
-            nack->vpn = msg.vpn;
-            nack->wordOffset = msg.target.wordOffset;
-            nack->writeTag = msg.tag;
-            nack->value = msg.value;
-            send(msg.originator, std::move(nack), Nack::kBytes);
+            nack->vpn = m->vpn;
+            nack->wordOffset = m->target.wordOffset;
+            nack->writeTag = m->tag;
+            nack->value = m->value;
+            send(m->originator, std::move(nack), Nack::kBytes);
             return;
         }
         if (master_here) {
-            writeAtMaster(msg.vpn, frame, msg.target.wordOffset, msg.value,
-                          msg.originator, msg.tag);
+            writeAtMaster(m->vpn, frame, m->target.wordOffset, m->value,
+                          m->originator, m->tag);
         } else {
+            // Forward the request itself; only the target changes.
             const PhysPage master = deps_.tables->master(frame);
-            auto fwd = std::make_unique<WriteReq>(msg);
-            fwd->target = PhysAddr{master, msg.target.wordOffset};
-            send(master.node, std::move(fwd), WriteReq::kBytes);
+            m->target = PhysAddr{master, m->target.wordOffset};
+            send(master.node, std::move(m), WriteReq::kBytes);
         }
     });
 }
 
 void
-CoherenceManager::onUpdateReq(const UpdateReq& msg)
+CoherenceManager::onUpdateReq(std::unique_ptr<UpdateReq> msg)
 {
-    enqueue(cost_.cmServiceUpdate, [this, msg] {
-        const FrameId frame = msg.target.frame;
+    enqueue(cost_.cmServiceUpdate, [this, m = std::move(msg)]() mutable {
+        const FrameId frame = m->target.frame;
         // The deletion protocol splices the copy-list before flushing a
         // frame, so an update can never reach a frame that is gone.
         PLUS_ASSERT(deps_.memory->allocated(frame) &&
                         deps_.tables->knows(frame),
                     "update for a frame that holds no copy");
-        for (const WordWrite& w : msg.writes) {
+        for (const WordWrite& w : m->writes) {
             applyLocal(frame, w.wordOffset, w.value);
         }
         if (check_) {
             check_->onChainApplied(
-                msg.chainId, msg.target, msg.vpn,
-                msg.writes.empty() ? 0 : msg.writes.front().wordOffset,
-                static_cast<unsigned>(msg.writes.size()), msg.originator,
-                msg.tag, /*tracked=*/msg.needAck, /*at_master=*/false);
+                m->chainId, m->target, m->vpn,
+                m->writes.empty() ? 0 : m->writes.front().wordOffset,
+                static_cast<unsigned>(m->writes.size()), m->originator,
+                m->tag, /*tracked=*/m->needAck, /*at_master=*/false);
         }
-        continueChain(msg.vpn, msg.chainId, frame, msg.writes,
-                      msg.originator, msg.tag, msg.fromRmw, msg.needAck);
+        continueChain(m->vpn, m->chainId, frame, std::move(m->writes),
+                      m->originator, m->tag, m->fromRmw, m->needAck);
     });
 }
 
 void
 CoherenceManager::onWriteAck(const WriteAck& msg)
 {
-    enqueue(cost_.cmServiceAck, [this, msg] { retireWrite(msg.tag); });
+    enqueue(cost_.cmServiceAck, [this, tag = msg.tag] {
+        retireWrite(tag);
+    });
 }
 
 void
-CoherenceManager::onRmwReq(const RmwReq& msg)
+CoherenceManager::onRmwReq(std::unique_ptr<RmwReq> msg)
 {
-    const FrameId frame = msg.target.page.frame;
+    const FrameId frame = msg->target.page.frame;
     const bool master_estimate = deps_.memory->allocated(frame) &&
                                  deps_.tables->knows(frame) &&
                                  deps_.tables->master(frame).node == self_;
     Cycles occupancy;
     if (master_estimate) {
-        occupancy = isComplexOp(msg.op) ? cost_.cmRmwComplex
-                                        : cost_.cmRmwSimple;
+        occupancy = isComplexOp(msg->op) ? cost_.cmRmwComplex
+                                         : cost_.cmRmwSimple;
     } else {
         occupancy = cost_.cmForward;
     }
-    enqueue(occupancy, [this, msg] {
-        const FrameId frame = msg.target.page.frame;
+    enqueue(occupancy, [this, m = std::move(msg)]() mutable {
+        const FrameId frame = m->target.page.frame;
         const bool known = deps_.memory->allocated(frame) &&
                            deps_.tables->knows(frame);
         const bool master_here =
@@ -701,25 +713,25 @@ CoherenceManager::onRmwReq(const RmwReq& msg)
         if (!known) {
             auto nack = std::make_unique<Nack>();
             nack->kind = NackedKind::Rmw;
-            nack->vpn = msg.vpn;
-            nack->wordOffset = msg.target.wordOffset;
-            nack->opTag = msg.opTag;
-            nack->writeTag = msg.writeTag;
-            nack->value = msg.operand;
-            nack->op = msg.op;
-            nack->trackWrite = msg.trackWrite;
-            send(msg.originator, std::move(nack), Nack::kBytes);
+            nack->vpn = m->vpn;
+            nack->wordOffset = m->target.wordOffset;
+            nack->opTag = m->opTag;
+            nack->writeTag = m->writeTag;
+            nack->value = m->operand;
+            nack->op = m->op;
+            nack->trackWrite = m->trackWrite;
+            send(m->originator, std::move(nack), Nack::kBytes);
             return;
         }
         if (master_here) {
-            rmwAtMaster(msg.op, msg.vpn, frame, msg.target.wordOffset,
-                        msg.operand, msg.originator, msg.opTag,
-                        msg.writeTag, msg.trackWrite);
+            rmwAtMaster(m->op, m->vpn, frame, m->target.wordOffset,
+                        m->operand, m->originator, m->opTag,
+                        m->writeTag, m->trackWrite);
         } else {
+            // Forward the request itself; only the target changes.
             const PhysPage master = deps_.tables->master(frame);
-            auto fwd = std::make_unique<RmwReq>(msg);
-            fwd->target = PhysAddr{master, msg.target.wordOffset};
-            send(master.node, std::move(fwd), RmwReq::kBytes);
+            m->target = PhysAddr{master, m->target.wordOffset};
+            send(master.node, std::move(m), RmwReq::kBytes);
         }
     });
 }
@@ -731,42 +743,43 @@ CoherenceManager::onRmwResp(const RmwResp& msg)
 }
 
 void
-CoherenceManager::onNack(const Nack& msg)
+CoherenceManager::onNack(std::unique_ptr<Nack> msg)
 {
     // The addressed copy disappeared (deleted or migrated): the OS
     // re-translates through the centralized table and the request is
     // retried against the page's current placement.
     PLUS_ASSERT(translate_, "nack received but no translator installed");
-    enqueue(cost_.cmForward + cost_.osPageFillCycles, [this, msg] {
+    enqueue(cost_.cmForward + cost_.osPageFillCycles,
+            [this, m = std::move(msg)] {
         stats_.retries += 1;
-        const PhysPage page = translate_(msg.vpn);
-        const PhysAddr phys{page, msg.wordOffset};
-        switch (msg.kind) {
+        const PhysPage page = translate_(m->vpn);
+        const PhysAddr phys{page, m->wordOffset};
+        switch (m->kind) {
           case NackedKind::Read: {
             if (page.node == self_) {
-                auto it = readWaiters_.find(msg.readTag);
+                auto it = readWaiters_.find(m->readTag);
                 PLUS_ASSERT(it != readWaiters_.end(),
                             "nacked read with unknown tag");
                 auto done = std::move(it->second);
                 readWaiters_.erase(it);
-                done(deps_.memory->read(page.frame, msg.wordOffset));
+                done(deps_.memory->read(page.frame, m->wordOffset));
             } else {
                 auto req = std::make_unique<ReadReq>();
                 req->target = phys;
-                req->vpn = msg.vpn;
+                req->vpn = m->vpn;
                 req->originator = self_;
-                req->tag = msg.readTag;
+                req->tag = m->readTag;
                 send(page.node, std::move(req), ReadReq::kBytes);
             }
             break;
           }
           case NackedKind::Write:
-            dispatchWrite(msg.vpn, msg.wordOffset, phys, msg.value,
-                          msg.writeTag);
+            dispatchWrite(m->vpn, m->wordOffset, phys, m->value,
+                          m->writeTag);
             break;
           case NackedKind::Rmw:
-            dispatchRmw(msg.op, msg.vpn, msg.wordOffset, phys, msg.value,
-                        msg.opTag, msg.writeTag, msg.trackWrite);
+            dispatchRmw(m->op, m->vpn, m->wordOffset, phys, m->value,
+                        m->opTag, m->writeTag, m->trackWrite);
             break;
           default:
             PLUS_PANIC("unknown nack kind");
@@ -775,18 +788,20 @@ CoherenceManager::onNack(const Nack& msg)
 }
 
 void
-CoherenceManager::onPageCopyData(const PageCopyData& msg, NodeId src)
+CoherenceManager::onPageCopyData(std::unique_ptr<PageCopyData> msg,
+                                 NodeId src)
 {
-    enqueue(cost_.cmPageCopyWord * msg.words.size(), [this, msg, src] {
-        const FrameId frame = msg.target.frame;
+    const Cycles occupancy = cost_.cmPageCopyWord * msg->words.size();
+    enqueue(occupancy, [this, m = std::move(msg), src] {
+        const FrameId frame = m->target.frame;
         PLUS_ASSERT(deps_.memory->allocated(frame),
                     "page-copy data for unallocated frame");
-        for (std::size_t i = 0; i < msg.words.size(); ++i) {
-            applyLocal(frame, msg.baseOffset + i, msg.words[i]);
+        for (std::size_t i = 0; i < m->words.size(); ++i) {
+            applyLocal(frame, m->baseOffset + i, m->words[i]);
         }
-        if (msg.last) {
+        if (m->last) {
             auto done = std::make_unique<PageCopyDone>();
-            done->copyId = msg.copyId;
+            done->copyId = m->copyId;
             // Answer the node that ran the copy engine (the packet source
             // is always the predecessor copy).
             send(src, std::move(done), PageCopyDone::kBytes);
@@ -805,20 +820,20 @@ CoherenceManager::osFlushRemoteFrame(PhysPage victim)
 void
 CoherenceManager::onFrameFlush(const FrameFlush& msg)
 {
-    enqueue(cost_.cmServiceAck, [this, msg] {
-        PLUS_ASSERT(deps_.memory->allocated(msg.frame),
+    enqueue(cost_.cmServiceAck, [this, frame = msg.frame] {
+        PLUS_ASSERT(deps_.memory->allocated(frame),
                     "flush of a frame that is not allocated");
-        deps_.tables->erase(msg.frame);
-        deps_.memory->freeFrame(msg.frame);
+        deps_.tables->erase(frame);
+        deps_.memory->freeFrame(frame);
     });
 }
 
 void
 CoherenceManager::onPageCopyDone(const PageCopyDone& msg)
 {
-    enqueue(cost_.cmServiceAck, [this, msg] {
+    enqueue(cost_.cmServiceAck, [this, copyId = msg.copyId] {
         PLUS_ASSERT(pageCopyDone_, "page copy finished with no handler");
-        pageCopyDone_(msg.copyId);
+        pageCopyDone_(copyId);
     });
 }
 

@@ -41,6 +41,7 @@
 #include "proto/delayed_ops.hpp"
 #include "proto/messages.hpp"
 #include "proto/pending_writes.hpp"
+#include "sim/event.hpp"
 
 namespace plus {
 
@@ -222,8 +223,13 @@ class CoherenceManager
     const DelayedOpCache& delayedOps() const { return delayedOps_; }
 
   private:
-    /** Serialize @p work behind the manager's busy-until horizon. */
-    void enqueue(Cycles occupancy, std::function<void()> work);
+    /**
+     * Serialize @p work behind the manager's busy-until horizon. Takes
+     * a sim::Event so the continuation rides inline in the engine's
+     * event record — handlers move message ownership straight into the
+     * capture instead of copying the message struct.
+     */
+    void enqueue(Cycles occupancy, sim::Event work);
 
     /** Send a protocol message, sized and counted. */
     void send(NodeId dst, std::unique_ptr<ProtoMsg> msg, unsigned bytes);
@@ -261,16 +267,18 @@ class CoherenceManager
                      WriteTag write_tag, bool track);
     void completeRmw(OpTag tag, Word old_value);
 
-    // Message handlers.
-    void onReadReq(const ReadReq& msg);
+    // Message handlers. Handlers that defer work behind the manager's
+    // occupancy own their message and move it into the continuation;
+    // the synchronous responses only borrow theirs.
+    void onReadReq(std::unique_ptr<ReadReq> msg);
     void onReadResp(const ReadResp& msg);
-    void onWriteReq(const WriteReq& msg);
-    void onUpdateReq(const UpdateReq& msg);
+    void onWriteReq(std::unique_ptr<WriteReq> msg);
+    void onUpdateReq(std::unique_ptr<UpdateReq> msg);
     void onWriteAck(const WriteAck& msg);
-    void onRmwReq(const RmwReq& msg);
+    void onRmwReq(std::unique_ptr<RmwReq> msg);
     void onRmwResp(const RmwResp& msg);
-    void onNack(const Nack& msg);
-    void onPageCopyData(const PageCopyData& msg, NodeId src);
+    void onNack(std::unique_ptr<Nack> msg);
+    void onPageCopyData(std::unique_ptr<PageCopyData> msg, NodeId src);
     void onPageCopyDone(const PageCopyDone& msg);
     void onFrameFlush(const FrameFlush& msg);
 

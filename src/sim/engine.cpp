@@ -1,12 +1,31 @@
 #include "sim/engine.hpp"
 
+#include <cstdlib>
+#include <string_view>
+
 #include "common/log.hpp"
 #include "common/panic.hpp"
 
 namespace plus {
 namespace sim {
 
-Engine::Engine()
+namespace {
+
+EngineImpl
+implFromEnv()
+{
+    const char* env = std::getenv("PLUS_ENGINE");
+    if (env != nullptr && std::string_view(env) == "heap") {
+        return EngineImpl::Heap;
+    }
+    return EngineImpl::Wheel;
+}
+
+} // namespace
+
+Engine::Engine() : Engine(implFromEnv()) {}
+
+Engine::Engine(EngineImpl impl) : impl_(impl)
 {
     Log::instance().setClock([this] { return now(); });
 }
@@ -17,58 +36,100 @@ Engine::~Engine()
 }
 
 EventId
-Engine::schedule(Cycles delay, std::function<void()> fn)
+Engine::schedule(Cycles delay, Event fn)
 {
     return scheduleAt(now_ + delay, std::move(fn));
 }
 
 EventId
-Engine::scheduleAt(Cycles when, std::function<void()> fn)
+Engine::scheduleAt(Cycles when, Event fn)
 {
     PLUS_ASSERT(when >= now_, "scheduling into the past: ", when, " < ",
                 now_);
     PLUS_ASSERT(fn, "scheduling a null event");
-    const EventId id = nextId_++;
-    queue_.push(Record{when, nextSeq_++, id, std::move(fn)});
+    const std::uint32_t idx = slab_.allocate();
+    EventRecord& rec = slab_[idx];
+    rec.fn = std::move(fn);
+    rec.when = when;
+    rec.seq = nextSeq_++;
+    const EventId id =
+        (static_cast<EventId>(rec.gen) << 32U) | static_cast<EventId>(idx);
+    if (impl_ == EngineImpl::Wheel) {
+        wheel_.insert(idx);
+    } else {
+        rec.home = EventRecord::kHomeHeap;
+        heap_.push(HeapEntry{when, rec.seq, idx, rec.gen});
+    }
+    ++pending_;
+    ++scheduledTotal_;
     return id;
 }
 
 bool
 Engine::cancel(EventId id)
 {
-    if (id == kInvalidEvent || id >= nextId_) {
+    if (id == kInvalidEvent) {
         return false;
     }
-    // Lazy cancellation: remember the id; skip the record when popped.
-    const bool inserted = cancelledIds_.insert(id).second;
-    if (inserted) {
-        ++cancelled_;
+    const auto idx = static_cast<std::uint32_t>(id & 0xffffffffU);
+    const auto gen = static_cast<std::uint32_t>(id >> 32U);
+    if (gen == 0 || idx >= slab_.size()) {
+        return false;
     }
-    return inserted;
+    EventRecord& rec = slab_[idx];
+    if (rec.gen != gen || rec.home == EventRecord::kHomeFree) {
+        return false; // already fired, already cancelled, or recycled
+    }
+    if (impl_ == EngineImpl::Wheel) {
+        wheel_.remove(idx);
+    }
+    // Heap backend: the HeapEntry goes stale and is skipped on pop
+    // (the generation bump below invalidates it).
+    slab_.free(idx);
+    --pending_;
+    ++cancelledTotal_;
+    return true;
+}
+
+std::uint32_t
+Engine::nextFromHeap(Cycles limit)
+{
+    while (!heap_.empty()) {
+        const HeapEntry top = heap_.top();
+        const EventRecord& rec = slab_[top.idx];
+        if (rec.gen != top.gen || rec.home != EventRecord::kHomeHeap) {
+            heap_.pop(); // cancelled; the record was already recycled
+            continue;
+        }
+        if (top.when > limit) {
+            return kNilRecord;
+        }
+        heap_.pop();
+        return top.idx;
+    }
+    return kNilRecord;
 }
 
 bool
 Engine::dispatchNext(Cycles limit)
 {
-    while (!queue_.empty()) {
-        const Record& top = queue_.top();
-        if (top.when > limit) {
-            return false;
-        }
-        if (cancelledIds_.erase(top.id)) {
-            --cancelled_;
-            queue_.pop();
-            continue;
-        }
-        // Move the closure out before popping so it can reschedule freely.
-        Record record = std::move(const_cast<Record&>(top));
-        queue_.pop();
-        now_ = record.when;
-        ++executed_;
-        record.fn();
-        return true;
+    const std::uint32_t idx = impl_ == EngineImpl::Wheel
+                                  ? wheel_.extractNext(limit)
+                                  : nextFromHeap(limit);
+    if (idx == kNilRecord) {
+        return false;
     }
-    return false;
+    EventRecord& rec = slab_[idx];
+    const Cycles when = rec.when;
+    Event fn = std::move(rec.fn);
+    // Free before invoking: the callback may reschedule into this very
+    // slot, and cancel() of the now-fired id must report false.
+    slab_.free(idx);
+    --pending_;
+    now_ = when;
+    ++executed_;
+    fn();
+    return true;
 }
 
 void
@@ -91,6 +152,20 @@ bool
 Engine::step()
 {
     return dispatchNext(~Cycles{0});
+}
+
+EngineStats
+Engine::stats() const
+{
+    EngineStats s;
+    s.scheduled = scheduledTotal_;
+    s.executed = executed_;
+    s.cancelled = cancelledTotal_;
+    s.cascades = wheel_.cascades();
+    s.slabLive = slab_.live();
+    s.slabHighWater = slab_.highWater();
+    s.slabSlots = slab_.size();
+    return s;
 }
 
 } // namespace sim

@@ -2,36 +2,69 @@
  * @file
  * Discrete-event simulation engine.
  *
- * The whole PLUS machine is simulated by one single-threaded event loop.
- * Components schedule closures at future cycles; ties are broken by
- * insertion order so runs are fully deterministic.
+ * The whole PLUS machine is simulated by one single-threaded event
+ * loop. Components schedule closures at future cycles; ties are
+ * broken by insertion order so runs are fully deterministic.
+ *
+ * Internally events live in a slab of reusable records (no per-event
+ * heap allocation: the callable is a `sim::Event` with inline capture
+ * storage) ordered by a hierarchical timing wheel — O(1) schedule,
+ * cancel and dispatch for the short fixed delays that dominate the
+ * simulation. The pre-wheel `std::priority_queue` backend is kept
+ * behind `PLUS_ENGINE=heap` as a determinism oracle: both backends
+ * execute events in identical (when, seq) order, and CI diffs their
+ * bench output byte-for-byte (see docs/PERF.md).
  */
 
 #ifndef PLUS_SIM_ENGINE_HPP_
 #define PLUS_SIM_ENGINE_HPP_
 
 #include <cstdint>
-#include <functional>
 #include <queue>
-#include <unordered_set>
 #include <vector>
 
 #include "common/types.hpp"
+#include "sim/event.hpp"
+#include "sim/event_slab.hpp"
+#include "sim/timing_wheel.hpp"
 
 namespace plus {
 namespace sim {
 
-/** Handle identifying a scheduled event, usable for cancellation. */
+/**
+ * Handle identifying a scheduled event, usable for cancellation.
+ * Encodes (generation << 32 | slab slot); stale handles — including
+ * those of events that already fired — are rejected in O(1).
+ */
 using EventId = std::uint64_t;
 
 /** Sentinel meaning "no event". */
 inline constexpr EventId kInvalidEvent = 0;
 
+/** Which event-queue backend an Engine runs on. */
+enum class EngineImpl {
+    Wheel, ///< hierarchical timing wheel (default)
+    Heap,  ///< legacy priority queue, kept as a determinism oracle
+};
+
+/** Counters describing engine health (exported as sim.* metrics). */
+struct EngineStats {
+    std::uint64_t scheduled = 0;    ///< events ever scheduled
+    std::uint64_t executed = 0;     ///< events dispatched
+    std::uint64_t cancelled = 0;    ///< successful cancel() calls
+    std::uint64_t cascades = 0;     ///< wheel slot redistributions
+    std::size_t slabLive = 0;       ///< records currently allocated
+    std::size_t slabHighWater = 0;  ///< peak simultaneous records
+    std::size_t slabSlots = 0;      ///< slab capacity (bounded by peak)
+};
+
 /** The event loop: a time-ordered queue of closures. */
 class Engine
 {
   public:
+    /** Backend chosen by the PLUS_ENGINE env var ("heap" | "wheel"). */
     Engine();
+    explicit Engine(EngineImpl impl);
     ~Engine();
 
     Engine(const Engine&) = delete;
@@ -41,14 +74,15 @@ class Engine
     Cycles now() const { return now_; }
 
     /** Schedule @p fn to run @p delay cycles from now. */
-    EventId schedule(Cycles delay, std::function<void()> fn);
+    EventId schedule(Cycles delay, Event fn);
 
     /** Schedule @p fn at absolute cycle @p when (must be >= now). */
-    EventId scheduleAt(Cycles when, std::function<void()> fn);
+    EventId scheduleAt(Cycles when, Event fn);
 
     /**
      * Cancel a previously scheduled event.
-     * @return true if the event was pending and is now cancelled.
+     * @return true if the event was pending and is now cancelled;
+     *         false for invalid ids and events that already fired.
      */
     bool cancel(EventId id);
 
@@ -68,23 +102,29 @@ class Engine
     /** Request that run() return after the current event. */
     void stop() { stopping_ = true; }
 
-    /** Number of events pending (including cancelled-but-unpopped). */
-    std::size_t pendingEvents() const { return queue_.size() - cancelled_; }
+    /** Number of events pending (exact; cancelled events leave). */
+    std::size_t pendingEvents() const { return pending_; }
 
     /** Total events executed since construction. */
     std::uint64_t executedEvents() const { return executed_; }
 
+    /** The backend this engine runs on. */
+    EngineImpl impl() const { return impl_; }
+
+    /** Engine health counters for telemetry. */
+    EngineStats stats() const;
+
   private:
-    struct Record {
+    struct HeapEntry {
         Cycles when;
         std::uint64_t seq;
-        EventId id;
-        std::function<void()> fn;
+        std::uint32_t idx;
+        std::uint32_t gen;
     };
 
-    struct Later {
+    struct HeapLater {
         bool
-        operator()(const Record& a, const Record& b) const
+        operator()(const HeapEntry& a, const HeapEntry& b) const
         {
             // Earliest time first; FIFO among equal times.
             if (a.when != b.when) {
@@ -95,15 +135,19 @@ class Engine
     };
 
     bool dispatchNext(Cycles limit);
+    std::uint32_t nextFromHeap(Cycles limit);
 
-    std::priority_queue<Record, std::vector<Record>, Later> queue_;
-    /** Ids of cancelled events awaiting lazy removal. */
-    std::unordered_set<EventId> cancelledIds_;
-    std::size_t cancelled_ = 0;
+    EventSlab slab_;
+    TimingWheel wheel_{slab_};
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapLater>
+        heap_;
+    EngineImpl impl_;
     Cycles now_ = 0;
     std::uint64_t nextSeq_ = 0;
-    EventId nextId_ = 1;
     std::uint64_t executed_ = 0;
+    std::uint64_t scheduledTotal_ = 0;
+    std::uint64_t cancelledTotal_ = 0;
+    std::size_t pending_ = 0;
     bool stopping_ = false;
 };
 

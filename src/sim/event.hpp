@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Small-buffer-optimised event callback.
+ *
+ * `sim::Event` replaces `std::function<void()>` on the engine's hot
+ * path. Captures up to kInlineBytes are stored inline in the event
+ * record itself (no heap allocation per scheduled event); larger or
+ * throwing-move callables fall back to a single heap cell. Unlike
+ * `std::function`, Event is move-only and therefore accepts move-only
+ * captures (`std::unique_ptr`, pooled pointers), which is what lets
+ * the network and protocol layers hand message ownership straight to
+ * the scheduler instead of copying through `shared_ptr` workarounds.
+ */
+
+#ifndef PLUS_SIM_EVENT_HPP_
+#define PLUS_SIM_EVENT_HPP_
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "common/panic.hpp"
+
+namespace plus {
+namespace sim {
+
+/** Move-only type-erased `void()` callable with inline storage. */
+class Event
+{
+  public:
+    /** Capture budget before the heap fallback kicks in. */
+    static constexpr std::size_t kInlineBytes = 48;
+
+    Event() noexcept : ops_(nullptr) {}
+
+    /** Type-erase any void-invocable @p fn (implicit, like function). */
+    template <typename F,
+              typename D = std::decay_t<F>,
+              typename = std::enable_if_t<!std::is_same_v<D, Event> &&
+                                          std::is_invocable_r_v<void, D&>>>
+    Event(F&& fn) // NOLINT(google-explicit-constructor)
+    {
+        if constexpr (fitsInline<D>()) {
+            ::new (static_cast<void*>(storage_)) D(std::forward<F>(fn));
+            ops_ = &kInlineOps<D>;
+        } else {
+            // NOLINTNEXTLINE(cppcoreguidelines-owning-memory)
+            D* cell = new D(std::forward<F>(fn));
+            std::memcpy(storage_, &cell, sizeof(cell));
+            ops_ = &kHeapOps<D>;
+        }
+    }
+
+    Event(Event&& other) noexcept : ops_(other.ops_)
+    {
+        if (ops_ != nullptr) {
+            ops_->relocate(storage_, other.storage_);
+            other.ops_ = nullptr;
+        }
+    }
+
+    Event&
+    operator=(Event&& other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            ops_ = other.ops_;
+            if (ops_ != nullptr) {
+                ops_->relocate(storage_, other.storage_);
+                other.ops_ = nullptr;
+            }
+        }
+        return *this;
+    }
+
+    Event(const Event&) = delete;
+    Event& operator=(const Event&) = delete;
+
+    ~Event() { reset(); }
+
+    /** True when a callable is held. */
+    explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+    /** Invoke the callable (must be non-empty). */
+    void
+    operator()()
+    {
+        PLUS_ASSERT(ops_ != nullptr, "invoking an empty Event");
+        ops_->invoke(storage_);
+    }
+
+    /** Drop the held callable, leaving the Event empty. */
+    void
+    reset() noexcept
+    {
+        if (ops_ != nullptr) {
+            ops_->destroy(storage_);
+            ops_ = nullptr;
+        }
+    }
+
+  private:
+    struct Ops {
+        void (*invoke)(void*);
+        /** Move the callable dst <- src and destroy src. */
+        void (*relocate)(void*, void*) noexcept;
+        void (*destroy)(void*) noexcept;
+    };
+
+    template <typename D>
+    static constexpr bool
+    fitsInline()
+    {
+        return sizeof(D) <= kInlineBytes &&
+               alignof(D) <= alignof(std::max_align_t) &&
+               std::is_nothrow_move_constructible_v<D>;
+    }
+
+    template <typename D>
+    static constexpr Ops kInlineOps{
+        /*invoke=*/[](void* p) { (*std::launder(static_cast<D*>(p)))(); },
+        /*relocate=*/
+        [](void* dst, void* src) noexcept {
+            D* from = std::launder(static_cast<D*>(src));
+            ::new (dst) D(std::move(*from));
+            from->~D();
+        },
+        /*destroy=*/
+        [](void* p) noexcept { std::launder(static_cast<D*>(p))->~D(); },
+    };
+
+    template <typename D>
+    static constexpr Ops kHeapOps{
+        /*invoke=*/
+        [](void* p) {
+            D* cell = nullptr;
+            std::memcpy(&cell, p, sizeof(cell));
+            (*cell)();
+        },
+        /*relocate=*/
+        [](void* dst, void* src) noexcept {
+            std::memcpy(dst, src, sizeof(D*)); // ownership moves with it
+        },
+        /*destroy=*/
+        [](void* p) noexcept {
+            D* cell = nullptr;
+            std::memcpy(&cell, p, sizeof(cell));
+            delete cell; // NOLINT(cppcoreguidelines-owning-memory)
+        },
+    };
+
+    alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+    const Ops* ops_;
+};
+
+} // namespace sim
+} // namespace plus
+
+#endif // PLUS_SIM_EVENT_HPP_
