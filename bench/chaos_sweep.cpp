@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Chaos sweep: the reliable-delivery layer must make injected network
+ * faults invisible to the memory system. A fault-free oracle run fixes
+ * the expected final memory image (the workload is built from disjoint
+ * per-node writes and commutative fetch-and-adds, so the image is
+ * timing-independent); every chaos run — drop / duplicate / corrupt /
+ * transient link-kill schedules across several injector seeds — must
+ * reproduce it word for word. The sweep ends with a watchdog
+ * demonstration: a permanent partition with an unbounded retransmit
+ * budget must be converted into a forward-progress panic, not a hang.
+ *
+ *   chaos_sweep [--nodes=N] [--seeds=K]
+ *
+ * Exits non-zero on any image mismatch or if the watchdog fails to
+ * fire. See docs/ROBUSTNESS.md.
+ */
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "common/panic.hpp"
+#include "core/context.hpp"
+#include "net/fault_injector.hpp"
+#include "net/reliable_link.hpp"
+
+namespace {
+
+using namespace plus;
+using namespace plus::bench;
+
+constexpr unsigned kCopies = 3;    ///< replicas per page (incl. master)
+constexpr unsigned kWordsUsed = 16; ///< words written per page
+constexpr Word kIters = 24;         ///< write rounds per thread
+
+struct RunResult {
+    std::vector<Word> image; ///< final memory: pages then the counter
+    Cycles cycles = 0;
+    net::FaultStats faults;
+    net::LinkStats link;
+};
+
+/**
+ * Run the workload once and return the final memory image. The image
+ * is timing-independent by construction: each node writes only its own
+ * page's words (last value per word is fixed by program order) and the
+ * shared counter only ever sees commutative increments.
+ */
+RunResult
+runOnce(unsigned nodes, const FaultConfig* fault)
+{
+    MachineConfig cfg = machineConfig(nodes);
+    if (fault) {
+        cfg.network.fault = *fault;
+        cfg.network.fault.enabled = true;
+        cfg.watchdog.enabled = true; // a hung chaos run should diagnose
+    }
+    core::Machine machine(cfg);
+
+    std::vector<Addr> pages(nodes);
+    for (NodeId n = 0; n < nodes; ++n) {
+        pages[n] = machine.alloc(kPageBytes, n);
+        for (unsigned c = 1; c < kCopies && c < nodes; ++c) {
+            machine.replicate(pages[n], (n + c) % nodes);
+        }
+    }
+    const Addr counter = machine.alloc(kPageBytes, 0);
+    machine.settle();
+
+    for (NodeId n = 0; n < nodes; ++n) {
+        machine.spawn(n, [&pages, counter, nodes, n](core::Context& ctx) {
+            const Addr own = pages[n];
+            const Addr peer = pages[(n + 1) % nodes];
+            for (Word i = 0; i < kIters; ++i) {
+                // Disjoint writes: update chains through every replica.
+                ctx.write(own + 8 * (i % kWordsUsed), n * 1000 + i);
+                // Remote reads keep request/response traffic flowing.
+                ctx.read(peer + 8 * (i % kWordsUsed));
+                if (i % 6 == 0) {
+                    ctx.fadd(counter, 1); // commutative shared traffic
+                }
+                ctx.compute(20);
+            }
+            ctx.fence();
+        });
+    }
+    machine.run();
+    machine.settle();
+
+    RunResult r;
+    r.cycles = machine.now();
+    for (NodeId n = 0; n < nodes; ++n) {
+        for (unsigned w = 0; w < kWordsUsed; ++w) {
+            r.image.push_back(machine.peek(pages[n] + 8 * w));
+        }
+    }
+    r.image.push_back(machine.peek(counter));
+    if (const net::FaultInjector* inj =
+            machine.network().faultInjector()) {
+        r.faults = inj->stats();
+    }
+    if (const net::LinkLayer* link = machine.network().linkLayer()) {
+        r.link = link->stats();
+    }
+    return r;
+}
+
+/** A permanent partition must end in a watchdog panic, not a hang. */
+bool
+watchdogConvertsPartitionToPanic(unsigned nodes)
+{
+    MachineConfig cfg = machineConfig(nodes);
+    cfg.network.fault.enabled = true;
+    cfg.network.fault.maxRetransmits = 0; // leave the hang to the dog
+    cfg.network.fault.script.push_back(
+        {1, FaultScriptEntry::Kind::LinkDown, 0, 1});
+    cfg.watchdog.enabled = true;
+    cfg.watchdog.windowCycles = 1u << 15;
+    core::Machine machine(cfg);
+    const Addr a = machine.alloc(kPageBytes, 0);
+    machine.spawn(1, [a](core::Context& ctx) { ctx.read(a); });
+    try {
+        machine.run();
+    } catch (const PanicError& e) {
+        return std::string(e.what()).find("watchdog") !=
+               std::string::npos;
+    }
+    return false;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    unsigned nodes = 8;
+    unsigned seeds = 3;
+    for (const std::string& arg : parseHarnessArgs(argc, argv)) {
+        if (arg.rfind("--nodes=", 0) == 0) {
+            nodes = static_cast<unsigned>(std::stoul(arg.substr(8)));
+        } else if (arg.rfind("--seeds=", 0) == 0) {
+            seeds = static_cast<unsigned>(std::stoul(arg.substr(8)));
+        } else {
+            std::cerr << "usage: chaos_sweep [--nodes=N] [--seeds=K]\n";
+            return 2;
+        }
+    }
+
+    const RunResult oracle = runOnce(nodes, nullptr);
+
+    struct Scenario {
+        const char* name;
+        FaultConfig fault;
+    };
+    std::vector<Scenario> scenarios;
+    {
+        Scenario s;
+        s.name = "drop 1%";
+        s.fault.dropRate = 0.01;
+        scenarios.push_back(s);
+    }
+    {
+        Scenario s;
+        s.name = "dup 1%";
+        s.fault.duplicateRate = 0.01;
+        scenarios.push_back(s);
+    }
+    {
+        Scenario s;
+        s.name = "corrupt 0.5%";
+        s.fault.corruptRate = 0.005;
+        scenarios.push_back(s);
+    }
+    {
+        Scenario s;
+        s.name = "mixed+kill";
+        s.fault.dropRate = 0.01;
+        s.fault.duplicateRate = 0.01;
+        s.fault.corruptRate = 0.005;
+        // One transient partition in the middle of the run.
+        s.fault.script.push_back(
+            {2000, FaultScriptEntry::Kind::LinkDown, 0, 1});
+        s.fault.script.push_back(
+            {12000, FaultScriptEntry::Kind::LinkUp, 0, 1});
+        scenarios.push_back(s);
+    }
+
+    TablePrinter table;
+    table.setHeader({"scenario", "seed", "cycles", "injected",
+                     "retransmits", "image"});
+    bool allOk = true;
+    for (const Scenario& s : scenarios) {
+        for (unsigned seed = 1; seed <= seeds; ++seed) {
+            FaultConfig fault = s.fault;
+            fault.seed = seed;
+            const RunResult run = runOnce(nodes, &fault);
+            const bool ok = run.image == oracle.image;
+            allOk = allOk && ok;
+            const std::uint64_t injected =
+                run.faults.dropped + run.faults.corrupted +
+                run.faults.duplicated + run.faults.delayed;
+            table.addRow({s.name, std::to_string(seed),
+                          TablePrinter::num(run.cycles),
+                          TablePrinter::num(injected),
+                          TablePrinter::num(run.link.retransmits),
+                          ok ? "ok" : "MISMATCH"});
+        }
+    }
+    std::cout << "chaos sweep: " << nodes << " nodes, oracle "
+              << TablePrinter::num(oracle.cycles) << " cycles, "
+              << oracle.image.size() << "-word image\n\n";
+    table.print(std::cout);
+
+    const bool dogOk = watchdogConvertsPartitionToPanic(nodes);
+    std::cout << "\nwatchdog partition demo: "
+              << (dogOk ? "panicked as expected" : "FAILED TO FIRE")
+              << "\n";
+
+    if (!allOk || !dogOk) {
+        std::cerr << "\nchaos sweep FAILED\n";
+        return 1;
+    }
+    std::cout << "\nall chaos runs reproduced the fault-free image\n";
+    return 0;
+}

@@ -13,9 +13,15 @@
 #   6. perf-smoke: engine_throughput --quick, fail if the wheel's
 #                  throughput regressed >25% vs the committed
 #                  BENCH_engine.json or the speedup target is missed
+#   7. chaos:      chaos_sweep under fixed fault seeds (drop 1%, dup 1%,
+#                  corrupt 0.5%, mixed + transient link kill) — every
+#                  run must reproduce the fault-free memory image, and
+#                  with the injector disabled bench output must stay
+#                  byte-identical to the committed golden/ files under
+#                  both engine backends
 #
-# Usage: scripts/ci.sh [tier1|sanitize|tidy|trace|determinism|perf-smoke|all]
-#        (default: all)
+# Usage: scripts/ci.sh [tier1|sanitize|tidy|trace|determinism|perf-smoke|
+#                       chaos|all]  (default: all)
 
 set -euo pipefail
 
@@ -124,6 +130,31 @@ print(f"perf OK: {now['speedup']:.2f}x vs baseline pq")
 EOF
 }
 
+run_chaos() {
+    echo "=== chaos: fault sweep + fault-free golden check ==="
+    cmake -B build -S . >/dev/null
+    cmake --build build -j "$JOBS" --target chaos_sweep sim_harness \
+        table_3_1
+    local out
+    out="$(mktemp -d)"
+    trap 'rm -rf "$out"' RETURN
+
+    # 4 scenarios x 2 seeds = 8 faulty runs, each checked against the
+    # fault-free oracle image, plus the watchdog partition demo.
+    build/bench/chaos_sweep --nodes=8 --seeds=2
+
+    # The fault machinery must be invisible when disabled: bench output
+    # stays byte-identical to the committed goldens on both backends.
+    for eng in wheel heap; do
+        PLUS_ENGINE=$eng build/bench/table_3_1 > "$out/table.txt"
+        diff golden/table_3_1.txt "$out/table.txt"
+        PLUS_ENGINE=$eng build/bench/sim_harness --nodes=16 \
+            > "$out/harness.txt"
+        diff golden/sim_harness_16.txt "$out/harness.txt"
+    done
+    echo "fault-free path byte-identical to golden/ on both backends"
+}
+
 case "$STAGE" in
     tier1)       run_tier1 ;;
     sanitize)    run_sanitize ;;
@@ -131,11 +162,13 @@ case "$STAGE" in
     trace)       run_trace ;;
     determinism) run_determinism ;;
     perf-smoke)  run_perf_smoke ;;
+    chaos)       run_chaos ;;
     all)         run_tier1; run_sanitize; run_tidy; run_trace
-                 run_determinism; run_perf_smoke ;;
+                 run_determinism; run_perf_smoke; run_chaos ;;
     *)
         echo "unknown stage '$STAGE'" \
-             "(want tier1|sanitize|tidy|trace|determinism|perf-smoke|all)" >&2
+             "(want tier1|sanitize|tidy|trace|determinism|perf-smoke|" \
+             "chaos|all)" >&2
         exit 2
         ;;
 esac

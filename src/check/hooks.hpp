@@ -129,6 +129,32 @@ class ProtoObserver
 };
 
 /**
+ * Why the fault layer discarded a packet (see net::FaultInjector and
+ * net::LinkLayer). Carried on NetObserver::onPacketDropped so telemetry
+ * can render each fault kind distinctly.
+ */
+enum class DropReason : std::uint8_t {
+    Injected,  ///< probabilistic or scripted drop at injection
+    Corrupt,   ///< payload CRC failed at the receiver
+    LinkDown,  ///< the packet reached a killed link
+    NodeDown,  ///< the source or destination router is dead
+    Duplicate, ///< suppressed by the reliable layer's sequence check
+};
+
+inline const char*
+toString(DropReason reason)
+{
+    switch (reason) {
+      case DropReason::Injected: return "injected";
+      case DropReason::Corrupt: return "corrupt";
+      case DropReason::LinkDown: return "link-down";
+      case DropReason::NodeDown: return "node-down";
+      case DropReason::Duplicate: return "duplicate";
+      default: return "?";
+    }
+}
+
+/**
  * Observer of network-level packet movement (net::Network). Kept separate
  * from ProtoObserver because the network layer cannot name protocol types:
  * @p msg_class is the proto::MsgType value carried opaquely on the packet
@@ -163,6 +189,30 @@ class NetObserver
     {
         (void)from; (void)to; (void)msg_class; (void)bytes; (void)start;
         (void)duration;
+    }
+
+    /**
+     * The fault layer discarded a packet of @p msg_class travelling
+     * @p src -> @p dst for @p reason. For LinkDown the pair names the
+     * killed link's endpoints, not the packet's original route.
+     */
+    virtual void
+    onPacketDropped(NodeId src, NodeId dst, std::uint8_t msg_class,
+                    unsigned bytes, DropReason reason)
+    {
+        (void)src; (void)dst; (void)msg_class; (void)bytes; (void)reason;
+    }
+
+    /**
+     * The reliable layer re-sent frame @p seq of channel @p src -> @p dst
+     * after a timeout; this was retransmission attempt @p attempt (1 =
+     * first re-send).
+     */
+    virtual void
+    onRetransmit(NodeId src, NodeId dst, std::uint32_t seq,
+                 unsigned attempt)
+    {
+        (void)src; (void)dst; (void)seq; (void)attempt;
     }
 };
 

@@ -46,6 +46,30 @@ MachineConfig::validate()
         PLUS_FATAL("thread stacks of less than 16 KiB are unsafe");
     }
 
+    const FaultConfig& fault = network.fault;
+    if (fault.dropRate < 0.0 || fault.corruptRate < 0.0 ||
+        fault.duplicateRate < 0.0 || fault.delayRate < 0.0) {
+        PLUS_FATAL("fault rates must be non-negative");
+    }
+    if (fault.dropRate + fault.corruptRate + fault.duplicateRate +
+            fault.delayRate > 1.0) {
+        PLUS_FATAL("fault rates must sum to at most 1");
+    }
+    if (fault.enabled && fault.maxDelayCycles == 0 && fault.delayRate > 0.0) {
+        PLUS_FATAL("delayRate requires maxDelayCycles > 0");
+    }
+    for (const FaultScriptEntry& entry : fault.script) {
+        if (entry.a >= nodes ||
+            ((entry.kind == FaultScriptEntry::Kind::LinkDown ||
+              entry.kind == FaultScriptEntry::Kind::LinkUp) &&
+             entry.b >= nodes)) {
+            PLUS_FATAL("fault script names node beyond machine size");
+        }
+    }
+    if (watchdog.enabled && watchdog.windowCycles == 0) {
+        PLUS_FATAL("watchdog window must be positive");
+    }
+
     if (network.meshWidth != 0) {
         if (network.meshWidth > nodes) {
             PLUS_FATAL("meshWidth ", network.meshWidth,

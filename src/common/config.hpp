@@ -15,10 +15,67 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/types.hpp"
 
 namespace plus {
+
+/** One scripted fault-schedule entry (see net::FaultInjector). */
+struct FaultScriptEntry {
+    enum class Kind : std::uint8_t {
+        LinkDown, ///< kill the (undirected) link a <-> b
+        LinkUp,   ///< revive the link a <-> b
+        NodeDown, ///< kill node a's router (all its traffic drops)
+        NodeUp,   ///< revive node a's router
+    };
+    Cycles at = 0;
+    Kind kind = Kind::LinkDown;
+    NodeId a = kInvalidNode;
+    NodeId b = kInvalidNode; ///< second link endpoint; unused for nodes
+};
+
+/**
+ * Fault injection and link-level reliable delivery (net::FaultInjector +
+ * net::LinkLayer). Off by default: the network then behaves exactly as
+ * without this subsystem — the hot path pays one null-pointer branch per
+ * packet, and bench output is byte-identical (the determinism contract,
+ * see docs/ROBUSTNESS.md). Enabling it arms both the injector and the
+ * reliable-delivery layer: sequence numbers, ack/retransmit with
+ * exponential backoff, and duplicate suppression recover every injected
+ * loss without the coherence managers noticing.
+ */
+struct FaultConfig {
+    bool enabled = false;
+
+    /** Seed of the injector's own RNG (independent of workload seeds). */
+    std::uint64_t seed = 1;
+
+    // Per-packet fault probabilities; their sum must be <= 1.
+    double dropRate = 0.0;      ///< packet silently lost
+    double corruptRate = 0.0;   ///< payload CRC flipped (dropped at receive)
+    double duplicateRate = 0.0; ///< packet delivered twice
+    double delayRate = 0.0;     ///< packet held back before injection
+
+    /** Extra delay for delayed packets, uniform in [1, maxDelayCycles]. */
+    Cycles maxDelayCycles = 200;
+
+    /** Scripted link/router kills and revives, applied at their cycle. */
+    std::vector<FaultScriptEntry> script;
+
+    /** Retransmit timeout before backoff; 0 = derive from latency model. */
+    Cycles retransmitTimeout = 0;
+
+    /**
+     * Per-frame retransmit budget; exceeding it panics with the link
+     * diagnosis (permanent partition). 0 = retry forever and leave the
+     * hang to the forward-progress watchdog.
+     */
+    unsigned maxRetransmits = 32;
+
+    /** Cap on timeout doublings (backoff = timeout << min(n, cap)). */
+    unsigned backoffCap = 6;
+};
 
 /** Interconnection-network parameters. */
 struct NetworkConfig {
@@ -53,6 +110,19 @@ struct NetworkConfig {
 
     /** Per-message header size in bytes (routing, type, originator, tag). */
     unsigned headerBytes = 8;
+
+    /**
+     * Per-router input-buffer capacity in packets; 0 = unbounded (the
+     * seed behavior). When finite, a hop whose outgoing link has more
+     * than this many serialization quanta queued stalls in place and
+     * retries — the Section 2.5 "flooded with update requests" effect
+     * becomes visible backpressure (net.backpressureStalls) instead of
+     * an unbounded queue.
+     */
+    unsigned routerBufferPackets = 0;
+
+    /** Fault injection + reliable delivery (mesh and ideal networks). */
+    FaultConfig fault;
 };
 
 /** How the processor hides (or fails to hide) memory/sync latency. */
@@ -176,6 +246,24 @@ struct CostModel {
      * kPageWords). Words below the base hold the tail/head offset words.
      */
     Addr queueBaseOffset = 2;
+
+    // --- NACK retry policy (robustness hardening) -----------------------
+
+    /**
+     * Maximum re-translation retries per nacked request before the
+     * coherence manager panics with the event trace (a silent livelock
+     * becomes a diagnosable failure). 0 = unbounded (the seed behavior).
+     */
+    unsigned nackRetryLimit = 64;
+
+    /**
+     * Extra delay added to the second and later retries of the same
+     * request: nackBackoffBase << min(retry - 2, nackBackoffCap). The
+     * first retry keeps the seed's timing so fault-free runs stay
+     * byte-identical (migration legitimately nacks once).
+     */
+    Cycles nackBackoffBase = 64;
+    unsigned nackBackoffCap = 6;
 };
 
 /**
@@ -211,6 +299,20 @@ struct TelemetryConfig {
     std::size_t ringCapacity = 1u << 18;
 };
 
+/**
+ * Forward-progress watchdog (sim::Watchdog, wired by core::Machine).
+ * When enabled, a periodic check panics — dumping recent telemetry and
+ * the checker's event trace — if an entire window elapses with no
+ * processor progress and no packet delivered while work is still
+ * pending. Off by default: the watchdog then schedules no events at
+ * all, so enabling it is the only way it can perturb timing.
+ */
+struct WatchdogConfig {
+    bool enabled = false;
+    /** Progress-check period in cycles. */
+    Cycles windowCycles = 1u << 20;
+};
+
 /** Top-level machine description. */
 struct MachineConfig {
     /** Number of nodes (each: processor + memory + coherence manager). */
@@ -226,6 +328,7 @@ struct MachineConfig {
     CostModel cost;
     CheckConfig check;
     TelemetryConfig telemetry;
+    WatchdogConfig watchdog;
 
     /** Seed for all workload randomness. */
     std::uint64_t seed = 1;

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <limits>
+#include <sstream>
 
 #include "common/log.hpp"
 #include "common/panic.hpp"
 #include "core/context.hpp"
+#include "net/fault_injector.hpp"
+#include "net/reliable_link.hpp"
 #include "telemetry/export.hpp"
 
 namespace plus {
@@ -49,6 +52,9 @@ Machine::Machine(MachineConfig config)
     topology_ = net::Topology(config_.nodes, config_.meshWidth(),
                               config_.meshHeight());
     network_ = net::makeNetwork(engine_, topology_, config_.network);
+    if (config_.network.fault.enabled) {
+        network_->enableFaults(config_.network.fault);
+    }
 
     if (config_.check.invariants || config_.check.races) {
         check::Options opts;
@@ -105,10 +111,72 @@ Machine::Machine(MachineConfig config)
         }
     }
 
+    // Failure diagnostics: the reliable link and the per-node retry
+    // bounds append the machine's dossier to their panics so the first
+    // report already says what the fabric was doing.
+    auto dumper = [this] { return diagnosticDump(); };
+    network_->setTraceDumper(dumper);
+    for (auto& n : nodes_) {
+        n->cm().setTraceDumper(dumper);
+    }
+
+    if (config_.watchdog.enabled) {
+        watchdog_ = std::make_unique<sim::Watchdog>(
+            engine_, config_.watchdog.windowCycles,
+            [this]() -> std::uint64_t {
+                // Forward progress = work the fabric retired, not work it
+                // attempted: delivered packets plus completed processor
+                // operations. Retransmissions of the same lost frame do
+                // not move this number.
+                std::uint64_t p = network_->stats().packets;
+                for (const auto& n : nodes_) {
+                    const node::ProcessorStats& ps =
+                        n->processor().stats();
+                    p += ps.reads + ps.writes + ps.rmwIssues + ps.fences;
+                }
+                return p;
+            },
+            dumper);
+    }
+
     registerMetrics();
 }
 
 Machine::~Machine() = default;
+
+std::string
+Machine::diagnosticDump()
+{
+    std::ostringstream os;
+    os << "\n--- machine diagnostics ---"
+       << "\ncycle " << engine_.now() << ", " << engine_.pendingEvents()
+       << " event(s) pending, " << unfinishedThreads_
+       << " thread(s) unfinished";
+    const net::NetworkStats& net = network_->stats();
+    os << "\nnet: " << net.packets << " delivered, " << net.dropped
+       << " dropped, " << net.backpressureStalls << " backpressure stalls";
+    if (const net::FaultInjector* inj = network_->faultInjector()) {
+        const net::FaultStats& f = inj->stats();
+        os << "\nfaults: " << f.dropped << " dropped, " << f.corrupted
+           << " corrupted, " << f.duplicated << " duplicated, "
+           << f.delayed << " delayed, " << f.linkKills << " link kills, "
+           << f.nodeKills << " node kills";
+    }
+    if (const net::LinkLayer* link = network_->linkLayer()) {
+        const net::LinkStats& l = link->stats();
+        os << "\nlink: " << l.dataFrames << " frames, " << l.retransmits
+           << " retransmits, " << l.dupSuppressed << " dups suppressed, "
+           << l.crcDrops << " crc drops, " << link->inFlight()
+           << " unacked in flight";
+    }
+    if (telemetry_) {
+        os << "\nrecent trace events:" << telemetry_->renderRecent(64);
+    }
+    if (checker_) {
+        os << "\n" << checker_->trace().render();
+    }
+    return os.str();
+}
 
 void
 Machine::registerMetrics()
@@ -257,6 +325,53 @@ Machine::registerMetrics()
                         [this] { return network_->stats().totalHops; });
     metrics_.addDistribution("net.latency", &network_->stats().latency);
     metrics_.addDistribution("net.queueing", &network_->stats().queueing);
+    metrics_.addCounter("net.dropped",
+                        [this] { return network_->stats().dropped; });
+    metrics_.addCounter("net.backpressureStalls", [this] {
+        return network_->stats().backpressureStalls;
+    });
+
+    // Fault / reliable-link counters read through the accessors at
+    // snapshot time: zero (and zero cost) until enableFaults() ran.
+    auto faultStat = [this](std::uint64_t net::FaultStats::* field) {
+        return [this, field]() -> std::uint64_t {
+            const net::FaultInjector* inj = network_->faultInjector();
+            return inj ? inj->stats().*field : 0;
+        };
+    };
+    metrics_.addCounter("net.fault.dropped",
+                        faultStat(&net::FaultStats::dropped));
+    metrics_.addCounter("net.fault.corrupted",
+                        faultStat(&net::FaultStats::corrupted));
+    metrics_.addCounter("net.fault.duplicated",
+                        faultStat(&net::FaultStats::duplicated));
+    metrics_.addCounter("net.fault.delayed",
+                        faultStat(&net::FaultStats::delayed));
+    auto linkStat = [this](std::uint64_t net::LinkStats::* field) {
+        return [this, field]() -> std::uint64_t {
+            const net::LinkLayer* link = network_->linkLayer();
+            return link ? link->stats().*field : 0;
+        };
+    };
+    metrics_.addCounter("net.link.retransmits",
+                        linkStat(&net::LinkStats::retransmits));
+    metrics_.addCounter("net.link.acksSent",
+                        linkStat(&net::LinkStats::acksSent));
+    metrics_.addCounter("net.link.dupSuppressed",
+                        linkStat(&net::LinkStats::dupSuppressed));
+    metrics_.addCounter("net.link.crcDrops",
+                        linkStat(&net::LinkStats::crcDrops));
+
+    // NACK re-translation retries (see CostModel::nackRetryLimit).
+    metrics_.addCounter("proto.nack_retries",
+                        sumCm(&proto::CmStats::retries));
+    metrics_.addGauge("proto.nack_retries.max", [this] {
+        std::uint64_t high = 0;
+        for (const auto& n : nodes_) {
+            high = std::max(high, n->cm().stats().nackRetryHighWater);
+        }
+        return static_cast<double>(high);
+    });
 
     metrics_.addGauge("machine.pendingPageCopies", [this] {
         return static_cast<double>(pendingCopies_);
@@ -686,6 +801,11 @@ Machine::spawn(NodeId node, ThreadBody body)
         tid, [this, ctx, body = std::move(body)] {
             body(*ctx);
             --unfinishedThreads_;
+            if (unfinishedThreads_ == 0 && watchdog_) {
+                // Last thread done: stop watching so the watchdog's own
+                // check event cannot outlive the workload.
+                watchdog_->stop();
+            }
         });
     threads_.push_back(ThreadRecord{tid, node, std::move(context)});
     return tid;
@@ -698,7 +818,13 @@ Machine::run(Cycles max_cycles)
     for (auto& n : nodes_) {
         n->processor().start();
     }
+    if (watchdog_ && unfinishedThreads_ > 0) {
+        watchdog_->arm();
+    }
     engine_.runUntil(max_cycles);
+    if (watchdog_) {
+        watchdog_->stop();
+    }
     if (unfinishedThreads_ > 0) {
         if (engine_.pendingEvents() > 0) {
             PLUS_FATAL("machine exceeded the cycle cap (", max_cycles,
@@ -713,7 +839,13 @@ Machine::run(Cycles max_cycles)
 void
 Machine::settle()
 {
+    if (watchdog_ && engine_.pendingEvents() > 0) {
+        watchdog_->arm();
+    }
     engine_.run();
+    if (watchdog_) {
+        watchdog_->stop();
+    }
 }
 
 MachineReport

@@ -37,6 +37,7 @@
 #include "net/network.hpp"
 #include "node/node.hpp"
 #include "sim/engine.hpp"
+#include "sim/watchdog.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/tracer.hpp"
 
@@ -217,6 +218,12 @@ class Machine
     }
 
     /**
+     * The forward-progress watchdog, or null unless
+     * MachineConfig::watchdog enabled it.
+     */
+    sim::Watchdog* watchdog() { return watchdog_.get(); }
+
+    /**
      * The event tracer, or null unless MachineConfig::telemetry.trace
      * enabled it.
      */
@@ -243,6 +250,13 @@ class Machine
 
     node::Processor::Translation translateFor(NodeId node, Vpn vpn);
     PhysPage freshTranslation(NodeId node, Vpn vpn);
+
+    /**
+     * Render the machine's distress dossier — engine state, network and
+     * link counters, the telemetry tail and the checker's event trace —
+     * appended to watchdog / retry-exhaustion panics.
+     */
+    std::string diagnosticDump();
     void onPageCopyDone(std::uint32_t copy_id);
     void shootdown(Vpn vpn);
     PhysAddr masterOf(Addr addr) const;
@@ -269,6 +283,9 @@ class Machine
     std::unique_ptr<check::TeeObserver> observerTee_;
 
     telemetry::MetricsRegistry metrics_;
+
+    /** Forward-progress watchdog; null unless config_.watchdog. */
+    std::unique_ptr<sim::Watchdog> watchdog_;
 
     struct PendingCopy {
         Vpn vpn;

@@ -4,6 +4,8 @@
 
 #include "common/log.hpp"
 #include "common/panic.hpp"
+#include "net/fault_injector.hpp"
+#include "net/reliable_link.hpp"
 #include "sim/engine.hpp"
 
 namespace plus {
@@ -15,6 +17,8 @@ Network::Network(sim::Engine& engine, const Topology& topology,
       handlers_(topology.nodes())
 {
 }
+
+Network::~Network() = default;
 
 void
 Network::setDeliveryHandler(NodeId node, DeliveryHandler handler)
@@ -31,8 +35,49 @@ Network::serializationCycles(unsigned payload_bytes) const
 }
 
 void
+Network::enableFaults(const FaultConfig& fault)
+{
+    PLUS_ASSERT(fault.enabled, "enableFaults with a disabled config");
+    PLUS_ASSERT(!injector_, "fault injection enabled twice");
+    PLUS_ASSERT(stats_.packets == 0,
+                "enableFaults must precede all traffic");
+    injector_ = std::make_unique<FaultInjector>(engine_, topology_, fault);
+    link_ = std::make_unique<LinkLayer>(*this, engine_, *injector_, fault);
+    injector_->scheduleScript();
+}
+
+void
+Network::send(Packet packet)
+{
+    PLUS_ASSERT(packet.src != packet.dst, "local traffic on the network");
+    if (link_) {
+        link_->sendData(std::move(packet));
+        return;
+    }
+    inject(std::move(packet));
+}
+
+void
 Network::deliver(Packet packet, unsigned hops, Cycles injected_at,
                  Cycles queueing)
+{
+    // A dead destination router consumes nothing (mid-flight kills; the
+    // reliable layer's retransmission recovers the frame on revival).
+    if (injector_ && !injector_->nodeAlive(packet.dst)) {
+        noteDrop(packet.src, packet.dst, packet.msgClass,
+                 packet.payloadBytes, check::DropReason::NodeDown);
+        return;
+    }
+    if (link_) {
+        link_->receive(std::move(packet), hops, injected_at, queueing);
+        return;
+    }
+    deliverUp(std::move(packet), hops, injected_at, queueing);
+}
+
+void
+Network::deliverUp(Packet packet, unsigned hops, Cycles injected_at,
+                   Cycles queueing)
 {
     stats_.packets += 1;
     stats_.payloadBytes += packet.payloadBytes;
@@ -54,18 +99,31 @@ Network::deliver(Packet packet, unsigned hops, Cycles injected_at,
 }
 
 void
-IdealNetwork::send(Packet packet)
+Network::noteDrop(NodeId src, NodeId dst, std::uint8_t msg_class,
+                  unsigned bytes, check::DropReason reason)
 {
-    PLUS_ASSERT(packet.src != packet.dst, "local traffic on the network");
-    const unsigned hops = topology_.distance(packet.src, packet.dst);
+    stats_.dropped += 1;
+    PLUS_LOG(LogComponent::Net, "drop ", src, " -> ", dst, " (",
+             check::toString(reason), ")");
+    if (telemetry_) {
+        telemetry_->onPacketDropped(src, dst, msg_class, bytes, reason);
+    }
+}
+
+void
+IdealNetwork::inject(Packet packet)
+{
+    const Cycles latency =
+        zeroLoadLatency(topology_.distance(packet.src, packet.dst));
     const Cycles injected_at = engine_.now();
     // sim::Event takes move-only captures, so the packet rides inline
-    // in the event record — no allocation per send.
-    engine_.schedule(zeroLoadLatency(hops),
-                     [this, p = std::move(packet), hops,
-                      injected_at]() mutable {
-                         deliver(std::move(p), hops, injected_at, 0);
-                     });
+    // in the event record — no allocation per send. hops is recomputed
+    // at delivery to keep the capture within the inline budget.
+    engine_.schedule(latency, [this, p = std::move(packet),
+                               injected_at]() mutable {
+        const unsigned hops = topology_.distance(p.src, p.dst);
+        deliver(std::move(p), hops, injected_at, 0);
+    });
 }
 
 MeshNetwork::MeshNetwork(sim::Engine& engine, const Topology& topology,
@@ -104,9 +162,8 @@ MeshNetwork::releaseTransit(Transit* transit)
 }
 
 void
-MeshNetwork::send(Packet packet)
+MeshNetwork::inject(Packet packet)
 {
-    PLUS_ASSERT(packet.src != packet.dst, "local traffic on the network");
     Transit* transit = acquireTransit();
     transit->injectedAt = engine_.now();
     transit->queueing = 0;
@@ -135,12 +192,44 @@ MeshNetwork::hop(Transit* transit)
     }
 
     const NodeId next = topology_.nextHop(transit->at, dst);
+
+    // Faults: a packet already in flight dies at a killed link or a
+    // dead router, like the real fabric; the reliable layer's timers
+    // recover it once the path heals.
+    if (injector_ && (!injector_->linkAlive(transit->at, next) ||
+                      !injector_->nodeAlive(transit->at) ||
+                      !injector_->nodeAlive(next))) {
+        const check::DropReason reason =
+            injector_->linkAlive(transit->at, next)
+                ? check::DropReason::NodeDown
+                : check::DropReason::LinkDown;
+        noteDrop(transit->at, next, transit->packet.msgClass,
+                 transit->packet.payloadBytes, reason);
+        releaseTransit(transit);
+        return;
+    }
+
     Link& link = linkBetween(transit->at, next);
     const Cycles now = engine_.now();
-    const Cycles start = std::max(now, link.freeAt);
-    const Cycles wait = start - now;
     const Cycles serialization =
         serializationCycles(transit->packet.payloadBytes);
+
+    // Finite router input buffers: when the outgoing link's backlog
+    // exceeds the buffer, the head stalls in place and retries after
+    // one serialization quantum instead of reserving the link — the
+    // Section 2.5 "flooded with update requests" effect as real
+    // backpressure. Off (0) preserves the unbounded seed behavior.
+    if (config_.routerBufferPackets != 0 && link.freeAt > now &&
+        link.freeAt - now >
+            config_.routerBufferPackets * serialization) {
+        stats_.backpressureStalls += 1;
+        transit->queueing += serialization;
+        engine_.schedule(serialization, [this, transit] { hop(transit); });
+        return;
+    }
+
+    const Cycles start = std::max(now, link.freeAt);
+    const Cycles wait = start - now;
     link.freeAt = start + serialization;
     link.busyCycles += serialization;
     if (telemetry_) {

@@ -43,9 +43,22 @@ namespace net {
 /** Base class for protocol-defined packet contents. */
 struct Payload {
     virtual ~Payload() = default;
+
+    /**
+     * Deep copy, needed by the reliable-delivery layer to keep a
+     * retransmittable frame while the original rides the wire (packets
+     * own their payload via unique_ptr). Defaults to null so payload
+     * types outside the protocol need not implement it; the reliable
+     * layer panics if asked to carry an uncloneable payload.
+     */
+    virtual std::unique_ptr<Payload> clone() const { return nullptr; }
 };
 
-/** A message in flight between two nodes. */
+/**
+ * A message in flight between two nodes. Field order keeps the struct at
+ * 32 bytes so a send closure (this + Packet + a cycle stamp) still fits
+ * sim::Event's inline capture buffer.
+ */
 struct Packet {
     NodeId src = kInvalidNode;
     NodeId dst = kInvalidNode;
@@ -57,14 +70,40 @@ struct Packet {
      * itself never interprets it.
      */
     std::uint8_t msgClass = 0xff;
+
+    // --- Link-layer envelope (net::LinkLayer; inert when faults off) ----
+
+    /** 0 = raw (reliable layer off), else a LinkCtl value. */
+    std::uint8_t linkCtl = 0;
+    /** Cleared when the fault injector corrupted the payload in flight. */
+    bool crcOk = true;
+    /** Per-(src,dst) sequence number of a data frame. */
+    std::uint32_t linkSeq = 0;
+    /** Cumulative acknowledgement carried by an ack frame. */
+    std::uint32_t linkAck = 0;
+
     std::unique_ptr<Payload> payload;
 };
+
+/** Values of Packet::linkCtl. */
+enum LinkCtl : std::uint8_t {
+    kLinkRaw = 0,  ///< not under reliable delivery
+    kLinkData = 1, ///< sequenced data frame
+    kLinkAck = 2,  ///< cumulative acknowledgement
+};
+
+/** msgClass of link-layer ack packets (never seen by protocol code). */
+constexpr std::uint8_t kLinkAckClass = 0xfe;
 
 /** Aggregate network statistics. */
 struct NetworkStats {
     std::uint64_t packets = 0;
     std::uint64_t payloadBytes = 0;
     std::uint64_t totalHops = 0;
+    /** Packets discarded by the fault layer (any DropReason). */
+    std::uint64_t dropped = 0;
+    /** Hop retries forced by a full router input buffer. */
+    std::uint64_t backpressureStalls = 0;
     /** End-to-end latency per packet, cycles. */
     Histogram latency;
     /** Cycles spent queued behind busy links (contention only). */
@@ -74,13 +113,16 @@ struct NetworkStats {
 /** Per-node packet sink. */
 using DeliveryHandler = std::function<void(Packet)>;
 
+class FaultInjector;
+class LinkLayer;
+
 /** Common interface of the two network models. */
 class Network
 {
   public:
     Network(sim::Engine& engine, const Topology& topology,
             const NetworkConfig& config);
-    virtual ~Network() = default;
+    virtual ~Network();
 
     Network(const Network&) = delete;
     Network& operator=(const Network&) = delete;
@@ -99,10 +141,35 @@ class Network
     }
 
     /**
-     * Inject a packet at its source node at the current cycle. src == dst
-     * is rejected: local traffic never enters the network.
+     * Provide the event-trace renderer used when the reliable layer
+     * panics (retransmit-budget exhaustion); wired by core::Machine.
      */
-    virtual void send(Packet packet) = 0;
+    void setTraceDumper(std::function<std::string()> dumper)
+    {
+        traceDumper_ = std::move(dumper);
+    }
+
+    /**
+     * Arm fault injection and the reliable-delivery layer (always
+     * together: an unreliable fabric without recovery would break the
+     * protocol's FIFO assumptions). Call once, before any traffic.
+     */
+    void enableFaults(const FaultConfig& fault);
+
+    /** The armed injector, or null when faults are off. */
+    FaultInjector* faultInjector() { return injector_.get(); }
+
+    /** The armed reliable layer, or null when faults are off. */
+    LinkLayer* linkLayer() { return link_.get(); }
+
+    /**
+     * Send a packet from its source node at the current cycle. src == dst
+     * is rejected: local traffic never enters the network. When the
+     * reliable layer is armed the packet is sequenced and tracked for
+     * retransmission first; otherwise this goes straight to the model's
+     * inject() — one branch, the usual disabled-observer cost.
+     */
+    void send(Packet packet);
 
     const Topology& topology() const { return topology_; }
     const NetworkStats& stats() const { return stats_; }
@@ -118,8 +185,26 @@ class Network
     Cycles serializationCycles(unsigned payload_bytes) const;
 
   protected:
+    friend class LinkLayer;
+
+    /** Put a packet on the wire (the model's raw, lossy path). */
+    virtual void inject(Packet packet) = 0;
+
+    /**
+     * Physical arrival at the destination router. Routes through the
+     * reliable layer when armed (sequencing, dedup, acks); otherwise
+     * hands straight up to the protocol.
+     */
     void deliver(Packet packet, unsigned hops, Cycles injected_at,
                  Cycles queueing);
+
+    /** Protocol-visible delivery: stats, telemetry, the node handler. */
+    void deliverUp(Packet packet, unsigned hops, Cycles injected_at,
+                   Cycles queueing);
+
+    /** Count a fault-layer discard and mirror it into telemetry. */
+    void noteDrop(NodeId src, NodeId dst, std::uint8_t msg_class,
+                  unsigned bytes, check::DropReason reason);
 
     sim::Engine& engine_;
     Topology topology_;
@@ -127,6 +212,9 @@ class Network
     NetworkStats stats_;
     std::vector<DeliveryHandler> handlers_;
     check::NetObserver* telemetry_ = nullptr;
+    std::function<std::string()> traceDumper_;
+    std::unique_ptr<FaultInjector> injector_;
+    std::unique_ptr<LinkLayer> link_;
 };
 
 /** Contention-free model: latency formula only. */
@@ -135,7 +223,8 @@ class IdealNetwork : public Network
   public:
     using Network::Network;
 
-    void send(Packet packet) override;
+  protected:
+    void inject(Packet packet) override;
 };
 
 /**
@@ -148,10 +237,11 @@ class MeshNetwork : public Network
     MeshNetwork(sim::Engine& engine, const Topology& topology,
                 const NetworkConfig& config);
 
-    void send(Packet packet) override;
-
     /** Busy cycles accumulated on the most utilized link. */
     Cycles maxLinkBusyCycles() const;
+
+  protected:
+    void inject(Packet packet) override;
 
   private:
     /** Directed link between adjacent routers. */

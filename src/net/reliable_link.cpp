@@ -1,0 +1,290 @@
+#include "net/reliable_link.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/log.hpp"
+#include "common/panic.hpp"
+#include "net/fault_injector.hpp"
+#include "sim/engine.hpp"
+
+namespace plus {
+namespace net {
+
+LinkLayer::LinkLayer(Network& network, sim::Engine& engine,
+                     FaultInjector& injector, const FaultConfig& config)
+    : net_(network), engine_(engine), injector_(injector), config_(config)
+{
+    if (config_.retransmitTimeout != 0) {
+        timeout_ = config_.retransmitTimeout;
+    } else {
+        // Derive a timeout that comfortably exceeds a contended round
+        // trip across the diameter of the machine.
+        const Topology& topo = net_.topology();
+        unsigned diameter = 0;
+        for (NodeId a = 0; a < topo.nodes(); ++a) {
+            for (NodeId b = a + 1; b < topo.nodes(); ++b) {
+                diameter = std::max(diameter, topo.distance(a, b));
+            }
+        }
+        timeout_ = 16 * net_.zeroLoadLatency(diameter) +
+                   4 * net_.serializationCycles(64);
+    }
+}
+
+Packet
+LinkLayer::clonePacket(const Packet& packet) const
+{
+    Packet copy;
+    copy.src = packet.src;
+    copy.dst = packet.dst;
+    copy.payloadBytes = packet.payloadBytes;
+    copy.msgClass = packet.msgClass;
+    copy.linkCtl = packet.linkCtl;
+    copy.crcOk = packet.crcOk;
+    copy.linkSeq = packet.linkSeq;
+    copy.linkAck = packet.linkAck;
+    if (packet.payload) {
+        copy.payload = packet.payload->clone();
+        if (!copy.payload) {
+            PLUS_PANIC("packet of class ", unsigned(packet.msgClass),
+                       " carries an uncloneable payload; reliable "
+                       "delivery needs Payload::clone()");
+        }
+    }
+    return copy;
+}
+
+void
+LinkLayer::sendData(Packet packet)
+{
+    SenderChan& chan = sender_[chanKey(packet.src, packet.dst)];
+    packet.linkCtl = kLinkData;
+    packet.linkSeq = chan.nextSeq++;
+    stats_.dataFrames += 1;
+
+    auto [it, inserted] =
+        chan.unacked.emplace(packet.linkSeq, Unacked{});
+    PLUS_ASSERT(inserted, "sequence number reused on channel ",
+                packet.src, " -> ", packet.dst);
+    it->second.frame = clonePacket(packet);
+    it->second.sentAt = engine_.now();
+    armTimer(packet.src, packet.dst, packet.linkSeq, it->second);
+
+    transmit(std::move(packet));
+}
+
+void
+LinkLayer::transmit(Packet packet)
+{
+    // A dead router loses everything it would send or receive; the
+    // retransmit timer recovers the frame after a revival.
+    if (!injector_.nodeAlive(packet.src) ||
+        !injector_.nodeAlive(packet.dst)) {
+        net_.noteDrop(packet.src, packet.dst, packet.msgClass,
+                      packet.payloadBytes, check::DropReason::NodeDown);
+        return;
+    }
+
+    switch (injector_.fateFor(packet)) {
+      case Fate::Drop:
+        net_.noteDrop(packet.src, packet.dst, packet.msgClass,
+                      packet.payloadBytes, check::DropReason::Injected);
+        return;
+      case Fate::Corrupt:
+        packet.crcOk = false;
+        net_.inject(std::move(packet));
+        return;
+      case Fate::Duplicate: {
+        Packet copy = clonePacket(packet);
+        net_.inject(std::move(packet));
+        net_.inject(std::move(copy));
+        return;
+      }
+      case Fate::Delay: {
+        const Cycles extra = injector_.delayFor();
+        engine_.schedule(extra, [this, p = std::move(packet)]() mutable {
+            net_.inject(std::move(p));
+        });
+        return;
+      }
+      case Fate::Deliver:
+        net_.inject(std::move(packet));
+        return;
+      default:
+        PLUS_PANIC("unknown packet fate");
+    }
+}
+
+void
+LinkLayer::receive(Packet packet, unsigned hops, Cycles injected_at,
+                   Cycles queueing)
+{
+    if (!packet.crcOk) {
+        // Corruption is detected, never consumed: a bad frame is a drop.
+        stats_.crcDrops += 1;
+        net_.noteDrop(packet.src, packet.dst, packet.msgClass,
+                      packet.payloadBytes, check::DropReason::Corrupt);
+        return;
+    }
+
+    if (packet.linkCtl == kLinkAck) {
+        handleAck(packet);
+        return;
+    }
+    PLUS_ASSERT(packet.linkCtl == kLinkData,
+                "raw packet on a reliable channel");
+
+    const NodeId src = packet.src;
+    const NodeId dst = packet.dst;
+    ReceiverChan& chan = recv_[chanKey(src, dst)];
+
+    if (packet.linkSeq <= chan.delivered) {
+        // Already delivered: a duplicate (injected, or a retransmit
+        // racing its own ack). Suppress it and repair the sender's view.
+        stats_.dupSuppressed += 1;
+        net_.noteDrop(src, dst, packet.msgClass, packet.payloadBytes,
+                      check::DropReason::Duplicate);
+        sendAck(dst, src, chan.delivered);
+        return;
+    }
+
+    if (packet.linkSeq > chan.delivered + 1) {
+        // A gap: park the frame so the protocol keeps seeing FIFO
+        // order, and re-ack the watermark so the sender can trim.
+        stats_.reordered += 1;
+        chan.held.emplace(packet.linkSeq,
+                          Held{std::move(packet), hops, injected_at,
+                               queueing});
+        sendAck(dst, src, chan.delivered);
+        return;
+    }
+
+    // In order: deliver, then drain any parked successors.
+    chan.delivered += 1;
+    net_.deliverUp(std::move(packet), hops, injected_at, queueing);
+    while (!chan.held.empty() &&
+           chan.held.begin()->first == chan.delivered + 1) {
+        auto node = chan.held.extract(chan.held.begin());
+        chan.delivered += 1;
+        Held& held = node.mapped();
+        net_.deliverUp(std::move(held.packet), held.hops, held.injectedAt,
+                       held.queueing);
+    }
+    sendAck(dst, src, chan.delivered);
+}
+
+void
+LinkLayer::handleAck(const Packet& ack)
+{
+    stats_.acksReceived += 1;
+    // The data channel runs ack.dst -> ack.src (acks travel backwards).
+    auto it = sender_.find(chanKey(ack.dst, ack.src));
+    if (it == sender_.end()) {
+        return;
+    }
+    SenderChan& chan = it->second;
+    bool progress = false;
+    Cycles sample = 0;
+    auto entry = chan.unacked.begin();
+    while (entry != chan.unacked.end() && entry->first <= ack.linkAck) {
+        if (entry->second.attempts == 0) {
+            // Karn's rule: never sample a retransmitted frame — the ack
+            // could belong to either transmission.
+            sample = engine_.now() - entry->second.sentAt;
+        }
+        engine_.cancel(entry->second.timer);
+        entry = chan.unacked.erase(entry);
+        progress = true;
+    }
+    if (sample != 0) {
+        sampleRtt(sample);
+    }
+    if (progress) {
+        // The channel is moving: frames behind the acked ones are very
+        // likely queued, not lost. Restart their clocks so a congested
+        // stretch does not read as loss.
+        for (auto& [seq, pending] : chan.unacked) {
+            engine_.cancel(pending.timer);
+            armTimer(ack.dst, ack.src, seq, pending);
+        }
+    }
+}
+
+void
+LinkLayer::sampleRtt(Cycles sample)
+{
+    if (srtt_ == 0) {
+        srtt_ = sample;
+        rttvar_ = sample / 2;
+        return;
+    }
+    const Cycles diff = sample > srtt_ ? sample - srtt_ : srtt_ - sample;
+    rttvar_ = (3 * rttvar_ + diff) / 4;
+    srtt_ = (7 * srtt_ + sample) / 8;
+}
+
+void
+LinkLayer::sendAck(NodeId from, NodeId to, std::uint32_t cumulative)
+{
+    Packet ack;
+    ack.src = from;
+    ack.dst = to;
+    ack.payloadBytes = 4;
+    ack.msgClass = kLinkAckClass;
+    ack.linkCtl = kLinkAck;
+    ack.linkAck = cumulative;
+    stats_.acksSent += 1;
+    transmit(std::move(ack));
+}
+
+void
+LinkLayer::armTimer(NodeId src, NodeId dst, std::uint32_t seq,
+                    Unacked& entry)
+{
+    const Cycles backoff =
+        rto() << std::min<unsigned>(entry.attempts, config_.backoffCap);
+    entry.timer = engine_.schedule(
+        backoff, [this, src, dst, seq] { onTimeout(src, dst, seq); });
+}
+
+void
+LinkLayer::onTimeout(NodeId src, NodeId dst, std::uint32_t seq)
+{
+    SenderChan& chan = sender_[chanKey(src, dst)];
+    auto it = chan.unacked.find(seq);
+    if (it == chan.unacked.end()) {
+        return; // acked while the timer event was already dispatched
+    }
+    Unacked& entry = it->second;
+    entry.attempts += 1;
+    if (config_.maxRetransmits != 0 &&
+        entry.attempts > config_.maxRetransmits) {
+        PLUS_PANIC("reliable link ", src, " -> ", dst, " gave up on frame ",
+                   seq, " after ", config_.maxRetransmits,
+                   " retransmits (permanent partition?)",
+                   net_.traceDumper_ ? net_.traceDumper_() : std::string());
+    }
+    stats_.retransmits += 1;
+    if (net_.telemetry_) {
+        net_.telemetry_->onRetransmit(src, dst, seq, entry.attempts);
+    }
+    PLUS_LOG(LogComponent::Net, "retransmit ", src, " -> ", dst, " seq ",
+             seq, " attempt ", entry.attempts);
+    transmit(clonePacket(entry.frame));
+    armTimer(src, dst, seq, entry);
+}
+
+std::size_t
+LinkLayer::inFlight() const
+{
+    std::size_t total = 0;
+    for (const auto& [key, chan] : sender_) {
+        (void)key;
+        total += chan.unacked.size();
+    }
+    return total;
+}
+
+} // namespace net
+} // namespace plus

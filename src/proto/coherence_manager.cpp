@@ -1,5 +1,6 @@
 #include "proto/coherence_manager.hpp"
 
+#include <algorithm>
 #include <numeric>
 #include <utility>
 
@@ -303,6 +304,7 @@ CoherenceManager::continueChain(Vpn vpn, check::ChainId chain, FrameId frame,
 void
 CoherenceManager::retireWrite(WriteTag tag)
 {
+    clearNackRetries(NackedKind::Write, tag);
     pendingWrites_.complete(tag);
 }
 
@@ -458,6 +460,7 @@ CoherenceManager::rmwAtMaster(RmwOp op, Vpn vpn, FrameId frame,
 void
 CoherenceManager::completeRmw(OpTag tag, Word old_value)
 {
+    clearNackRetries(NackedKind::Rmw, tag);
     delayedOps_.complete(tag, old_value);
 }
 
@@ -612,6 +615,7 @@ CoherenceManager::onReadResp(const ReadResp& msg)
 {
     auto it = readWaiters_.find(msg.tag);
     PLUS_ASSERT(it != readWaiters_.end(), "read response with unknown tag");
+    clearNackRetries(NackedKind::Read, msg.tag);
     auto done = std::move(it->second);
     readWaiters_.erase(it);
     done(msg.value);
@@ -742,6 +746,29 @@ CoherenceManager::onRmwResp(const RmwResp& msg)
     completeRmw(msg.opTag, msg.oldValue);
 }
 
+Cycles
+CoherenceManager::noteNackRetry(NackedKind kind, std::uint32_t tag)
+{
+    unsigned& count = nackRetries_[nackKey(kind, tag)];
+    count += 1;
+    stats_.nackRetryHighWater =
+        std::max<std::uint64_t>(stats_.nackRetryHighWater, count);
+    if (cost_.nackRetryLimit != 0 && count > cost_.nackRetryLimit) {
+        PLUS_PANIC("node ", self_, ": nacked ",
+                   kind == NackedKind::Read    ? "read"
+                   : kind == NackedKind::Write ? "write"
+                                               : "rmw",
+                   " (tag ", tag, ") exhausted ", cost_.nackRetryLimit,
+                   " re-translation retries — livelock",
+                   traceDumper_ ? traceDumper_() : std::string());
+    }
+    // The first retry keeps the seed's exact timing; later ones back
+    // off exponentially so a livelocking retry storm decays.
+    return count > 1 ? cost_.nackBackoffBase
+                           << std::min(count - 2, cost_.nackBackoffCap)
+                     : 0;
+}
+
 void
 CoherenceManager::onNack(std::unique_ptr<Nack> msg)
 {
@@ -749,7 +776,11 @@ CoherenceManager::onNack(std::unique_ptr<Nack> msg)
     // re-translates through the centralized table and the request is
     // retried against the page's current placement.
     PLUS_ASSERT(translate_, "nack received but no translator installed");
-    enqueue(cost_.cmForward + cost_.osPageFillCycles,
+    const Cycles backoff = noteNackRetry(
+        msg->kind, msg->kind == NackedKind::Read    ? msg->readTag
+                   : msg->kind == NackedKind::Write ? msg->writeTag
+                                                    : msg->opTag);
+    enqueue(cost_.cmForward + cost_.osPageFillCycles + backoff,
             [this, m = std::move(msg)] {
         stats_.retries += 1;
         const PhysPage page = translate_(m->vpn);
@@ -760,6 +791,7 @@ CoherenceManager::onNack(std::unique_ptr<Nack> msg)
                 auto it = readWaiters_.find(m->readTag);
                 PLUS_ASSERT(it != readWaiters_.end(),
                             "nacked read with unknown tag");
+                clearNackRetries(NackedKind::Read, m->readTag);
                 auto done = std::move(it->second);
                 readWaiters_.erase(it);
                 done(deps_.memory->read(page.frame, m->wordOffset));

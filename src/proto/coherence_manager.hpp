@@ -71,6 +71,8 @@ struct CmStats {
         sent{};
     /** Nacks received and requests retried after re-translation. */
     std::uint64_t retries = 0;
+    /** Most retries any single request needed before completing. */
+    std::uint64_t nackRetryHighWater = 0;
     /** Cycles this manager was busy serving work. */
     Cycles busyCycles = 0;
 
@@ -136,6 +138,17 @@ class CoherenceManager
     {
         check_ = check;
         pendingWrites_.setCheckObserver(check, self_);
+    }
+
+    /**
+     * Provide the event-trace renderer appended to the panic raised
+     * when a request exhausts CostModel::nackRetryLimit; wired by
+     * core::Machine.
+     */
+    void
+    setTraceDumper(std::function<std::string()> dumper)
+    {
+        traceDumper_ = std::move(dumper);
     }
 
     // --- processor-side interface ------------------------------------------
@@ -315,10 +328,40 @@ class CoherenceManager
 
     Cycles busyUntil_ = 0;
 
+    /**
+     * Retry bookkeeping key for one nacked request: kind + its tag
+     * namespace (read/write/op tags are independent counters).
+     */
+    static std::uint64_t
+    nackKey(NackedKind kind, std::uint32_t tag)
+    {
+        return ((static_cast<std::uint64_t>(kind) + 1) << 32) | tag;
+    }
+
+    /**
+     * Count one more retry of the request and return the extra backoff
+     * delay; panics past CostModel::nackRetryLimit. The first retry is
+     * free of backoff so fault-free runs (where migration nacks a
+     * request at most transiently) keep their exact seed timing.
+     */
+    Cycles noteNackRetry(NackedKind kind, std::uint32_t tag);
+
+    /** Forget a request's retry count once it completes. */
+    void
+    clearNackRetries(NackedKind kind, std::uint32_t tag)
+    {
+        // Empty in fault-free steady state: one branch, no hashing.
+        if (!nackRetries_.empty()) {
+            nackRetries_.erase(nackKey(kind, tag));
+        }
+    }
+
     Translator translate_;
     SnoopHook snoop_;
     PageCopyDoneHandler pageCopyDone_;
     check::Observer* check_ = nullptr;
+    std::function<std::string()> traceDumper_;
+    std::unordered_map<std::uint64_t, unsigned> nackRetries_;
     std::uint32_t chainCounter_ = 0;
 
     CmStats stats_;

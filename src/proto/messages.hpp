@@ -24,6 +24,7 @@
 #define PLUS_PROTO_MESSAGES_HPP_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/types.hpp"
@@ -75,6 +76,11 @@ struct ProtoMsg : net::Payload {
 /** Remote read of one word from the addressed copy. */
 struct ReadReq : ProtoMsg {
     ReadReq() : ProtoMsg(MsgType::ReadReq) {}
+    std::unique_ptr<net::Payload>
+    clone() const override
+    {
+        return std::make_unique<ReadReq>(*this);
+    }
     PhysAddr target;
     Vpn vpn = 0; ///< for re-translation after a Nack
     NodeId originator = kInvalidNode;
@@ -85,6 +91,11 @@ struct ReadReq : ProtoMsg {
 /** Value returned for a ReadReq. */
 struct ReadResp : ProtoMsg {
     ReadResp() : ProtoMsg(MsgType::ReadResp) {}
+    std::unique_ptr<net::Payload>
+    clone() const override
+    {
+        return std::make_unique<ReadResp>(*this);
+    }
     ReadTag tag = 0;
     Word value = 0;
     static constexpr unsigned kBytes = 8;
@@ -93,6 +104,11 @@ struct ReadResp : ProtoMsg {
 /** A write on its way to the master copy. */
 struct WriteReq : ProtoMsg {
     WriteReq() : ProtoMsg(MsgType::WriteReq) {}
+    std::unique_ptr<net::Payload>
+    clone() const override
+    {
+        return std::make_unique<WriteReq>(*this);
+    }
     PhysAddr target; ///< the copy this request is addressed to
     Vpn vpn = 0;
     Word value = 0;
@@ -104,6 +120,11 @@ struct WriteReq : ProtoMsg {
 /** Write effects flowing down the copy-list from the master. */
 struct UpdateReq : ProtoMsg {
     UpdateReq() : ProtoMsg(MsgType::UpdateReq) {}
+    std::unique_ptr<net::Payload>
+    clone() const override
+    {
+        return std::make_unique<UpdateReq>(*this);
+    }
     PhysPage target; ///< the copy to update
     Vpn vpn = 0;
     std::vector<WordWrite> writes;
@@ -124,6 +145,11 @@ struct UpdateReq : ProtoMsg {
 /** Completion notice from the last copy in the list to the originator. */
 struct WriteAck : ProtoMsg {
     WriteAck() : ProtoMsg(MsgType::WriteAck) {}
+    std::unique_ptr<net::Payload>
+    clone() const override
+    {
+        return std::make_unique<WriteAck>(*this);
+    }
     WriteTag tag = 0;
     bool fromRmw = false;
     static constexpr unsigned kBytes = 4;
@@ -132,6 +158,11 @@ struct WriteAck : ProtoMsg {
 /** Interlocked (delayed) operation on its way to the master copy. */
 struct RmwReq : ProtoMsg {
     RmwReq() : ProtoMsg(MsgType::RmwReq) {}
+    std::unique_ptr<net::Payload>
+    clone() const override
+    {
+        return std::make_unique<RmwReq>(*this);
+    }
     RmwOp op = RmwOp::Xchng;
     PhysAddr target;
     Vpn vpn = 0;
@@ -147,6 +178,11 @@ struct RmwReq : ProtoMsg {
 /** Old memory value returned by the master for a delayed operation. */
 struct RmwResp : ProtoMsg {
     RmwResp() : ProtoMsg(MsgType::RmwResp) {}
+    std::unique_ptr<net::Payload>
+    clone() const override
+    {
+        return std::make_unique<RmwResp>(*this);
+    }
     OpTag opTag = 0;
     Word oldValue = 0;
     static constexpr unsigned kBytes = 8;
@@ -158,6 +194,11 @@ enum class NackedKind : std::uint8_t { Read, Write, Rmw };
 /** The addressed frame is gone; re-translate and retry. */
 struct Nack : ProtoMsg {
     Nack() : ProtoMsg(MsgType::Nack) {}
+    std::unique_ptr<net::Payload>
+    clone() const override
+    {
+        return std::make_unique<Nack>(*this);
+    }
     NackedKind kind = NackedKind::Read;
     Vpn vpn = 0;
     Addr wordOffset = 0;
@@ -174,6 +215,11 @@ struct Nack : ProtoMsg {
 /** A batch of words copied during background page replication. */
 struct PageCopyData : ProtoMsg {
     PageCopyData() : ProtoMsg(MsgType::PageCopyData) {}
+    std::unique_ptr<net::Payload>
+    clone() const override
+    {
+        return std::make_unique<PageCopyData>(*this);
+    }
     PhysPage target;
     Addr baseOffset = 0;
     std::vector<Word> words;
@@ -189,6 +235,11 @@ struct PageCopyData : ProtoMsg {
 /** The destination saw the final batch of a page copy. */
 struct PageCopyDone : ProtoMsg {
     PageCopyDone() : ProtoMsg(MsgType::PageCopyDone) {}
+    std::unique_ptr<net::Payload>
+    clone() const override
+    {
+        return std::make_unique<PageCopyDone>(*this);
+    }
     std::uint32_t copyId = 0;
     static constexpr unsigned kBytes = 4;
 };
@@ -202,6 +253,11 @@ struct PageCopyDone : ProtoMsg {
  */
 struct FrameFlush : ProtoMsg {
     FrameFlush() : ProtoMsg(MsgType::FrameFlush) {}
+    std::unique_ptr<net::Payload>
+    clone() const override
+    {
+        return std::make_unique<FrameFlush>(*this);
+    }
     FrameId frame = kInvalidFrame;
     static constexpr unsigned kBytes = 8;
 };

@@ -44,6 +44,18 @@ Engine::schedule(Cycles delay, Event fn)
 EventId
 Engine::scheduleAt(Cycles when, Event fn)
 {
+    return scheduleImpl(when, std::move(fn), false);
+}
+
+EventId
+Engine::scheduleDaemon(Cycles delay, Event fn)
+{
+    return scheduleImpl(now_ + delay, std::move(fn), true);
+}
+
+EventId
+Engine::scheduleImpl(Cycles when, Event fn, bool daemon)
+{
     PLUS_ASSERT(when >= now_, "scheduling into the past: ", when, " < ",
                 now_);
     PLUS_ASSERT(fn, "scheduling a null event");
@@ -52,6 +64,7 @@ Engine::scheduleAt(Cycles when, Event fn)
     rec.fn = std::move(fn);
     rec.when = when;
     rec.seq = nextSeq_++;
+    rec.daemon = daemon;
     const EventId id =
         (static_cast<EventId>(rec.gen) << 32U) | static_cast<EventId>(idx);
     if (impl_ == EngineImpl::Wheel) {
@@ -61,6 +74,9 @@ Engine::scheduleAt(Cycles when, Event fn)
         heap_.push(HeapEntry{when, rec.seq, idx, rec.gen});
     }
     ++pending_;
+    if (daemon) {
+        ++daemonPending_;
+    }
     ++scheduledTotal_;
     return id;
 }
@@ -85,6 +101,9 @@ Engine::cancel(EventId id)
     }
     // Heap backend: the HeapEntry goes stale and is skipped on pop
     // (the generation bump below invalidates it).
+    if (rec.daemon) {
+        --daemonPending_;
+    }
     slab_.free(idx);
     --pending_;
     ++cancelledTotal_;
@@ -122,6 +141,9 @@ Engine::dispatchNext(Cycles limit)
     EventRecord& rec = slab_[idx];
     const Cycles when = rec.when;
     Event fn = std::move(rec.fn);
+    if (rec.daemon) {
+        --daemonPending_;
+    }
     // Free before invoking: the callback may reschedule into this very
     // slot, and cancel() of the now-fired id must report false.
     slab_.free(idx);
@@ -135,8 +157,12 @@ Engine::dispatchNext(Cycles limit)
 void
 Engine::run()
 {
+    // Daemon events execute interleaved with ordinary work but must not
+    // keep the loop spinning on their own, so the exit check looks at
+    // the ordinary count, not the raw queue.
     stopping_ = false;
-    while (!stopping_ && dispatchNext(~Cycles{0})) {
+    while (!stopping_ && pending_ > daemonPending_ &&
+           dispatchNext(~Cycles{0})) {
     }
 }
 
@@ -144,7 +170,8 @@ void
 Engine::runUntil(Cycles limit)
 {
     stopping_ = false;
-    while (!stopping_ && dispatchNext(limit)) {
+    while (!stopping_ && pending_ > daemonPending_ &&
+           dispatchNext(limit)) {
     }
 }
 

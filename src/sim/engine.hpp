@@ -80,6 +80,17 @@ class Engine
     EventId scheduleAt(Cycles when, Event fn);
 
     /**
+     * Schedule a daemon event (cf. Unix daemon threads): it executes
+     * like any other event while ordinary work remains, but does not
+     * keep the loop alive — run()/runUntil() return once only daemon
+     * events are pending, without executing them or advancing now().
+     * For periodic observers (the forward-progress watchdog) that must
+     * never stretch a run to their own next deadline. Excluded from
+     * pendingEvents(); cancel() works normally.
+     */
+    EventId scheduleDaemon(Cycles delay, Event fn);
+
+    /**
      * Cancel a previously scheduled event.
      * @return true if the event was pending and is now cancelled;
      *         false for invalid ids and events that already fired.
@@ -102,8 +113,11 @@ class Engine
     /** Request that run() return after the current event. */
     void stop() { stopping_ = true; }
 
-    /** Number of events pending (exact; cancelled events leave). */
-    std::size_t pendingEvents() const { return pending_; }
+    /**
+     * Number of ordinary events pending (exact; cancelled events leave,
+     * daemon events never count — they represent no work of their own).
+     */
+    std::size_t pendingEvents() const { return pending_ - daemonPending_; }
 
     /** Total events executed since construction. */
     std::uint64_t executedEvents() const { return executed_; }
@@ -134,6 +148,7 @@ class Engine
         }
     };
 
+    EventId scheduleImpl(Cycles when, Event fn, bool daemon);
     bool dispatchNext(Cycles limit);
     std::uint32_t nextFromHeap(Cycles limit);
 
@@ -148,6 +163,7 @@ class Engine
     std::uint64_t scheduledTotal_ = 0;
     std::uint64_t cancelledTotal_ = 0;
     std::size_t pending_ = 0;
+    std::size_t daemonPending_ = 0;
     bool stopping_ = false;
 };
 

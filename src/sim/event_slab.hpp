@@ -63,6 +63,7 @@ struct EventRecord {
     std::uint32_t next = kNilRecord;    ///< slot list / free list link
     std::uint32_t prev = kNilRecord;    ///< slot list back link
     std::uint16_t home = kHomeFree;     ///< wheel slot index or kHome*
+    bool daemon = false;                ///< does not keep run() alive
 };
 
 /** Chunked, address-stable pool of EventRecords with a free list. */

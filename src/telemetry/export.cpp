@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "common/table.hpp"
+#include "net/network.hpp"
 #include "node/processor.hpp"
 #include "proto/rmw.hpp"
 #include "telemetry/json.hpp"
@@ -22,6 +23,9 @@ msgClassName(std::uint8_t cls)
 {
     if (cls < static_cast<std::uint8_t>(proto::MsgType::NumTypes)) {
         return proto::toString(static_cast<proto::MsgType>(cls));
+    }
+    if (cls == net::kLinkAckClass) {
+        return "link-ack";
     }
     return "unclassified";
 }
@@ -250,6 +254,36 @@ writePerfettoTrace(std::ostream& os, const Telemetry& telemetry,
             w.open() << "\"ph\":\"i\",\"s\":\"t\",\"pid\":" << e.node
                      << ",\"tid\":0,\"ts\":" << e.begin
                      << ",\"name\":\"verify\",\"cat\":\"sync\"";
+            w.close();
+            break;
+          case TraceKind::PacketDrop: {
+            // Injected faults render on the dropping link's track when
+            // that link ever serialized traffic; node-level faults (and
+            // drops on an otherwise idle link) land on the source node.
+            const std::uint64_t key =
+                (static_cast<std::uint64_t>(e.node) << 32) | e.peer;
+            const auto link = linkPid.find(key);
+            const unsigned pid =
+                link != linkPid.end() ? link->second : e.node;
+            const unsigned tid = link != linkPid.end() ? 0 : 1;
+            w.open() << "\"ph\":\"i\",\"s\":\"t\",\"pid\":" << pid
+                     << ",\"tid\":" << tid << ",\"ts\":" << e.begin
+                     << ",\"name\":\"drop ("
+                     << check::toString(
+                            static_cast<check::DropReason>(e.id))
+                     << ")\",\"cat\":\"fault\",\"args\":{\"class\":\""
+                     << msgClassName(e.cls) << "\",\"to\":" << e.peer
+                     << ",\"bytes\":" << e.bytes << "}";
+            w.close();
+            break;
+          }
+          case TraceKind::Retransmit:
+            w.open() << "\"ph\":\"i\",\"s\":\"t\",\"pid\":" << e.node
+                     << ",\"tid\":1,\"ts\":" << e.begin
+                     << ",\"name\":\"retransmit\",\"cat\":\"fault\","
+                        "\"args\":{\"to\":"
+                     << e.peer << ",\"seq\":" << e.id
+                     << ",\"attempt\":" << e.bytes << "}";
             w.close();
             break;
         }

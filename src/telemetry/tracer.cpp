@@ -1,6 +1,7 @@
 #include "telemetry/tracer.hpp"
 
 #include <algorithm>
+#include <sstream>
 
 #include "common/panic.hpp"
 #include "sim/engine.hpp"
@@ -23,6 +24,8 @@ toString(TraceKind kind)
       case TraceKind::ProcStall: return "stall";
       case TraceKind::RmwIssue: return "rmw-issue";
       case TraceKind::RmwVerify: return "rmw-verify";
+      case TraceKind::PacketDrop: return "packet-drop";
+      case TraceKind::Retransmit: return "retransmit";
     }
     return "?";
 }
@@ -138,6 +141,74 @@ Telemetry::onLinkBusy(NodeId from, NodeId to, std::uint8_t msg_class,
     link.messages += 1;
     link.bytes += bytes;
     link.busyCycles += duration;
+}
+
+void
+Telemetry::onPacketDropped(NodeId src, NodeId dst, std::uint8_t msg_class,
+                           unsigned bytes, check::DropReason reason)
+{
+    TraceEvent e;
+    e.kind = TraceKind::PacketDrop;
+    e.cls = msg_class;
+    e.node = src;
+    e.peer = dst;
+    e.begin = e.end = now();
+    e.id = static_cast<std::uint64_t>(reason);
+    e.bytes = bytes;
+    ring_.push(e);
+}
+
+void
+Telemetry::onRetransmit(NodeId src, NodeId dst, std::uint32_t seq,
+                        unsigned attempt)
+{
+    TraceEvent e;
+    e.kind = TraceKind::Retransmit;
+    e.node = src;
+    e.peer = dst;
+    e.begin = e.end = now();
+    e.id = seq;
+    e.bytes = attempt;
+    ring_.push(e);
+}
+
+std::string
+Telemetry::renderRecent(std::size_t count) const
+{
+    // Collect the retained tail, then format the newest `count`.
+    std::vector<const TraceEvent*> tail;
+    ring_.forEach([&tail](const TraceEvent& e) { tail.push_back(&e); });
+    const std::size_t start =
+        tail.size() > count ? tail.size() - count : 0;
+    std::ostringstream os;
+    for (std::size_t i = start; i < tail.size(); ++i) {
+        const TraceEvent& e = *tail[i];
+        os << "\n  [" << e.begin;
+        if (e.end != e.begin) {
+            os << ".." << e.end;
+        }
+        os << "] " << toString(e.kind) << " node " << e.node;
+        if (e.peer != kInvalidNode) {
+            os << " peer " << e.peer;
+        }
+        if (e.kind == TraceKind::PacketDrop) {
+            os << " reason "
+               << check::toString(
+                      static_cast<check::DropReason>(e.id));
+        } else if (e.id != 0) {
+            os << " id " << e.id;
+        }
+        if (e.vpn != 0) {
+            os << " vpn " << e.vpn << " +" << e.wordOffset;
+        }
+        if (e.bytes != 0) {
+            os << " bytes " << e.bytes;
+        }
+    }
+    if (tail.empty()) {
+        os << "\n  (no trace events recorded; enable telemetry.trace)";
+    }
+    return os.str();
 }
 
 void

@@ -22,6 +22,7 @@
 #include <array>
 #include <cstdint>
 #include <map>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -51,6 +52,8 @@ enum class TraceKind : std::uint8_t {
     ProcStall,    ///< processor free interval (interval; cls = StallKind)
     RmwIssue,     ///< delayed op issued (instant; cls = RmwOp)
     RmwVerify,    ///< delayed op result consumed (instant)
+    PacketDrop,   ///< fault layer discarded a packet (instant; id = reason)
+    Retransmit,   ///< reliable layer re-sent a frame (instant; id = seq)
 };
 
 const char* toString(TraceKind kind);
@@ -164,6 +167,13 @@ class Telemetry final : public check::Observer, public check::NetObserver
     /** Register the tracer's own derived metrics. */
     void registerMetrics(MetricsRegistry& registry);
 
+    /**
+     * Render the newest @p count retained events as text, one per line —
+     * the diagnostic the watchdog and the reliable layer append to
+     * their panics.
+     */
+    std::string renderRecent(std::size_t count) const;
+
     // --- check::NetObserver ------------------------------------------------
 
     void onPacketDelivered(NodeId src, NodeId dst, std::uint8_t msg_class,
@@ -172,6 +182,10 @@ class Telemetry final : public check::Observer, public check::NetObserver
     void onLinkBusy(NodeId from, NodeId to, std::uint8_t msg_class,
                     unsigned bytes, Cycles start,
                     Cycles duration) override;
+    void onPacketDropped(NodeId src, NodeId dst, std::uint8_t msg_class,
+                         unsigned bytes, check::DropReason reason) override;
+    void onRetransmit(NodeId src, NodeId dst, std::uint32_t seq,
+                      unsigned attempt) override;
 
     // --- check::Observer ---------------------------------------------------
 
