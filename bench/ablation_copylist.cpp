@@ -83,7 +83,8 @@ main()
                  "replicated on every node of a 4x4 mesh\n(the chain the "
                  "machine builds is the greedy one):\n\n";
 
-    core::Machine machine(machineConfig(16));
+    auto machine_ptr = machineBuilder(16).build();
+    core::Machine& machine = *machine_ptr;
     const Addr page = machine.alloc(kPageBytes, 0);
     for (NodeId n = 1; n < 16; ++n) {
         machine.replicate(page, n);

@@ -25,9 +25,13 @@ using namespace plus::bench;
 Cycles
 writeBurst(unsigned pending_entries)
 {
-    MachineConfig mc = machineConfig(16);
-    mc.cost.pendingWriteEntries = pending_entries;
-    core::Machine machine(mc);
+    auto machine_ptr =
+        machineBuilder(16)
+            .tune([&](MachineConfig& mc) {
+                mc.cost.pendingWriteEntries = pending_entries;
+            })
+            .build();
+    core::Machine& machine = *machine_ptr;
     Addr pages[3] = {machine.alloc(kPageBytes, 5),
                      machine.alloc(kPageBytes, 10),
                      machine.alloc(kPageBytes, 15)};
@@ -51,9 +55,13 @@ writeBurst(unsigned pending_entries)
 Cycles
 opStream(unsigned op_entries)
 {
-    MachineConfig mc = machineConfig(4);
-    mc.cost.delayedOpEntries = op_entries;
-    core::Machine machine(mc);
+    auto machine_ptr =
+        machineBuilder(4)
+            .tune([&](MachineConfig& mc) {
+                mc.cost.delayedOpEntries = op_entries;
+            })
+            .build();
+    core::Machine& machine = *machine_ptr;
     const Addr page = machine.alloc(kPageBytes, 3);
     Cycles elapsed = 0;
     machine.spawn(0, [&](core::Context& ctx) {

@@ -31,14 +31,15 @@ main(int argc, char** argv)
     table.setHeader({"Procs", "explicit-fence cycles",
                      "implicit-fence cycles", "overhead"});
     for (unsigned nodes : {2u, 4u, 8u, 16u}) {
-        MachineConfig explicit_cfg = machineConfig(nodes);
-        core::Machine m1(explicit_cfg);
-        const auto r1 = runBeam(m1, cfg);
+        auto m1 = machineBuilder(nodes).build();
+        const auto r1 = runBeam(*m1, cfg);
 
-        MachineConfig implicit_cfg = machineConfig(nodes);
-        implicit_cfg.cost.implicitFenceOnSync = true;
-        core::Machine m2(implicit_cfg);
-        const auto r2 = runBeam(m2, cfg);
+        auto m2 = machineBuilder(nodes)
+                      .tune([](MachineConfig& c) {
+                          c.cost.implicitFenceOnSync = true;
+                      })
+                      .build();
+        const auto r2 = runBeam(*m2, cfg);
 
         if (!r1.correct || !r2.correct) {
             std::cerr << "FAILED: beam incorrect\n";

@@ -30,9 +30,8 @@ struct Outcome {
 Outcome
 runFlood(unsigned nodes, unsigned copies, bool ideal)
 {
-    MachineConfig mc = machineConfig(nodes);
-    mc.network.ideal = ideal;
-    core::Machine machine(mc);
+    auto machine_ptr = machineBuilder(nodes).idealNetwork(ideal).build();
+    core::Machine& machine = *machine_ptr;
 
     std::vector<Addr> pages(nodes);
     for (NodeId n = 0; n < nodes; ++n) {
@@ -56,8 +55,9 @@ runFlood(unsigned nodes, unsigned copies, bool ideal)
     }
     machine.run();
     exportTelemetry(machine);
-    const auto& net = machine.network().stats();
-    return {machine.now(), net.queueing.mean(), net.packets};
+    const auto net = machine.network().stats();
+    return {machine.now(), machine.network().queueingHistogram().mean(),
+            net.packets};
 }
 
 } // namespace

@@ -29,9 +29,13 @@ struct Outcome {
 Outcome
 runPingPong(bool invalidate)
 {
-    MachineConfig mc = machineConfig(8);
-    mc.cost.snoopInvalidate = invalidate;
-    core::Machine machine(mc);
+    auto machine_ptr =
+        machineBuilder(8)
+            .tune([&](MachineConfig& mc) {
+                mc.cost.snoopInvalidate = invalidate;
+            })
+            .build();
+    core::Machine& machine = *machine_ptr;
 
     // Each node owns a page its processor keeps re-reading while the
     // next node writes fresh values into it.

@@ -1,9 +1,14 @@
 /**
  * @file
  * Shared helpers for the table/figure reproduction harnesses: the
- * common machine configuration, the ratio / efficiency arithmetic the
- * tables print, and the telemetry command-line plumbing
- * (--trace-out=<file> / --stats-out=<file>) every bench accepts.
+ * common machine builder, the ratio / efficiency arithmetic the
+ * tables print, and the command-line plumbing every bench accepts:
+ *
+ *   --nodes=N            machine size (benches with a size knob)
+ *   --threads=T          parallel-backend worker threads (0 = auto)
+ *   --engine=NAME        auto | wheel | heap | parallel
+ *   --trace-out=<file>   Perfetto JSON trace
+ *   --stats-out=<file>   metrics + traffic JSON
  */
 
 #ifndef PLUS_BENCH_BENCH_UTIL_HPP_
@@ -14,17 +19,26 @@
 #include <string>
 #include <vector>
 
-#include "common/config.hpp"
 #include "common/table.hpp"
-#include "core/machine.hpp"
+#include "plus/plus.hpp"
 
 namespace plus {
 namespace bench {
 
-/** Telemetry outputs requested on the command line. */
-struct HarnessOptions {
-    std::string traceOut; ///< --trace-out=<file>: Perfetto JSON trace
-    std::string statsOut; ///< --stats-out=<file>: metrics + traffic JSON
+/** The harness options common to every bench, parsed from argv. */
+struct HarnessArgs {
+    unsigned nodes = 0;           ///< --nodes=N; 0 = bench default
+    unsigned threads = 0;         ///< --threads=T; 0 = auto
+    Engine engine = Engine::Auto; ///< --engine=NAME
+    std::string traceOut;         ///< --trace-out=<file>
+    std::string statsOut;         ///< --stats-out=<file>
+    std::vector<std::string> rest; ///< unrecognized (bench-specific)
+
+    /** @p fallback unless --nodes= was given. */
+    unsigned nodesOr(unsigned fallback) const
+    {
+        return nodes == 0 ? fallback : nodes;
+    }
 
     /** True when any output was requested, i.e. telemetry should run. */
     bool telemetry() const
@@ -34,45 +48,64 @@ struct HarnessOptions {
 };
 
 /** The process-wide options parseHarnessArgs() fills in. */
-inline HarnessOptions&
-harnessOptions()
+inline HarnessArgs&
+harnessArgs()
 {
-    static HarnessOptions opts;
-    return opts;
+    static HarnessArgs args;
+    return args;
 }
 
 /**
- * Consume the harness options from @p argv and return whatever remains
- * (bench-specific flags, minus argv[0]). Call once at the top of main;
- * machineConfig() then enables event tracing automatically.
+ * Consume the common harness options from @p argv into the returned
+ * (and process-wide, see harnessArgs()) struct; bench-specific flags
+ * land in HarnessArgs::rest. Call once at the top of main;
+ * machineBuilder() then applies the engine/threads/telemetry choices
+ * automatically. Exits with usage on a malformed common flag.
  */
-inline std::vector<std::string>
+inline HarnessArgs&
 parseHarnessArgs(int argc, char** argv)
 {
-    std::vector<std::string> rest;
+    HarnessArgs& args = harnessArgs();
     for (int i = 1; i < argc; ++i) {
         const std::string arg(argv[i]);
         if (arg.rfind("--trace-out=", 0) == 0) {
-            harnessOptions().traceOut = arg.substr(12);
+            args.traceOut = arg.substr(12);
         } else if (arg.rfind("--stats-out=", 0) == 0) {
-            harnessOptions().statsOut = arg.substr(12);
+            args.statsOut = arg.substr(12);
+        } else if (arg.rfind("--nodes=", 0) == 0) {
+            args.nodes = static_cast<unsigned>(std::stoul(arg.substr(8)));
+        } else if (arg.rfind("--threads=", 0) == 0) {
+            args.threads =
+                static_cast<unsigned>(std::stoul(arg.substr(10)));
+        } else if (arg.rfind("--engine=", 0) == 0) {
+            if (!engineFromString(arg.substr(9), args.engine)) {
+                std::cerr << "unknown --engine '" << arg.substr(9)
+                          << "' (want auto|wheel|heap|parallel)\n";
+                std::exit(2);
+            }
         } else {
-            rest.push_back(arg);
+            args.rest.push_back(arg);
         }
     }
-    return rest;
+    return args;
 }
 
-/** Machine configuration used by the reproduction experiments. */
-inline MachineConfig
-machineConfig(unsigned nodes, ProcessorMode mode = ProcessorMode::Delayed)
+/**
+ * The machine builder used by the reproduction experiments: the
+ * paper's cost model on @p nodes nodes with deep frame reserves, the
+ * command line's engine/threads choice, and telemetry armed when any
+ * output file was requested. Benches chain further knobs and build().
+ */
+inline MachineBuilder
+machineBuilder(unsigned nodes, ProcessorMode mode = ProcessorMode::Delayed)
 {
-    MachineConfig cfg;
-    cfg.nodes = nodes;
-    cfg.framesPerNode = 4096;
-    cfg.mode = mode;
-    cfg.telemetry.trace = harnessOptions().telemetry();
-    return cfg;
+    return MachineBuilder()
+        .nodes(nodes)
+        .framesPerNode(4096)
+        .mode(mode)
+        .engine(harnessArgs().engine)
+        .threads(harnessArgs().threads)
+        .observer(harnessArgs().telemetry());
 }
 
 /**
@@ -84,19 +117,19 @@ machineConfig(unsigned nodes, ProcessorMode mode = ProcessorMode::Delayed)
 inline bool
 exportTelemetry(const core::Machine& machine)
 {
-    const HarnessOptions& opts = harnessOptions();
-    if (!opts.traceOut.empty() && machine.telemetry() != nullptr) {
-        std::ofstream os(opts.traceOut);
+    const HarnessArgs& args = harnessArgs();
+    if (!args.traceOut.empty() && machine.telemetry() != nullptr) {
+        std::ofstream os(args.traceOut);
         if (!os) {
-            std::cerr << "cannot open " << opts.traceOut << "\n";
+            std::cerr << "cannot open " << args.traceOut << "\n";
             return false;
         }
         machine.writeTraceJson(os);
     }
-    if (!opts.statsOut.empty()) {
-        std::ofstream os(opts.statsOut);
+    if (!args.statsOut.empty()) {
+        std::ofstream os(args.statsOut);
         if (!os) {
-            std::cerr << "cannot open " << opts.statsOut << "\n";
+            std::cerr << "cannot open " << args.statsOut << "\n";
             return false;
         }
         machine.writeStatsJson(os);

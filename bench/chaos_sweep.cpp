@@ -51,13 +51,15 @@ struct RunResult {
 RunResult
 runOnce(unsigned nodes, const FaultConfig* fault)
 {
-    MachineConfig cfg = machineConfig(nodes);
+    MachineBuilder builder = machineBuilder(nodes);
     if (fault) {
-        cfg.network.fault = *fault;
-        cfg.network.fault.enabled = true;
-        cfg.watchdog.enabled = true; // a hung chaos run should diagnose
+        builder.faults(*fault);
+        builder.tune([](MachineConfig& c) {
+            c.watchdog.enabled = true; // a hung chaos run should diagnose
+        });
     }
-    core::Machine machine(cfg);
+    auto machine_ptr = builder.build();
+    core::Machine& machine = *machine_ptr;
 
     std::vector<Addr> pages(nodes);
     for (NodeId n = 0; n < nodes; ++n) {
@@ -111,14 +113,14 @@ runOnce(unsigned nodes, const FaultConfig* fault)
 bool
 watchdogConvertsPartitionToPanic(unsigned nodes)
 {
-    MachineConfig cfg = machineConfig(nodes);
-    cfg.network.fault.enabled = true;
-    cfg.network.fault.maxRetransmits = 0; // leave the hang to the dog
-    cfg.network.fault.script.push_back(
-        {1, FaultScriptEntry::Kind::LinkDown, 0, 1});
-    cfg.watchdog.enabled = true;
-    cfg.watchdog.windowCycles = 1u << 15;
-    core::Machine machine(cfg);
+    FaultConfig fault;
+    fault.maxRetransmits = 0; // leave the hang to the dog
+    fault.script.push_back({1, FaultScriptEntry::Kind::LinkDown, 0, 1});
+    auto machine_ptr = machineBuilder(nodes)
+                           .faults(fault)
+                           .watchdog(1u << 15)
+                           .build();
+    core::Machine& machine = *machine_ptr;
     const Addr a = machine.alloc(kPageBytes, 0);
     machine.spawn(1, [a](core::Context& ctx) { ctx.read(a); });
     try {
@@ -135,12 +137,11 @@ watchdogConvertsPartitionToPanic(unsigned nodes)
 int
 main(int argc, char** argv)
 {
-    unsigned nodes = 8;
+    const HarnessArgs& args = parseHarnessArgs(argc, argv);
+    const unsigned nodes = args.nodesOr(8);
     unsigned seeds = 3;
-    for (const std::string& arg : parseHarnessArgs(argc, argv)) {
-        if (arg.rfind("--nodes=", 0) == 0) {
-            nodes = static_cast<unsigned>(std::stoul(arg.substr(8)));
-        } else if (arg.rfind("--seeds=", 0) == 0) {
+    for (const std::string& arg : args.rest) {
+        if (arg.rfind("--seeds=", 0) == 0) {
             seeds = static_cast<unsigned>(std::stoul(arg.substr(8)));
         } else {
             std::cerr << "usage: chaos_sweep [--nodes=N] [--seeds=K]\n";

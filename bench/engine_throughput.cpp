@@ -3,6 +3,7 @@
  * Engine throughput benchmark: how fast does the simulator itself run?
  *
  *   engine_throughput [--quick] [--nodes=N] [--out=<file>]
+ *                     [--parallel-out=<file>]
  *
  * Two measurements, reported as host events/sec:
  *
@@ -17,10 +18,13 @@
  *    cycles/sec end to end.
  *
  * --out writes the numbers as JSON (the committed BENCH_engine.json is
- * produced this way); the ci.sh perf-smoke stage reruns with --quick
+ * produced this way); --parallel-out writes the parallel backend's
+ * threads-axis numbers on the 64-node harness (the committed
+ * BENCH_parallel.json). The ci.sh perf-smoke stage reruns with --quick
  * and fails on a large regression. See docs/PERF.md.
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdlib>
@@ -31,6 +35,7 @@
 #include <queue>
 #include <string>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "bench/bench_util.hpp"
@@ -172,11 +177,12 @@ struct MacroResult {
 /** The sim_harness mixed workload (writes through update chains,
  *  remote reads, delayed interlocked ops, fences) on @p nodes nodes. */
 MacroResult
-macroRun(const char* backend, unsigned nodes, unsigned iters)
+macroRun(Engine backend, unsigned nodes, unsigned iters,
+         unsigned threads = 0)
 {
-    setenv("PLUS_ENGINE", backend, 1);
-    core::Machine machine(machineConfig(nodes));
-    setenv("PLUS_ENGINE", "", 1);
+    auto machine_ptr =
+        machineBuilder(nodes).engine(backend).threads(threads).build();
+    core::Machine& machine = *machine_ptr;
 
     constexpr unsigned kCopies = 4;
     std::vector<Addr> pages(nodes);
@@ -220,7 +226,7 @@ macroRun(const char* backend, unsigned nodes, unsigned iters)
     const double seconds = secondsSince(start);
 
     MacroResult r;
-    r.events = machine.engine().stats().executed;
+    r.events = machine.engine().executedEvents();
     r.cycles = machine.now();
     r.eventsPerSec = static_cast<double>(r.events) / seconds;
     r.cyclesPerSec = static_cast<double>(r.cycles) / seconds;
@@ -251,24 +257,52 @@ writeJson(std::ostream& os, bool quick, unsigned nodes, double baseline,
        << "}\n";
 }
 
+/** The parallel backend's threads axis (BENCH_parallel.json). */
+void
+writeParallelJson(std::ostream& os, bool quick, unsigned nodes,
+                  const MacroResult& serial,
+                  const std::vector<std::pair<unsigned, MacroResult>>& axis)
+{
+    os << "{\n"
+       << "  \"bench\": \"engine_throughput_parallel\",\n"
+       << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
+       << "  \"nodes\": " << nodes << ",\n"
+       << "  \"serialWheelEventsPerSec\": " << serial.eventsPerSec
+       << ",\n"
+       << "  \"harnessEvents\": " << serial.events << ",\n"
+       << "  \"threads\": {";
+    for (std::size_t i = 0; i < axis.size(); ++i) {
+        os << (i == 0 ? "" : ", ") << "\"" << axis[i].first
+           << "\": " << axis[i].second.eventsPerSec;
+    }
+    os << "},\n  \"speedups\": {";
+    for (std::size_t i = 0; i < axis.size(); ++i) {
+        os << (i == 0 ? "" : ", ") << "\"" << axis[i].first << "\": "
+           << axis[i].second.eventsPerSec / serial.eventsPerSec;
+    }
+    os << "}\n}\n";
+}
+
 } // namespace
 
 int
 main(int argc, char** argv)
 {
+    const HarnessArgs& args = parseHarnessArgs(argc, argv);
     bool quick = false;
-    unsigned nodes = 16;
+    const unsigned nodes = args.nodesOr(16);
     std::string out;
-    for (const std::string& arg : parseHarnessArgs(argc, argv)) {
+    std::string parallel_out;
+    for (const std::string& arg : args.rest) {
         if (arg == "--quick") {
             quick = true;
-        } else if (arg.rfind("--nodes=", 0) == 0) {
-            nodes = static_cast<unsigned>(std::stoul(arg.substr(8)));
         } else if (arg.rfind("--out=", 0) == 0) {
             out = arg.substr(6);
+        } else if (arg.rfind("--parallel-out=", 0) == 0) {
+            parallel_out = arg.substr(15);
         } else {
             std::cerr << "usage: engine_throughput [--quick] [--nodes=N] "
-                         "[--out=<file>]\n";
+                         "[--out=<file>] [--parallel-out=<file>]\n";
             return 2;
         }
     }
@@ -293,8 +327,24 @@ main(int argc, char** argv)
         MicroBench<sim::Engine>(micro_events).eventsPerSec();
     setenv("PLUS_ENGINE", "", 1);
 
-    const MacroResult macro_wheel = macroRun("wheel", nodes, macro_iters);
-    const MacroResult macro_heap = macroRun("heap", nodes, macro_iters);
+    const MacroResult macro_wheel =
+        macroRun(Engine::Wheel, nodes, macro_iters);
+    const MacroResult macro_heap =
+        macroRun(Engine::Heap, nodes, macro_iters);
+
+    // The parallel backend's threads axis, on the larger harness the
+    // perf gate watches (64 nodes unless --nodes says otherwise).
+    const unsigned par_nodes = std::max(nodes, 64u);
+    const MacroResult par_serial =
+        macroRun(Engine::Wheel, par_nodes, macro_iters);
+    std::vector<std::pair<unsigned, MacroResult>> par_axis;
+    for (unsigned t : {1u, 2u, 4u, 8u}) {
+        if (t > par_nodes) {
+            break;
+        }
+        par_axis.emplace_back(
+            t, macroRun(Engine::Parallel, par_nodes, macro_iters, t));
+    }
 
     TablePrinter table;
     table.setHeader({"scheduler", "micro events/s", "harness events/s",
@@ -306,6 +356,11 @@ main(int argc, char** argv)
     table.addRow({"engine/wheel", TablePrinter::num(wheel),
                   TablePrinter::num(macro_wheel.eventsPerSec),
                   TablePrinter::num(macro_wheel.cyclesPerSec)});
+    for (const auto& [t, r] : par_axis) {
+        table.addRow({"parallel x" + std::to_string(t), "-",
+                      TablePrinter::num(r.eventsPerSec),
+                      TablePrinter::num(r.cyclesPerSec)});
+    }
     finishTable(table, "speedup vs baseline: " +
                            TablePrinter::num(wheel / baseline, 2) + "x");
 
@@ -320,6 +375,14 @@ main(int argc, char** argv)
     } else {
         writeJson(std::cout, quick, nodes, baseline, wheel, heap,
                   macro_wheel, macro_heap);
+    }
+    if (!parallel_out.empty()) {
+        std::ofstream os(parallel_out);
+        if (!os) {
+            std::cerr << "cannot open " << parallel_out << "\n";
+            return 1;
+        }
+        writeParallelJson(os, quick, par_nodes, par_serial, par_axis);
     }
     return 0;
 }

@@ -29,7 +29,8 @@ runOnce(unsigned nodes, unsigned replication, plus::Cycles t1)
 {
     using namespace plus;
     using namespace plus::bench;
-    core::Machine machine(machineConfig(nodes));
+    auto machine_ptr = machineBuilder(nodes).build();
+    core::Machine& machine = *machine_ptr;
     workloads::SsspConfig cfg;
     cfg.vertices = 8192;
     cfg.kind = workloads::SsspGraphKind::Grid;
@@ -62,7 +63,8 @@ main(int argc, char** argv)
                 "efficiency/utilization vs processors, replication off/on");
 
     // One-processor baseline for the efficiency curves.
-    core::Machine base(machineConfig(1));
+    auto base_ptr = machineBuilder(1).build();
+    core::Machine& base = *base_ptr;
     workloads::SsspConfig cfg;
     cfg.vertices = 8192;
     cfg.kind = workloads::SsspGraphKind::Grid;

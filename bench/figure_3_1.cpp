@@ -37,9 +37,13 @@ Cycles
 runOnce(unsigned nodes, ProcessorMode mode, Cycles ctx_cost,
         unsigned threads_per_proc)
 {
-    MachineConfig mc = machineConfig(nodes, mode);
-    mc.cost.ctxSwitchCycles = ctx_cost;
-    core::Machine machine(mc);
+    auto machine_ptr =
+        machineBuilder(nodes, mode)
+            .tune([&](MachineConfig& mc) {
+                mc.cost.ctxSwitchCycles = ctx_cost;
+            })
+            .build();
+    core::Machine& machine = *machine_ptr;
     workloads::BeamConfig cfg = beamConfig();
     cfg.threadsPerProcessor = threads_per_proc;
     const workloads::BeamResult r = runBeam(machine, cfg);

@@ -9,8 +9,8 @@
 #include <benchmark/benchmark.h>
 
 #include "core/context.hpp"
-#include "core/machine.hpp"
 #include "net/network.hpp"
+#include "plus/plus.hpp"
 #include "sim/engine.hpp"
 #include "sim/fiber.hpp"
 
@@ -105,10 +105,9 @@ BM_SimulatedRemoteFadd(benchmark::State& state)
     // Wall-clock cost of simulating one remote interlocked operation,
     // measured across whole machine lifetimes.
     for (auto _ : state) {
-        MachineConfig cfg;
-        cfg.nodes = 4;
-        cfg.framesPerNode = 16;
-        core::Machine machine(cfg);
+        auto machine_ptr =
+            MachineBuilder().nodes(4).framesPerNode(16).build();
+        core::Machine& machine = *machine_ptr;
         const Addr page = machine.alloc(kPageBytes, 3);
         machine.spawn(0, [&](core::Context& ctx) {
             for (int i = 0; i < 100; ++i) {

@@ -73,13 +73,15 @@ main()
                 "programmer-directed vs measurement-driven vs competitive");
 
     // Baseline: everything stays on node 0.
-    Machine baseline(machineConfig(kNodes));
+    auto baseline_ptr = machineBuilder(kNodes).build();
+    core::Machine& baseline = *baseline_ptr;
     const auto pages_b = allocate(baseline);
     const Cycles t_baseline = runWorkload(baseline, pages_b);
 
     // 1. Programmer-directed: replicate each page to its known heavy
     //    consumers up front.
-    Machine directed(machineConfig(kNodes));
+    auto directed_ptr = machineBuilder(kNodes).build();
+    core::Machine& directed = *directed_ptr;
     const auto pages_d = allocate(directed);
     for (NodeId n = 1; n < kNodes; ++n) {
         directed.replicate(pages_d[n % kPages], n);
@@ -96,13 +98,15 @@ main()
         core::AccessProfile::collect(baseline);
     const core::PlacementPlan plan =
         core::derivePlan(baseline, profile, policy);
-    Machine measured(machineConfig(kNodes));
+    auto measured_ptr = machineBuilder(kNodes).build();
+    core::Machine& measured = *measured_ptr;
     const auto pages_m = allocate(measured);
     core::applyPlan(measured, plan);
     const Cycles t_measured = runWorkload(measured, pages_m);
 
     // 3. Competitive: counters overflow mid-run and replicate online.
-    Machine competitive(machineConfig(kNodes));
+    auto competitive_ptr = machineBuilder(kNodes).build();
+    core::Machine& competitive = *competitive_ptr;
     const auto pages_c = allocate(competitive);
     competitive.enableCompetitiveReplication(/*threshold=*/48,
                                              /*max_copies=*/4);

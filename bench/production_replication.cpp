@@ -27,7 +27,8 @@ main(int argc, char** argv)
                      "updates"});
     Cycles base = 0;
     for (unsigned copies : {1u, 2u, 3u, 4u, 5u}) {
-        core::Machine machine(machineConfig(16));
+        auto machine_ptr = machineBuilder(16).build();
+        core::Machine& machine = *machine_ptr;
         workloads::ProductionConfig cfg;
         cfg.facts = 2048;
         cfg.rules = 6144;

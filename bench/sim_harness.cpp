@@ -35,18 +35,17 @@ constexpr unsigned kCopies = 4;
 int
 main(int argc, char** argv)
 {
-    unsigned nodes = 16;
-    for (const std::string& arg : parseHarnessArgs(argc, argv)) {
-        if (arg.rfind("--nodes=", 0) == 0) {
-            nodes = static_cast<unsigned>(std::stoul(arg.substr(8)));
-        } else {
-            std::cerr << "usage: sim_harness [--nodes=N] "
-                         "[--trace-out=<file>] [--stats-out=<file>]\n";
-            return 2;
-        }
+    const HarnessArgs& args = parseHarnessArgs(argc, argv);
+    if (!args.rest.empty()) {
+        std::cerr << "usage: sim_harness [--nodes=N] [--threads=T] "
+                     "[--engine=NAME] [--trace-out=<file>] "
+                     "[--stats-out=<file>]\n";
+        return 2;
     }
+    const unsigned nodes = args.nodesOr(16);
 
-    core::Machine machine(machineConfig(nodes));
+    auto machine_ptr = machineBuilder(nodes).build();
+    core::Machine& machine = *machine_ptr;
 
     // One page per node, replicated on the next kCopies-1 nodes so
     // every write walks a multi-copy update chain.

@@ -47,7 +47,8 @@ main(int argc, char** argv)
                      "(paper)", "Total/Update", "(paper)"});
 
     for (unsigned copies = 1; copies <= 5; ++copies) {
-        core::Machine machine(machineConfig(16));
+        auto machine_ptr = machineBuilder(16).build();
+        core::Machine& machine = *machine_ptr;
         workloads::SsspConfig cfg;
         cfg.vertices = 2048;
         cfg.kind = workloads::SsspGraphKind::Grid;

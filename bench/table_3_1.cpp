@@ -38,8 +38,10 @@ struct Probe {
 Cycles
 measureOp(RmwOp op, unsigned hops)
 {
-    MachineConfig cfg = machineConfig(16);
-    Machine machine(cfg);
+    MachineBuilder builder = machineBuilder(16);
+    const MachineConfig& cfg = builder.config();
+    auto machine_ptr = builder.build();
+    Machine& machine = *machine_ptr;
 
     // On the 4x4 mesh, node h is h hops from node 0 along the X axis.
     const NodeId target = hops;
@@ -72,7 +74,8 @@ measureOp(RmwOp op, unsigned hops)
 Cycles
 measureRemoteRead(unsigned hops, bool export_telemetry = false)
 {
-    Machine machine(machineConfig(16));
+    auto machine_ptr = machineBuilder(16).build();
+    Machine& machine = *machine_ptr;
     const Addr page = machine.alloc(kPageBytes, hops);
     Cycles measured = 0;
     machine.spawn(0, [&](Context& ctx) {

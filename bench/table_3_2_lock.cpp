@@ -67,7 +67,8 @@ main(int argc, char** argv)
     for (unsigned nodes : {2u, 4u, 8u, 16u}) {
         LockStats spin{};
         {
-            Machine machine(machineConfig(nodes));
+            auto machine_ptr = machineBuilder(nodes).build();
+            Machine& machine = *machine_ptr;
             const Addr counter = machine.alloc(kPageBytes, 0);
             core::SpinLock lock = core::SpinLock::create(machine, 0);
             spin = runLockBench(
@@ -87,7 +88,8 @@ main(int argc, char** argv)
         }
         LockStats queued{};
         {
-            Machine machine(machineConfig(nodes));
+            auto machine_ptr = machineBuilder(nodes).build();
+            Machine& machine = *machine_ptr;
             const Addr counter = machine.alloc(kPageBytes, 0);
             std::vector<NodeId> homes(nodes);
             for (NodeId n = 0; n < nodes; ++n) {

@@ -12,8 +12,8 @@
 #include <iostream>
 
 #include "core/context.hpp"
-#include "core/machine.hpp"
 #include "core/placement.hpp"
+#include "plus/plus.hpp"
 
 namespace {
 
@@ -49,12 +49,12 @@ main(int argc, char** argv)
     const unsigned nodes =
         argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 8;
 
-    MachineConfig cfg;
-    cfg.nodes = nodes;
-    cfg.framesPerNode = 64;
+    const MachineBuilder builder =
+        MachineBuilder().nodes(nodes).framesPerNode(64);
 
     // --- Run 1: profile ---------------------------------------------------
-    Machine profiled(cfg);
+    auto profiled_ptr = builder.build();
+    Machine& profiled = *profiled_ptr;
     const Addr table1 = profiled.alloc(4 * kPageBytes, 0);
     core::AccessProfile::profileEnable(profiled);
     const Cycles t_profiled = runReaders(profiled, table1, nodes);
@@ -73,7 +73,8 @@ main(int argc, char** argv)
               << " replication(s), " << plan.migrations.size()
               << " migration(s)\n";
 
-    Machine optimized(cfg);
+    auto optimized_ptr = builder.build();
+    Machine& optimized = *optimized_ptr;
     const Addr table2 = optimized.alloc(4 * kPageBytes, 0);
     (void)table2;
     applyPlan(optimized, plan);
@@ -84,7 +85,8 @@ main(int argc, char** argv)
               << "x)\n";
 
     // --- Competitive (online) ------------------------------------------------
-    Machine competitive(cfg);
+    auto competitive_ptr = builder.build();
+    Machine& competitive = *competitive_ptr;
     const Addr table3 = competitive.alloc(4 * kPageBytes, 0);
     competitive.enableCompetitiveReplication(/*threshold=*/24,
                                              /*max_copies=*/nodes);

@@ -11,7 +11,7 @@
 #include <cstring>
 #include <iostream>
 
-#include "core/machine.hpp"
+#include "plus/plus.hpp"
 #include "workloads/beam.hpp"
 
 int
@@ -25,28 +25,31 @@ main(int argc, char** argv)
     const Cycles ctx_cycles =
         argc > 3 ? static_cast<Cycles>(std::atoi(argv[3])) : 40;
 
-    MachineConfig mc;
-    mc.nodes = nodes;
-    mc.framesPerNode = 4096;
+    ProcessorMode mode = ProcessorMode::Delayed;
     if (std::strcmp(mode_name, "blocking") == 0) {
-        mc.mode = ProcessorMode::Blocking;
+        mode = ProcessorMode::Blocking;
     } else if (std::strcmp(mode_name, "ctx") == 0) {
-        mc.mode = ProcessorMode::ContextSwitch;
-        mc.cost.ctxSwitchCycles = ctx_cycles;
-    } else {
-        mc.mode = ProcessorMode::Delayed;
+        mode = ProcessorMode::ContextSwitch;
     }
-    core::Machine machine(mc);
+    auto machine_ptr = MachineBuilder()
+                           .nodes(nodes)
+                           .framesPerNode(4096)
+                           .mode(mode)
+                           .tune([&](MachineConfig& mc) {
+                               mc.cost.ctxSwitchCycles = ctx_cycles;
+                           })
+                           .build();
+    core::Machine& machine = *machine_ptr;
 
     workloads::BeamConfig cfg;
     cfg.layers = 20;
     cfg.width = 128;
     cfg.seed = 42;
     cfg.threadsPerProcessor =
-        mc.mode == ProcessorMode::ContextSwitch ? 4 : 1;
+        mode == ProcessorMode::ContextSwitch ? 4 : 1;
 
     std::cout << "running beam search: " << nodes << " nodes, mode "
-              << toString(mc.mode) << "\n";
+              << toString(mode) << "\n";
     const workloads::BeamResult result = runBeam(machine, cfg);
 
     std::cout << (result.correct ? "final-layer scores match reference\n"

@@ -12,8 +12,8 @@
 #include <vector>
 
 #include "core/context.hpp"
-#include "core/machine.hpp"
 #include "core/sync.hpp"
+#include "plus/plus.hpp"
 #include "core/workq.hpp"
 
 int
@@ -25,9 +25,8 @@ main(int argc, char** argv)
     const unsigned nodes =
         argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 8;
 
-    MachineConfig mc;
-    mc.nodes = nodes;
-    core::Machine machine(mc);
+    auto machine_ptr = MachineBuilder().nodes(nodes).build();
+    core::Machine& machine = *machine_ptr;
 
     std::vector<NodeId> homes(nodes);
     for (NodeId n = 0; n < nodes; ++n) {

@@ -11,7 +11,7 @@
 #include <cstdlib>
 #include <iostream>
 
-#include "core/machine.hpp"
+#include "plus/plus.hpp"
 #include "workloads/production.hpp"
 
 int
@@ -28,10 +28,9 @@ main(int argc, char** argv)
     const unsigned replication =
         argc > 4 ? static_cast<unsigned>(std::atoi(argv[4])) : 2;
 
-    MachineConfig mc;
-    mc.nodes = nodes;
-    mc.framesPerNode = 4096;
-    core::Machine machine(mc);
+    auto machine_ptr =
+        MachineBuilder().nodes(nodes).framesPerNode(4096).build();
+    core::Machine& machine = *machine_ptr;
 
     workloads::ProductionConfig cfg;
     cfg.facts = facts;

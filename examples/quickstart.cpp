@@ -11,18 +11,19 @@
 #include <iostream>
 
 #include "core/context.hpp"
-#include "core/machine.hpp"
+#include "plus/plus.hpp"
 
 int
 main()
 {
     using namespace plus;
 
-    // 1. Describe the machine: 4 nodes on a 2x2 mesh, delayed-operation
-    //    processors, the paper's 1990 cost model.
-    MachineConfig config;
-    config.nodes = 4;
-    core::Machine machine(config);
+    // 1. Describe the machine with the fluent builder: 4 nodes on a 2x2
+    //    mesh, delayed-operation processors, the paper's 1990 cost
+    //    model. Every knob has a sane default; chain only what you
+    //    need, and build() validates the whole configuration.
+    auto machine_ptr = MachineBuilder().nodes(4).build();
+    core::Machine& machine = *machine_ptr;
 
     // 2. Allocate shared memory. The page's master copy lives on node 0;
     //    we replicate it onto node 3 so that node 3's reads are local.

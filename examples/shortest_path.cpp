@@ -10,7 +10,7 @@
 #include <cstdlib>
 #include <iostream>
 
-#include "core/machine.hpp"
+#include "plus/plus.hpp"
 #include "workloads/sssp.hpp"
 
 int
@@ -25,10 +25,9 @@ main(int argc, char** argv)
     const unsigned replication =
         argc > 3 ? static_cast<unsigned>(std::atoi(argv[3])) : 2;
 
-    MachineConfig mc;
-    mc.nodes = nodes;
-    mc.framesPerNode = 4096;
-    core::Machine machine(mc);
+    auto machine_ptr =
+        MachineBuilder().nodes(nodes).framesPerNode(4096).build();
+    core::Machine& machine = *machine_ptr;
 
     workloads::SsspConfig cfg;
     cfg.vertices = vertices;

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Deferred-execution observer wrappers for the parallel engine backend.
+ *
+ * The checker and the telemetry tracer are shared, order-sensitive
+ * state: their hooks must observe events in the one canonical order
+ * every backend realises. Worker threads therefore never call them
+ * directly — core::Machine interposes these wrappers when the parallel
+ * backend is active, and every hook value-captures its arguments and
+ * runs the real observer through sim::Engine::defer(), which replays
+ * buffered effects in global key order with now() restored to the
+ * emitting event's time. On the serial backends defer() is an inline
+ * call, so the wrappers are never installed there (one virtual hop
+ * saved); either way the observers see byte-identical streams.
+ *
+ * The one reference-taking hook, onCopyListMutated, passes through
+ * inline: copy-lists are mutated from machine context only, which under
+ * the parallel backend executes stop-the-world between windows.
+ */
+
+#ifndef PLUS_CHECK_DEFER_OBSERVER_HPP_
+#define PLUS_CHECK_DEFER_OBSERVER_HPP_
+
+#include <cstdint>
+
+#include "check/hooks.hpp"
+#include "common/types.hpp"
+#include "sim/engine.hpp"
+
+namespace plus {
+namespace check {
+
+/** Defers every Observer hook through the engine (see file comment). */
+class DeferringObserver final : public Observer
+{
+  public:
+    DeferringObserver(sim::Engine& engine, Observer* inner)
+        : engine_(engine), inner_(inner)
+    {
+    }
+
+    void
+    onPendingInsert(NodeId node, std::uint32_t tag, Vpn vpn,
+                    Addr word_offset) override
+    {
+        defer(&Observer::onPendingInsert, node, tag, vpn, word_offset);
+    }
+
+    void
+    onPendingComplete(NodeId node, std::uint32_t tag) override
+    {
+        defer(&Observer::onPendingComplete, node, tag);
+    }
+
+    void
+    onWriteIssued(NodeId node, std::uint32_t tag, Vpn vpn, Addr word_offset,
+                  bool from_rmw) override
+    {
+        defer(&Observer::onWriteIssued, node, tag, vpn, word_offset,
+              from_rmw);
+    }
+
+    void
+    onChainApplied(ChainId chain, PhysPage copy, Vpn vpn, Addr word_offset,
+                   unsigned words, NodeId originator, std::uint32_t tag,
+                   bool tracked, bool at_master) override
+    {
+        defer(&Observer::onChainApplied, chain, copy, vpn, word_offset,
+              words, originator, tag, tracked, at_master);
+    }
+
+    void
+    onFenceComplete(NodeId node, bool pending_empty) override
+    {
+        defer(&Observer::onFenceComplete, node, pending_empty);
+    }
+
+    void
+    onReadServed(NodeId node, Vpn vpn, Addr word_offset) override
+    {
+        defer(&Observer::onReadServed, node, vpn, word_offset);
+    }
+
+    void
+    onMessageSent(NodeId src, NodeId dst, std::uint8_t msg_class,
+                  unsigned bytes, Vpn vpn) override
+    {
+        defer(&Observer::onMessageSent, src, dst, msg_class, bytes, vpn);
+    }
+
+    void
+    onCopyListMutated(const mem::CopyList& list, const char* op) override
+    {
+        // Machine context only; workers are parked, so inline is safe
+        // (and required: the reference must not outlive the mutation).
+        inner_->onCopyListMutated(list, op);
+    }
+
+    void
+    onProcRead(NodeId node, ThreadId tid, Addr vaddr) override
+    {
+        defer(&Observer::onProcRead, node, tid, vaddr);
+    }
+
+    void
+    onProcWrite(NodeId node, ThreadId tid, Addr vaddr) override
+    {
+        defer(&Observer::onProcWrite, node, tid, vaddr);
+    }
+
+    void
+    onProcRmwIssue(NodeId node, ThreadId tid, Addr vaddr,
+                   std::uint8_t op) override
+    {
+        defer(&Observer::onProcRmwIssue, node, tid, vaddr, op);
+    }
+
+    void
+    onProcVerify(NodeId node, ThreadId tid, Addr vaddr) override
+    {
+        defer(&Observer::onProcVerify, node, tid, vaddr);
+    }
+
+    void
+    onProcFence(NodeId node, ThreadId tid) override
+    {
+        defer(&Observer::onProcFence, node, tid);
+    }
+
+    void
+    onProcWriteFence(NodeId node, ThreadId tid) override
+    {
+        defer(&Observer::onProcWriteFence, node, tid);
+    }
+
+    void
+    onProcStall(NodeId node, std::uint8_t kind, Cycles start,
+                Cycles duration) override
+    {
+        defer(&Observer::onProcStall, node, kind, start, duration);
+    }
+
+  private:
+    template <typename Hook, typename... Args>
+    void
+    defer(Hook hook, Args... args)
+    {
+        engine_.defer([inner = inner_, hook, ...args = args] {
+            (inner->*hook)(args...);
+        });
+    }
+
+    sim::Engine& engine_;
+    Observer* inner_;
+};
+
+/** Defers every NetObserver hook through the engine. */
+class DeferringNetObserver final : public NetObserver
+{
+  public:
+    DeferringNetObserver(sim::Engine& engine, NetObserver* inner)
+        : engine_(engine), inner_(inner)
+    {
+    }
+
+    void
+    onPacketDelivered(NodeId src, NodeId dst, std::uint8_t msg_class,
+                      unsigned bytes, unsigned hops, Cycles latency,
+                      Cycles queueing) override
+    {
+        defer(&NetObserver::onPacketDelivered, src, dst, msg_class, bytes,
+              hops, latency, queueing);
+    }
+
+    void
+    onLinkBusy(NodeId from, NodeId to, std::uint8_t msg_class,
+               unsigned bytes, Cycles start, Cycles duration) override
+    {
+        defer(&NetObserver::onLinkBusy, from, to, msg_class, bytes, start,
+              duration);
+    }
+
+    void
+    onPacketDropped(NodeId src, NodeId dst, std::uint8_t msg_class,
+                    unsigned bytes, DropReason reason) override
+    {
+        defer(&NetObserver::onPacketDropped, src, dst, msg_class, bytes,
+              reason);
+    }
+
+    void
+    onRetransmit(NodeId src, NodeId dst, std::uint32_t seq,
+                 unsigned attempt) override
+    {
+        defer(&NetObserver::onRetransmit, src, dst, seq, attempt);
+    }
+
+  private:
+    template <typename Hook, typename... Args>
+    void
+    defer(Hook hook, Args... args)
+    {
+        engine_.defer([inner = inner_, hook, ...args = args] {
+            (inner->*hook)(args...);
+        });
+    }
+
+    sim::Engine& engine_;
+    NetObserver* inner_;
+};
+
+} // namespace check
+} // namespace plus
+
+#endif // PLUS_CHECK_DEFER_OBSERVER_HPP_

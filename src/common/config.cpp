@@ -17,6 +17,18 @@ toString(ProcessorMode mode)
     }
 }
 
+const char*
+toString(SimEngine engine)
+{
+    switch (engine) {
+      case SimEngine::Env: return "env";
+      case SimEngine::Wheel: return "wheel";
+      case SimEngine::Heap: return "heap";
+      case SimEngine::Parallel: return "parallel";
+      default: return "?";
+    }
+}
+
 void
 MachineConfig::validate()
 {
@@ -46,7 +58,37 @@ MachineConfig::validate()
         PLUS_FATAL("thread stacks of less than 16 KiB are unsafe");
     }
 
+    if (simThreads > nodes) {
+        PLUS_FATAL("simThreads (", simThreads, ") exceeds the node count (",
+                   nodes, "); the parallel backend runs at most one "
+                   "worker per node — lower simThreads or leave it 0 "
+                   "to size automatically");
+    }
+    if (engine == SimEngine::Parallel && simThreads > 1) {
+        // The conservative window needs a positive lookahead: the
+        // smallest delay any cross-node schedule can carry.
+        const Cycles min_latency =
+            network.ideal
+                ? network.fixedCycles + network.perHopCycles
+                : network.perHopCycles;
+        if (min_latency == 0) {
+            PLUS_FATAL("the parallel engine needs a positive cross-node "
+                       "latency for its lookahead; set perHopCycles >= 1",
+                       network.ideal ? " (or fixedCycles >= 1)" : "",
+                       " or use a serial backend");
+        }
+    }
+
     const FaultConfig& fault = network.fault;
+    if (!fault.enabled &&
+        (fault.dropRate > 0.0 || fault.corruptRate > 0.0 ||
+         fault.duplicateRate > 0.0 || fault.delayRate > 0.0 ||
+         !fault.script.empty())) {
+        PLUS_FATAL("fault rates or a fault script are configured but "
+                   "network.fault.enabled is false; set it to true (or "
+                   "clear the fault settings) — a disabled injector "
+                   "would silently ignore them");
+    }
     if (fault.dropRate < 0.0 || fault.corruptRate < 0.0 ||
         fault.duplicateRate < 0.0 || fault.delayRate < 0.0) {
         PLUS_FATAL("fault rates must be non-negative");

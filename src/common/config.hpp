@@ -125,6 +125,24 @@ struct NetworkConfig {
     FaultConfig fault;
 };
 
+/**
+ * Event-engine backend selection (mirrors sim::EngineImpl without
+ * depending on the sim layer). Every backend realises the exact same
+ * event order — see docs/PERF.md for the determinism contract.
+ */
+enum class SimEngine : std::uint8_t {
+    /** Honour the PLUS_ENGINE environment variable (default: wheel). */
+    Env,
+    /** Serial hierarchical timing wheel (the default backend). */
+    Wheel,
+    /** Serial priority-queue oracle. */
+    Heap,
+    /** Conservative-parallel backend: one timing wheel per domain. */
+    Parallel,
+};
+
+const char* toString(SimEngine engine);
+
 /** How the processor hides (or fails to hide) memory/sync latency. */
 enum class ProcessorMode {
     /** Stall on every synchronization result (Figure 3-1 "blocking"). */
@@ -323,6 +341,17 @@ struct MachineConfig {
 
     /** Processor latency-hiding mode. */
     ProcessorMode mode = ProcessorMode::Delayed;
+
+    /** Event-engine backend (Env = honour PLUS_ENGINE). */
+    SimEngine engine = SimEngine::Env;
+
+    /**
+     * Worker threads for the parallel backend: each owns a contiguous
+     * spatial domain of nodes. 0 = pick automatically (one per
+     * hardware core, at most one per node). Must not exceed the node
+     * count; ignored by the serial backends.
+     */
+    unsigned simThreads = 0;
 
     NetworkConfig network;
     CostModel cost;

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <limits>
 #include <sstream>
+#include <thread>
 
+#include "check/defer_observer.hpp"
 #include "common/log.hpp"
 #include "common/panic.hpp"
 #include "core/context.hpp"
@@ -13,6 +15,37 @@
 
 namespace plus {
 namespace core {
+
+namespace {
+
+/** Map the config's engine request onto a concrete backend. */
+sim::EngineImpl
+resolveImpl(const MachineConfig& config)
+{
+    switch (config.engine) {
+      case SimEngine::Wheel: return sim::EngineImpl::Wheel;
+      case SimEngine::Heap: return sim::EngineImpl::Heap;
+      case SimEngine::Parallel: return sim::EngineImpl::Parallel;
+      case SimEngine::Env:
+      default: return sim::implFromEnv();
+    }
+}
+
+/** simThreads, or the auto policy: one per core, at most one per node. */
+unsigned
+resolveThreads(const MachineConfig& config)
+{
+    if (config.simThreads != 0) {
+        return config.simThreads;
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    if (hw == 0) {
+        hw = 2;
+    }
+    return std::min(hw, config.nodes);
+}
+
+} // namespace
 
 double
 MachineReport::utilization(unsigned processors) const
@@ -46,12 +79,18 @@ MachineReport::operator-(const MachineReport& baseline) const
 
 Machine::Machine(MachineConfig config)
     : config_(std::move(config)),
+      engine_(resolveImpl(config_)),
       topology_(1, 1, 1) // replaced below once the config is validated
 {
     config_.validate();
+    engine_.configure(config_.nodes, resolveThreads(config_));
     topology_ = net::Topology(config_.nodes, config_.meshWidth(),
                               config_.meshHeight());
     network_ = net::makeNetwork(engine_, topology_, config_.network);
+    // The window bound of the parallel backend, and the deferral the
+    // machine applies to node-triggered directory operations so every
+    // backend executes them at the same cycle.
+    engine_.setLookahead(network_->minCrossNodeLatency());
     if (config_.network.fault.enabled) {
         network_->enableFaults(config_.network.fault);
     }
@@ -73,7 +112,13 @@ Machine::Machine(MachineConfig config)
     if (config_.telemetry.trace) {
         telemetry_ = std::make_unique<telemetry::Telemetry>(
             config_.telemetry, &engine_);
-        network_->setTelemetryObserver(telemetry_.get());
+        if (engine_.parallelActive()) {
+            deferNetObserver_ = std::make_unique<check::DeferringNetObserver>(
+                engine_, telemetry_.get());
+            network_->setTelemetryObserver(deferNetObserver_.get());
+        } else {
+            network_->setTelemetryObserver(telemetry_.get());
+        }
     }
 
     // Checker and tracer share the per-subsystem observer slots; when
@@ -89,6 +134,13 @@ Machine::Machine(MachineConfig config)
     } else if (telemetry_) {
         observer = telemetry_.get();
     }
+    if (observer != nullptr && engine_.parallelActive()) {
+        // Worker lanes must not touch the order-sensitive checker and
+        // tracer directly; buffer their hooks for key-order replay.
+        deferObserver_ = std::make_unique<check::DeferringObserver>(
+            engine_, observer);
+        observer = deferObserver_.get();
+    }
 
     nodes_.reserve(config_.nodes);
     for (NodeId id = 0; id < config_.nodes; ++id) {
@@ -100,7 +152,12 @@ Machine::Machine(MachineConfig config)
             return freshTranslation(id, vpn);
         });
         n.cm().setPageCopyDoneHandler([this](std::uint32_t copy_id) {
-            onPageCopyDone(copy_id);
+            // Completion mutates the directory and every node's tables:
+            // machine-lane work, deferred by the lookahead so it runs
+            // stop-the-world at the same cycle on every backend.
+            engine_.scheduleMachine(engine_.lookahead(), [this, copy_id] {
+                onPageCopyDone(copy_id);
+            });
         });
         n.processor().setTranslator([this, id](Vpn vpn) {
             return translateFor(id, vpn);
@@ -150,7 +207,7 @@ Machine::diagnosticDump()
     std::ostringstream os;
     os << "\n--- machine diagnostics ---"
        << "\ncycle " << engine_.now() << ", " << engine_.pendingEvents()
-       << " event(s) pending, " << unfinishedThreads_
+       << " event(s) pending, " << unfinishedThreads_.load()
        << " thread(s) unfinished";
     const net::NetworkStats& net = network_->stats();
     os << "\nnet: " << net.packets << " delivered, " << net.dropped
@@ -323,8 +380,9 @@ Machine::registerMetrics()
                         [this] { return network_->stats().payloadBytes; });
     metrics_.addCounter("net.totalHops",
                         [this] { return network_->stats().totalHops; });
-    metrics_.addDistribution("net.latency", &network_->stats().latency);
-    metrics_.addDistribution("net.queueing", &network_->stats().queueing);
+    metrics_.addDistribution("net.latency", &network_->latencyHistogram());
+    metrics_.addDistribution("net.queueing",
+                             &network_->queueingHistogram());
     metrics_.addCounter("net.dropped",
                         [this] { return network_->stats().dropped; });
     metrics_.addCounter("net.backpressureStalls", [this] {
@@ -561,8 +619,11 @@ Machine::replicate(Addr addr, NodeId target)
     copiesInFlight_.emplace(copy_id, PendingCopy{vpn, target,
                                                  kInvalidNode});
     ++pendingCopies_;
-    nodes_[anchor.node]->cm().startPageCopy(anchor.frame, new_copy,
-                                            copy_id);
+    // The copy engine's events belong to the anchor node's lane.
+    engine_.withNodeContext(anchor.node, [&] {
+        nodes_[anchor.node]->cm().startPageCopy(anchor.frame, new_copy,
+                                                copy_id);
+    });
     PLUS_LOG(LogComponent::Machine, "replicate vpn ", vpn, " -> n", target,
              " from n", anchor.node, " (copy ", copy_id, ")");
 }
@@ -800,10 +861,10 @@ Machine::spawn(NodeId node, ThreadBody body)
     nodes_[node]->processor().addThread(
         tid, [this, ctx, body = std::move(body)] {
             body(*ctx);
-            --unfinishedThreads_;
-            if (unfinishedThreads_ == 0 && watchdog_) {
+            if (--unfinishedThreads_ == 0 && watchdog_) {
                 // Last thread done: stop watching so the watchdog's own
-                // check event cannot outlive the workload.
+                // check event cannot outlive the workload. Flag-based —
+                // this runs on a worker lane under the parallel backend.
                 watchdog_->stop();
             }
         });
@@ -815,23 +876,27 @@ void
 Machine::run(Cycles max_cycles)
 {
     started_ = true;
-    for (auto& n : nodes_) {
-        n->processor().start();
+    for (NodeId id = 0; id < nodes_.size(); ++id) {
+        // Thread-dispatch events get node-deterministic keys and lanes.
+        engine_.withNodeContext(id, [&] {
+            nodes_[id]->processor().start();
+        });
     }
     if (watchdog_ && unfinishedThreads_ > 0) {
         watchdog_->arm();
     }
     engine_.runUntil(max_cycles);
     if (watchdog_) {
-        watchdog_->stop();
+        watchdog_->cancelNow();
     }
     if (unfinishedThreads_ > 0) {
         if (engine_.pendingEvents() > 0) {
             PLUS_FATAL("machine exceeded the cycle cap (", max_cycles,
-                       ") with ", unfinishedThreads_,
+                       ") with ", unfinishedThreads_.load(),
                        " thread(s) unfinished — livelock?");
         }
-        PLUS_FATAL("deadlock: no events pending but ", unfinishedThreads_,
+        PLUS_FATAL("deadlock: no events pending but ",
+                   unfinishedThreads_.load(),
                    " thread(s) are still blocked");
     }
 }
@@ -844,7 +909,7 @@ Machine::settle()
     }
     engine_.run();
     if (watchdog_) {
-        watchdog_->stop();
+        watchdog_->cancelNow();
     }
 }
 
@@ -893,20 +958,25 @@ Machine::enableCompetitiveReplication(std::uint64_t threshold,
             // Competitive policy: enough remote references accumulated to
             // pay for a local copy — create one, unless the page is
             // already replicated here, at its copy budget, or mid-copy.
-            if (!directory_.contains(vpn)) {
-                return;
-            }
-            const mem::CopyList& cl = directory_.copyList(vpn);
-            if (cl.hasCopyOn(id) || cl.size() >= replMaxCopies_) {
-                return;
-            }
-            for (const auto& [cid, rec] : copiesInFlight_) {
-                (void)cid;
-                if (rec.vpn == vpn) {
+            // The decision fires on a node lane; the replication itself
+            // is a machine-lane directory mutation, so it is deferred by
+            // the lookahead and the guards re-evaluate when it runs.
+            engine_.scheduleMachine(engine_.lookahead(), [this, id, vpn] {
+                if (!directory_.contains(vpn)) {
                     return;
                 }
-            }
-            replicate(pageBase(vpn), id);
+                const mem::CopyList& cl = directory_.copyList(vpn);
+                if (cl.hasCopyOn(id) || cl.size() >= replMaxCopies_) {
+                    return;
+                }
+                for (const auto& [cid, rec] : copiesInFlight_) {
+                    (void)cid;
+                    if (rec.vpn == vpn) {
+                        return;
+                    }
+                }
+                replicate(pageBase(vpn), id);
+            });
         });
     }
 }

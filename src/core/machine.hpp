@@ -6,23 +6,22 @@
  * directory, and software-requested page replication, migration and
  * deletion with hardware-assisted background copying.
  *
- * Typical use:
+ * Typical use (via the plus::MachineBuilder facade, plus/plus.hpp):
  * @code
- *   MachineConfig cfg;
- *   cfg.nodes = 16;
- *   Machine m(cfg);
- *   Addr counter = m.alloc(kPageBytes, 0);   // master on node 0
- *   m.replicate(counter, 5);                 // background copy to node 5
- *   m.settle();                              // let the copy finish
+ *   auto m = plus::MachineBuilder().nodes(16).build();
+ *   Addr counter = m->alloc(kPageBytes, 0);   // master on node 0
+ *   m->replicate(counter, 5);                 // background copy to node 5
+ *   m->settle();                              // let the copy finish
  *   for (NodeId n = 0; n < 16; ++n)
- *       m.spawn(n, [&](Context& ctx) { ctx.fadd(counter, 1); });
- *   m.run();
+ *       m->spawn(n, [&](Context& ctx) { ctx.fadd(counter, 1); });
+ *   m->run();
  * @endcode
  */
 
 #ifndef PLUS_CORE_MACHINE_HPP_
 #define PLUS_CORE_MACHINE_HPP_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -42,6 +41,12 @@
 #include "telemetry/tracer.hpp"
 
 namespace plus {
+
+namespace check {
+class DeferringObserver;
+class DeferringNetObserver;
+} // namespace check
+
 namespace core {
 
 class Context;
@@ -79,6 +84,12 @@ struct MachineReport {
 class Machine
 {
   public:
+    /**
+     * @deprecated Construct through plus::MachineBuilder
+     * (plus/plus.hpp) — the fluent, validated front door. This
+     * constructor is the thin shim the builder itself lands on; both
+     * paths produce identical machines (tests/test_builder.cpp).
+     */
     explicit Machine(MachineConfig config);
     ~Machine();
 
@@ -282,6 +293,15 @@ class Machine
     /** Fan-out installed when both checker and tracer are live. */
     std::unique_ptr<check::TeeObserver> observerTee_;
 
+    /**
+     * Parallel backend only: wrappers that buffer observer hooks via
+     * sim::Engine::defer() so the checker and tracer see events in the
+     * exact serial order (see check/defer_observer.hpp). Null on the
+     * serial backends — hooks run inline with zero extra cost.
+     */
+    std::unique_ptr<check::DeferringObserver> deferObserver_;
+    std::unique_ptr<check::DeferringNetObserver> deferNetObserver_;
+
     telemetry::MetricsRegistry metrics_;
 
     /** Forward-progress watchdog; null unless config_.watchdog. */
@@ -302,7 +322,8 @@ class Machine
         std::unique_ptr<Context> context;
     };
     std::vector<ThreadRecord> threads_;
-    unsigned unfinishedThreads_ = 0;
+    /** Atomic: decremented from worker lanes under the parallel backend. */
+    std::atomic<unsigned> unfinishedThreads_{0};
     bool started_ = false;
 
     /** Competitive replication policy state. */

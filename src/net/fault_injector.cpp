@@ -10,21 +10,53 @@ namespace net {
 
 FaultInjector::FaultInjector(sim::Engine& engine, const Topology& topology,
                              const FaultConfig& config)
-    : engine_(engine), config_(config), rng_(config.seed),
+    : engine_(engine), config_(config),
+      statShards_(topology.nodes() + 1),
       deadNodes_(topology.nodes(), 0)
 {
+    // One stream per lane (nodes plus machine context), each seeded
+    // from the config seed and its lane index so streams are mutually
+    // independent but fully reproducible.
+    rngs_.reserve(topology.nodes() + 1);
+    for (std::size_t lane = 0; lane <= topology.nodes(); ++lane) {
+        rngs_.emplace_back(config.seed +
+                           0x9e3779b97f4a7c15ull * (lane + 1));
+    }
+}
+
+std::size_t
+FaultInjector::shardIx() const
+{
+    const std::size_t ix = engine_.shardIndex();
+    return ix < statShards_.size() ? ix : statShards_.size() - 1;
+}
+
+FaultStats
+FaultInjector::stats() const
+{
+    FaultStats total;
+    for (const StatShard& s : statShards_) {
+        total.dropped += s.dropped;
+        total.corrupted += s.corrupted;
+        total.duplicated += s.duplicated;
+        total.delayed += s.delayed;
+        total.linkKills += s.linkKills;
+        total.nodeKills += s.nodeKills;
+    }
+    return total;
 }
 
 Fate
 FaultInjector::fateFor(const Packet& packet)
 {
+    FaultStats& s = shard();
     if (override_) {
         if (std::optional<Fate> forced = override_(packet)) {
             switch (*forced) {
-              case Fate::Drop: stats_.dropped += 1; break;
-              case Fate::Corrupt: stats_.corrupted += 1; break;
-              case Fate::Duplicate: stats_.duplicated += 1; break;
-              case Fate::Delay: stats_.delayed += 1; break;
+              case Fate::Drop: s.dropped += 1; break;
+              case Fate::Corrupt: s.corrupted += 1; break;
+              case Fate::Duplicate: s.duplicated += 1; break;
+              case Fate::Delay: s.delayed += 1; break;
               default: break;
             }
             return *forced;
@@ -32,25 +64,25 @@ FaultInjector::fateFor(const Packet& packet)
     }
     // One roll, banded across the four fault probabilities, so a fate
     // schedule depends only on the frame sequence, not the rate split.
-    const double roll = rng_.uniform();
+    const double roll = rngs_[shardIx()].uniform();
     double band = config_.dropRate;
     if (roll < band) {
-        stats_.dropped += 1;
+        s.dropped += 1;
         return Fate::Drop;
     }
     band += config_.corruptRate;
     if (roll < band) {
-        stats_.corrupted += 1;
+        s.corrupted += 1;
         return Fate::Corrupt;
     }
     band += config_.duplicateRate;
     if (roll < band) {
-        stats_.duplicated += 1;
+        s.duplicated += 1;
         return Fate::Duplicate;
     }
     band += config_.delayRate;
     if (roll < band) {
-        stats_.delayed += 1;
+        s.delayed += 1;
         return Fate::Delay;
     }
     return Fate::Deliver;
@@ -59,7 +91,7 @@ FaultInjector::fateFor(const Packet& packet)
 Cycles
 FaultInjector::delayFor()
 {
-    return rng_.range(1, config_.maxDelayCycles);
+    return rngs_[shardIx()].range(1, config_.maxDelayCycles);
 }
 
 void
@@ -75,14 +107,14 @@ FaultInjector::apply(const FaultScriptEntry& entry)
 {
     switch (entry.kind) {
       case FaultScriptEntry::Kind::LinkDown:
-        stats_.linkKills += 1;
+        shard().linkKills += 1;
         setLinkAlive(entry.a, entry.b, false);
         break;
       case FaultScriptEntry::Kind::LinkUp:
         setLinkAlive(entry.a, entry.b, true);
         break;
       case FaultScriptEntry::Kind::NodeDown:
-        stats_.nodeKills += 1;
+        shard().nodeKills += 1;
         setNodeAlive(entry.a, false);
         break;
       case FaultScriptEntry::Kind::NodeUp:

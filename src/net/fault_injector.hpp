@@ -50,7 +50,11 @@ enum class Fate : std::uint8_t {
     Delay,     ///< held back a uniform [1, maxDelayCycles] extra cycles
 };
 
-/** Injected-fault counters (exported as net.fault.* metrics). */
+/**
+ * Injected-fault counters (exported as net.fault.* metrics). Sharded by
+ * executing lane internally (fates are rolled on whichever node's lane
+ * transmits the frame) and summed by FaultInjector::stats().
+ */
 struct FaultStats {
     std::uint64_t dropped = 0;
     std::uint64_t corrupted = 0;
@@ -101,7 +105,9 @@ class FaultInjector
         override_ = std::move(fn);
     }
 
-    const FaultStats& stats() const { return stats_; }
+    /** Aggregate counters: the sum over all lane shards. */
+    FaultStats stats() const;
+
     const FaultConfig& config() const { return config_; }
 
   private:
@@ -117,10 +123,30 @@ class FaultInjector
 
     void apply(const FaultScriptEntry& entry);
 
+    /** Counter shards, padded against false sharing between lanes. */
+    struct alignas(64) StatShard : FaultStats {
+    };
+
+    /** The executing lane's shard index (last shard = machine). */
+    std::size_t shardIx() const;
+    FaultStats& shard() { return statShards_[shardIx()]; }
+
     sim::Engine& engine_;
     FaultConfig config_;
-    Xoshiro256 rng_;
-    FaultStats stats_;
+    /**
+     * One independent xoshiro256** stream per lane, seeded from
+     * FaultConfig::seed and the lane index. A frame's fate is rolled on
+     * the lane that transmits it, and each lane's frames keep their
+     * serial order in every backend, so a fault schedule replays
+     * exactly — serial wheel, heap, or parallel.
+     */
+    std::vector<Xoshiro256> rngs_;
+    std::vector<StatShard> statShards_;
+    /**
+     * Liveness is written from machine context only (scripted entries
+     * and test hooks run stop-the-world under the parallel backend) and
+     * read at every hop; the window barrier orders the two.
+     */
     std::vector<char> deadNodes_;
     std::unordered_set<std::uint64_t> deadLinks_;
     std::function<std::optional<Fate>(const Packet&)> override_;

@@ -14,11 +14,34 @@ namespace net {
 Network::Network(sim::Engine& engine, const Topology& topology,
                  const NetworkConfig& config)
     : engine_(engine), topology_(topology), config_(config),
-      handlers_(topology.nodes())
+      statShards_(topology.nodes() + 1), handlers_(topology.nodes())
 {
 }
 
 Network::~Network() = default;
+
+std::size_t
+Network::shardIx() const
+{
+    // An unconfigured engine (unit tests driving a Network directly)
+    // reports machine context with nodes() == 0; clamp into our shards.
+    const std::size_t ix = engine_.shardIndex();
+    return ix < statShards_.size() ? ix : statShards_.size() - 1;
+}
+
+NetworkStats
+Network::stats() const
+{
+    NetworkStats total;
+    for (const StatShard& s : statShards_) {
+        total.packets += s.packets;
+        total.payloadBytes += s.payloadBytes;
+        total.totalHops += s.totalHops;
+        total.dropped += s.dropped;
+        total.backpressureStalls += s.backpressureStalls;
+    }
+    return total;
+}
 
 void
 Network::setDeliveryHandler(NodeId node, DeliveryHandler handler)
@@ -39,7 +62,7 @@ Network::enableFaults(const FaultConfig& fault)
 {
     PLUS_ASSERT(fault.enabled, "enableFaults with a disabled config");
     PLUS_ASSERT(!injector_, "fault injection enabled twice");
-    PLUS_ASSERT(stats_.packets == 0,
+    PLUS_ASSERT(stats().packets == 0,
                 "enableFaults must precede all traffic");
     injector_ = std::make_unique<FaultInjector>(engine_, topology_, fault);
     link_ = std::make_unique<LinkLayer>(*this, engine_, *injector_, fault);
@@ -79,17 +102,22 @@ void
 Network::deliverUp(Packet packet, unsigned hops, Cycles injected_at,
                    Cycles queueing)
 {
-    stats_.packets += 1;
-    stats_.payloadBytes += packet.payloadBytes;
-    stats_.totalHops += hops;
-    stats_.latency.record(
-        static_cast<double>(engine_.now() - injected_at));
-    stats_.queueing.record(static_cast<double>(queueing));
+    NetworkStats& s = shard();
+    s.packets += 1;
+    s.payloadBytes += packet.payloadBytes;
+    s.totalHops += hops;
+    // The histograms' running sums are order-sensitive (floating-point
+    // accumulation); defer keeps the record stream in global key order
+    // under the parallel backend and is an inline call otherwise.
+    const Cycles latency = engine_.now() - injected_at;
+    engine_.defer([this, latency, queueing] {
+        latency_.record(static_cast<double>(latency));
+        queueing_.record(static_cast<double>(queueing));
+    });
     if (telemetry_) {
         telemetry_->onPacketDelivered(packet.src, packet.dst,
                                       packet.msgClass, packet.payloadBytes,
-                                      hops, engine_.now() - injected_at,
-                                      queueing);
+                                      hops, latency, queueing);
     }
 
     const NodeId dst = packet.dst;
@@ -102,7 +130,7 @@ void
 Network::noteDrop(NodeId src, NodeId dst, std::uint8_t msg_class,
                   unsigned bytes, check::DropReason reason)
 {
-    stats_.dropped += 1;
+    shard().dropped += 1;
     PLUS_LOG(LogComponent::Net, "drop ", src, " -> ", dst, " (",
              check::toString(reason), ")");
     if (telemetry_) {
@@ -116,11 +144,15 @@ IdealNetwork::inject(Packet packet)
     const Cycles latency =
         zeroLoadLatency(topology_.distance(packet.src, packet.dst));
     const Cycles injected_at = engine_.now();
+    const NodeId dst = packet.dst;
     // sim::Event takes move-only captures, so the packet rides inline
     // in the event record — no allocation per send. hops is recomputed
     // at delivery to keep the capture within the inline budget.
-    engine_.schedule(latency, [this, p = std::move(packet),
-                               injected_at]() mutable {
+    // Delivery executes on the destination's lane; latency >=
+    // zeroLoadLatency(1) == minCrossNodeLatency() keeps the schedule
+    // legal under the parallel backend's lookahead.
+    engine_.scheduleForNode(dst, latency, [this, p = std::move(packet),
+                                           injected_at]() mutable {
         const unsigned hops = topology_.distance(p.src, p.dst);
         deliver(std::move(p), hops, injected_at, 0);
     });
@@ -128,29 +160,44 @@ IdealNetwork::inject(Packet packet)
 
 MeshNetwork::MeshNetwork(sim::Engine& engine, const Topology& topology,
                          const NetworkConfig& config)
-    : Network(engine, topology, config)
+    : Network(engine, topology, config),
+      transitShards_(topology.nodes() + 1)
 {
+    // Populate every directed adjacent link up front: the map is never
+    // mutated again, so concurrent hop-time lookups are const finds and
+    // each Link is written only from its source router's lane.
+    for (NodeId from = 0; from < topology.nodes(); ++from) {
+        for (NodeId to = 0; to < topology.nodes(); ++to) {
+            if (from != to && topology.distance(from, to) == 1) {
+                links_.emplace(static_cast<std::uint64_t>(from) *
+                                   topology.nodes() + to,
+                               Link{});
+            }
+        }
+    }
 }
 
 MeshNetwork::Link&
 MeshNetwork::linkBetween(NodeId from, NodeId to)
 {
-    PLUS_ASSERT(topology_.distance(from, to) == 1,
-                "link between non-adjacent nodes ", from, " and ", to);
     const std::uint64_t key =
         static_cast<std::uint64_t>(from) * topology_.nodes() + to;
-    return links_[key];
+    const auto it = links_.find(key);
+    PLUS_ASSERT(it != links_.end(), "link between non-adjacent nodes ",
+                from, " and ", to);
+    return it->second;
 }
 
 MeshNetwork::Transit*
 MeshNetwork::acquireTransit()
 {
-    if (freeTransits_.empty()) {
-        transitPool_.push_back(std::make_unique<Transit>());
-        return transitPool_.back().get();
+    TransitShard& shard = transitShards_[shardIx()];
+    if (shard.free.empty()) {
+        shard.pool.push_back(std::make_unique<Transit>());
+        return shard.pool.back().get();
     }
-    Transit* transit = freeTransits_.back();
-    freeTransits_.pop_back();
+    Transit* transit = shard.free.back();
+    shard.free.pop_back();
     return transit;
 }
 
@@ -158,7 +205,7 @@ void
 MeshNetwork::releaseTransit(Transit* transit)
 {
     transit->packet = Packet{};
-    freeTransits_.push_back(transit);
+    transitShards_[shardIx()].free.push_back(transit);
 }
 
 void
@@ -222,7 +269,7 @@ MeshNetwork::hop(Transit* transit)
     if (config_.routerBufferPackets != 0 && link.freeAt > now &&
         link.freeAt - now >
             config_.routerBufferPackets * serialization) {
-        stats_.backpressureStalls += 1;
+        shard().backpressureStalls += 1;
         transit->queueing += serialization;
         engine_.schedule(serialization, [this, transit] { hop(transit); });
         return;
@@ -243,9 +290,11 @@ MeshNetwork::hop(Transit* transit)
     transit->hops += 1;
     transit->at = next;
     // Cut-through: the head moves on after the router latency; the tail
-    // occupies the link for the serialization time behind it.
-    engine_.schedule(wait + config_.perHopCycles,
-                     [this, transit] { hop(transit); });
+    // occupies the link for the serialization time behind it. The next
+    // hop executes on @p next's lane; wait + perHopCycles >=
+    // minCrossNodeLatency() keeps the schedule inside the lookahead.
+    engine_.scheduleForNode(next, wait + config_.perHopCycles,
+                            [this, transit] { hop(transit); });
 }
 
 Cycles

@@ -95,7 +95,16 @@ enum LinkCtl : std::uint8_t {
 /** msgClass of link-layer ack packets (never seen by protocol code). */
 constexpr std::uint8_t kLinkAckClass = 0xfe;
 
-/** Aggregate network statistics. */
+/**
+ * Aggregate network statistics. Counters only: internally they are
+ * lane-sharded (delivery executes on the destination node's lane, which
+ * under the parallel backend is a worker thread), and stats() sums the
+ * shards — exact in every backend, no atomics. The latency/queueing
+ * distributions live on Network as order-sensitive histograms, updated
+ * through Engine::defer() so their record streams stay byte-identical
+ * to serial execution; read them via latencyHistogram()/
+ * queueingHistogram().
+ */
 struct NetworkStats {
     std::uint64_t packets = 0;
     std::uint64_t payloadBytes = 0;
@@ -104,10 +113,6 @@ struct NetworkStats {
     std::uint64_t dropped = 0;
     /** Hop retries forced by a full router input buffer. */
     std::uint64_t backpressureStalls = 0;
-    /** End-to-end latency per packet, cycles. */
-    Histogram latency;
-    /** Cycles spent queued behind busy links (contention only). */
-    Histogram queueing;
 };
 
 /** Per-node packet sink. */
@@ -172,7 +177,15 @@ class Network
     void send(Packet packet);
 
     const Topology& topology() const { return topology_; }
-    const NetworkStats& stats() const { return stats_; }
+
+    /** Aggregate counters: the sum over all lane shards. */
+    NetworkStats stats() const;
+
+    /** End-to-end latency per delivered packet, cycles. */
+    const Histogram& latencyHistogram() const { return latency_; }
+
+    /** Cycles spent queued behind busy links (contention only). */
+    const Histogram& queueingHistogram() const { return queueing_; }
 
     /** Zero-load one-way latency for a given hop count. */
     Cycles
@@ -180,6 +193,14 @@ class Network
     {
         return config_.fixedCycles + config_.perHopCycles * hops;
     }
+
+    /**
+     * The smallest delay with which this model ever schedules an event
+     * onto a *different* node's lane — the parallel backend's
+     * conservative lookahead. Every internal cross-node schedule
+     * (scheduleForNode) must keep its delay >= this bound.
+     */
+    virtual Cycles minCrossNodeLatency() const = 0;
 
     /** Cycles a packet of the given payload occupies one link. */
     Cycles serializationCycles(unsigned payload_bytes) const;
@@ -206,10 +227,23 @@ class Network
     void noteDrop(NodeId src, NodeId dst, std::uint8_t msg_class,
                   unsigned bytes, check::DropReason reason);
 
+    /** The executing lane's shard index (last shard = machine). */
+    std::size_t shardIx() const;
+
+    /** The executing lane's counter shard. */
+    NetworkStats& shard() { return statShards_[shardIx()]; }
+
+    /** One shard per node lane plus one for machine context, padded so
+     *  two workers never bounce a cache line. */
+    struct alignas(64) StatShard : NetworkStats {
+    };
+
     sim::Engine& engine_;
     Topology topology_;
     NetworkConfig config_;
-    NetworkStats stats_;
+    std::vector<StatShard> statShards_;
+    Histogram latency_;
+    Histogram queueing_;
     std::vector<DeliveryHandler> handlers_;
     check::NetObserver* telemetry_ = nullptr;
     std::function<std::string()> traceDumper_;
@@ -222,6 +256,12 @@ class IdealNetwork : public Network
 {
   public:
     using Network::Network;
+
+    /** Delivery is the only cross-node schedule: one-hop zero load. */
+    Cycles minCrossNodeLatency() const override
+    {
+        return zeroLoadLatency(1);
+    }
 
   protected:
     void inject(Packet packet) override;
@@ -239,6 +279,12 @@ class MeshNetwork : public Network
 
     /** Busy cycles accumulated on the most utilized link. */
     Cycles maxLinkBusyCycles() const;
+
+    /** Hops advance via scheduleForNode with delay >= perHopCycles. */
+    Cycles minCrossNodeLatency() const override
+    {
+        return config_.perHopCycles;
+    }
 
   protected:
     void inject(Packet packet) override;
@@ -259,21 +305,34 @@ class MeshNetwork : public Network
         NodeId at = kInvalidNode;
     };
 
+    /** Transit recycling, sharded by lane like the stat counters. */
+    struct alignas(64) TransitShard {
+        /** Owning pool; recycled through free. */
+        std::vector<std::unique_ptr<Transit>> pool;
+        std::vector<Transit*> free;
+    };
+
     Link& linkBetween(NodeId from, NodeId to);
     void hop(Transit* transit);
 
     /**
      * Grab a pooled transit so every in-flight packet costs one pool
-     * hit instead of a shared_ptr allocation per send.
+     * hit instead of a shared_ptr allocation per send. A transit is
+     * released into the *releasing* lane's shard (delivery happens on
+     * the destination's lane), so the pools drift with traffic but
+     * stay thread-private.
      */
     Transit* acquireTransit();
     void releaseTransit(Transit* transit);
 
-    /** key = from * nodes + to, adjacent pairs only. */
+    /**
+     * key = from * nodes + to, adjacent pairs only. Fully populated at
+     * construction so hop-time lookups are const finds — each directed
+     * link's state is then only ever written from its source router's
+     * lane, which makes the map safe under the parallel backend.
+     */
     std::unordered_map<std::uint64_t, Link> links_;
-    /** Owning pool of transits; recycled through freeTransits_. */
-    std::vector<std::unique_ptr<Transit>> transitPool_;
-    std::vector<Transit*> freeTransits_;
+    std::vector<TransitShard> transitShards_;
 };
 
 /** Factory honouring NetworkConfig::ideal. */

@@ -13,7 +13,12 @@ namespace net {
 
 LinkLayer::LinkLayer(Network& network, sim::Engine& engine,
                      FaultInjector& injector, const FaultConfig& config)
-    : net_(network), engine_(engine), injector_(injector), config_(config)
+    : net_(network), engine_(engine), injector_(injector), config_(config),
+      srtt_(network.topology().nodes(), 0),
+      rttvar_(network.topology().nodes(), 0),
+      statShards_(network.topology().nodes() + 1),
+      sender_(network.topology().nodes()),
+      recv_(network.topology().nodes())
 {
     if (config_.retransmitTimeout != 0) {
         timeout_ = config_.retransmitTimeout;
@@ -55,13 +60,36 @@ LinkLayer::clonePacket(const Packet& packet) const
     return copy;
 }
 
+std::size_t
+LinkLayer::shardIx() const
+{
+    const std::size_t ix = engine_.shardIndex();
+    return ix < statShards_.size() ? ix : statShards_.size() - 1;
+}
+
+LinkStats
+LinkLayer::stats() const
+{
+    LinkStats total;
+    for (const StatShard& s : statShards_) {
+        total.dataFrames += s.dataFrames;
+        total.retransmits += s.retransmits;
+        total.acksSent += s.acksSent;
+        total.acksReceived += s.acksReceived;
+        total.dupSuppressed += s.dupSuppressed;
+        total.crcDrops += s.crcDrops;
+        total.reordered += s.reordered;
+    }
+    return total;
+}
+
 void
 LinkLayer::sendData(Packet packet)
 {
-    SenderChan& chan = sender_[chanKey(packet.src, packet.dst)];
+    SenderChan& chan = sender_[packet.src][packet.dst];
     packet.linkCtl = kLinkData;
     packet.linkSeq = chan.nextSeq++;
-    stats_.dataFrames += 1;
+    shard().dataFrames += 1;
 
     auto [it, inserted] =
         chan.unacked.emplace(packet.linkSeq, Unacked{});
@@ -122,7 +150,7 @@ LinkLayer::receive(Packet packet, unsigned hops, Cycles injected_at,
 {
     if (!packet.crcOk) {
         // Corruption is detected, never consumed: a bad frame is a drop.
-        stats_.crcDrops += 1;
+        shard().crcDrops += 1;
         net_.noteDrop(packet.src, packet.dst, packet.msgClass,
                       packet.payloadBytes, check::DropReason::Corrupt);
         return;
@@ -137,12 +165,12 @@ LinkLayer::receive(Packet packet, unsigned hops, Cycles injected_at,
 
     const NodeId src = packet.src;
     const NodeId dst = packet.dst;
-    ReceiverChan& chan = recv_[chanKey(src, dst)];
+    ReceiverChan& chan = recv_[dst][src];
 
     if (packet.linkSeq <= chan.delivered) {
         // Already delivered: a duplicate (injected, or a retransmit
         // racing its own ack). Suppress it and repair the sender's view.
-        stats_.dupSuppressed += 1;
+        shard().dupSuppressed += 1;
         net_.noteDrop(src, dst, packet.msgClass, packet.payloadBytes,
                       check::DropReason::Duplicate);
         sendAck(dst, src, chan.delivered);
@@ -152,7 +180,7 @@ LinkLayer::receive(Packet packet, unsigned hops, Cycles injected_at,
     if (packet.linkSeq > chan.delivered + 1) {
         // A gap: park the frame so the protocol keeps seeing FIFO
         // order, and re-ack the watermark so the sender can trim.
-        stats_.reordered += 1;
+        shard().reordered += 1;
         chan.held.emplace(packet.linkSeq,
                           Held{std::move(packet), hops, injected_at,
                                queueing});
@@ -177,10 +205,11 @@ LinkLayer::receive(Packet packet, unsigned hops, Cycles injected_at,
 void
 LinkLayer::handleAck(const Packet& ack)
 {
-    stats_.acksReceived += 1;
-    // The data channel runs ack.dst -> ack.src (acks travel backwards).
-    auto it = sender_.find(chanKey(ack.dst, ack.src));
-    if (it == sender_.end()) {
+    shard().acksReceived += 1;
+    // The data channel runs ack.dst -> ack.src (acks travel backwards),
+    // so this executes on the data source's own lane.
+    auto it = sender_[ack.dst].find(ack.src);
+    if (it == sender_[ack.dst].end()) {
         return;
     }
     SenderChan& chan = it->second;
@@ -198,7 +227,7 @@ LinkLayer::handleAck(const Packet& ack)
         progress = true;
     }
     if (sample != 0) {
-        sampleRtt(sample);
+        sampleRtt(ack.dst, sample);
     }
     if (progress) {
         // The channel is moving: frames behind the acked ones are very
@@ -212,16 +241,18 @@ LinkLayer::handleAck(const Packet& ack)
 }
 
 void
-LinkLayer::sampleRtt(Cycles sample)
+LinkLayer::sampleRtt(NodeId src, Cycles sample)
 {
-    if (srtt_ == 0) {
-        srtt_ = sample;
-        rttvar_ = sample / 2;
+    Cycles& srtt = srtt_[src];
+    Cycles& rttvar = rttvar_[src];
+    if (srtt == 0) {
+        srtt = sample;
+        rttvar = sample / 2;
         return;
     }
-    const Cycles diff = sample > srtt_ ? sample - srtt_ : srtt_ - sample;
-    rttvar_ = (3 * rttvar_ + diff) / 4;
-    srtt_ = (7 * srtt_ + sample) / 8;
+    const Cycles diff = sample > srtt ? sample - srtt : srtt - sample;
+    rttvar = (3 * rttvar + diff) / 4;
+    srtt = (7 * srtt + sample) / 8;
 }
 
 void
@@ -234,7 +265,7 @@ LinkLayer::sendAck(NodeId from, NodeId to, std::uint32_t cumulative)
     ack.msgClass = kLinkAckClass;
     ack.linkCtl = kLinkAck;
     ack.linkAck = cumulative;
-    stats_.acksSent += 1;
+    shard().acksSent += 1;
     transmit(std::move(ack));
 }
 
@@ -243,7 +274,7 @@ LinkLayer::armTimer(NodeId src, NodeId dst, std::uint32_t seq,
                     Unacked& entry)
 {
     const Cycles backoff =
-        rto() << std::min<unsigned>(entry.attempts, config_.backoffCap);
+        rto(src) << std::min<unsigned>(entry.attempts, config_.backoffCap);
     entry.timer = engine_.schedule(
         backoff, [this, src, dst, seq] { onTimeout(src, dst, seq); });
 }
@@ -251,7 +282,7 @@ LinkLayer::armTimer(NodeId src, NodeId dst, std::uint32_t seq,
 void
 LinkLayer::onTimeout(NodeId src, NodeId dst, std::uint32_t seq)
 {
-    SenderChan& chan = sender_[chanKey(src, dst)];
+    SenderChan& chan = sender_[src][dst];
     auto it = chan.unacked.find(seq);
     if (it == chan.unacked.end()) {
         return; // acked while the timer event was already dispatched
@@ -265,7 +296,7 @@ LinkLayer::onTimeout(NodeId src, NodeId dst, std::uint32_t seq)
                    " retransmits (permanent partition?)",
                    net_.traceDumper_ ? net_.traceDumper_() : std::string());
     }
-    stats_.retransmits += 1;
+    shard().retransmits += 1;
     if (net_.telemetry_) {
         net_.telemetry_->onRetransmit(src, dst, seq, entry.attempts);
     }
@@ -279,9 +310,11 @@ std::size_t
 LinkLayer::inFlight() const
 {
     std::size_t total = 0;
-    for (const auto& [key, chan] : sender_) {
-        (void)key;
-        total += chan.unacked.size();
+    for (const auto& per_src : sender_) {
+        for (const auto& [dst, chan] : per_src) {
+            (void)dst;
+            total += chan.unacked.size();
+        }
     }
     return total;
 }

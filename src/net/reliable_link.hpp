@@ -39,6 +39,7 @@
 #include <cstdint>
 #include <map>
 #include <unordered_map>
+#include <vector>
 
 #include "common/config.hpp"
 #include "common/types.hpp"
@@ -53,7 +54,13 @@ namespace net {
 
 class FaultInjector;
 
-/** Reliable-layer counters (exported as net.link.* metrics). */
+/**
+ * Reliable-layer counters (exported as net.link.* metrics). Lane-
+ * sharded internally — sender-side counters bump on the source node's
+ * lane, receiver-side ones on the destination's — and summed by
+ * LinkLayer::stats(), so totals are exact in every engine backend
+ * without atomics.
+ */
 struct LinkStats {
     std::uint64_t dataFrames = 0;    ///< sequenced frames first-sent
     std::uint64_t retransmits = 0;   ///< timeout-driven re-sends
@@ -81,17 +88,24 @@ class LinkLayer
     /** Unacknowledged frames across all channels (0 = all delivered). */
     std::size_t inFlight() const;
 
-    const LinkStats& stats() const { return stats_; }
+    /** Aggregate counters: the sum over all lane shards. */
+    LinkStats stats() const;
 
     /** The base retransmit timeout in use (config or latency-derived). */
     Cycles retransmitTimeout() const { return timeout_; }
 
-    /** The adaptive timeout currently applied to new frames. */
+    /**
+     * The adaptive timeout currently applied to frames @p src sends.
+     * The RTT estimate is per source node: it is only ever updated on
+     * the source's own lane, which keeps it race-free under the
+     * parallel backend.
+     */
     Cycles
-    rto() const
+    rto(NodeId src) const
     {
-        return srtt_ == 0 ? timeout_
-                          : std::max(timeout_, srtt_ + 4 * rttvar_);
+        return srtt_[src] == 0
+                   ? timeout_
+                   : std::max(timeout_, srtt_[src] + 4 * rttvar_[src]);
     }
 
   private:
@@ -123,11 +137,9 @@ class LinkLayer
         std::map<std::uint32_t, Held> held;
     };
 
-    static std::uint64_t
-    chanKey(NodeId src, NodeId dst)
-    {
-        return (static_cast<std::uint64_t>(src) << 32) | dst;
-    }
+    /** Counter shards, padded against false sharing between lanes. */
+    struct alignas(64) StatShard : LinkStats {
+    };
 
     /** Deep-copy @p packet; panics on an uncloneable payload. */
     Packet clonePacket(const Packet& packet) const;
@@ -141,20 +153,30 @@ class LinkLayer
     void armTimer(NodeId src, NodeId dst, std::uint32_t seq,
                   Unacked& entry);
 
-    /** Fold one round-trip sample into the srtt/rttvar estimate. */
-    void sampleRtt(Cycles sample);
+    /** Fold one round-trip sample into @p src's srtt/rttvar estimate. */
+    void sampleRtt(NodeId src, Cycles sample);
+
+    /** The executing lane's shard index (last shard = machine). */
+    std::size_t shardIx() const;
+    LinkStats& shard() { return statShards_[shardIx()]; }
 
     Network& net_;
     sim::Engine& engine_;
     FaultInjector& injector_;
     FaultConfig config_;
     Cycles timeout_ = 0;
-    /** Smoothed round trip and its mean deviation (Jacobson). */
-    Cycles srtt_ = 0;
-    Cycles rttvar_ = 0;
-    LinkStats stats_;
-    std::unordered_map<std::uint64_t, SenderChan> sender_;
-    std::unordered_map<std::uint64_t, ReceiverChan> recv_;
+    /** Per-source smoothed round trip and mean deviation (Jacobson). */
+    std::vector<Cycles> srtt_;
+    std::vector<Cycles> rttvar_;
+    std::vector<StatShard> statShards_;
+    /**
+     * Channel state sliced by the lane that owns it: sender_[src][dst]
+     * is touched by sendData, timeouts and ack handling, all of which
+     * execute on @p src's lane; recv_[dst][src] only by arrivals on
+     * @p dst's lane. No channel structure is ever shared across lanes.
+     */
+    std::vector<std::unordered_map<NodeId, SenderChan>> sender_;
+    std::vector<std::unordered_map<NodeId, ReceiverChan>> recv_;
 };
 
 } // namespace net

@@ -5,21 +5,30 @@
 
 #include "common/log.hpp"
 #include "common/panic.hpp"
+#include "sim/parallel.hpp"
 
 namespace plus {
 namespace sim {
-
-namespace {
 
 EngineImpl
 implFromEnv()
 {
     const char* env = std::getenv("PLUS_ENGINE");
-    if (env != nullptr && std::string_view(env) == "heap") {
-        return EngineImpl::Heap;
+    if (env != nullptr) {
+        const std::string_view name(env);
+        if (name == "heap") {
+            return EngineImpl::Heap;
+        }
+        if (name == "parallel") {
+            return EngineImpl::Parallel;
+        }
     }
     return EngineImpl::Wheel;
 }
+
+namespace {
+
+constexpr std::uint32_t kIdxMask = (1U << kEventIdxBits) - 1;
 
 } // namespace
 
@@ -32,46 +41,113 @@ Engine::Engine(EngineImpl impl) : impl_(impl)
 
 Engine::~Engine()
 {
+    par_.reset(); // join workers before members they reference go away
     Log::instance().setClock(nullptr);
 }
 
-EventId
-Engine::schedule(Cycles delay, Event fn)
+void
+Engine::configure(unsigned nodes, unsigned threads)
 {
-    return scheduleAt(now_ + delay, std::move(fn));
+    PLUS_ASSERT(pending_ == 0 && executed_ == 0,
+                "configure() must precede any scheduling");
+    PLUS_ASSERT(nodes < kMachineLane, "too many node lanes: ", nodes);
+    nodes_ = nodes;
+    threads_ = threads == 0 ? 1 : threads;
+    if (nodes_ == 0 || threads_ > nodes_) {
+        threads_ = nodes_ == 0 ? 1 : nodes_;
+    }
+    if (threads_ >= kGlobalDomain) {
+        threads_ = kGlobalDomain - 1; // domain tags leave 63 for machine
+    }
+    initStep_.assign(nodes_, 0);
+    execStep_.assign(nodes_, 0);
+    par_.reset();
+    if (impl_ == EngineImpl::Parallel && threads_ > 1) {
+        par_ = std::make_unique<ParallelEngine>(*this, threads_);
+    }
+}
+
+std::uint64_t
+Engine::makeKey2()
+{
+    SchedCtx& c = curCtx();
+    if (c.node == kMachineLane) {
+        PLUS_ASSERT(machineSeq_ != 0xffffffffU,
+                    "machine-context key space exhausted");
+        return (std::uint64_t{kMachineLane} << 48U) |
+               (std::uint64_t{machineSeq_++} << 16U);
+    }
+    if (c.init) {
+        // withNodeContext() seeding: a persistent per-node counter in
+        // the step field; child 0xffff keeps the space disjoint from
+        // executed-event children.
+        return (std::uint64_t{c.node} << 48U) |
+               (std::uint64_t{initStep_[c.node]++} << 16U) | 0xffffU;
+    }
+    PLUS_ASSERT(c.child != 0xffffU,
+                "event scheduled too many children for its key space");
+    return (std::uint64_t{c.node} << 48U) |
+           (std::uint64_t{c.step} << 16U) | c.child++;
 }
 
 EventId
-Engine::scheduleAt(Cycles when, Event fn)
+Engine::scheduleForNode(NodeId node, Cycles delay, Event fn)
 {
-    return scheduleImpl(when, std::move(fn), false);
+    if (nodes_ == 0) {
+        // Unconfigured engine (unit tests driving one subsystem
+        // directly): a single machine lane serialises everything.
+        return scheduleImpl(now() + delay, std::move(fn), false,
+                            kMachineLane);
+    }
+    PLUS_ASSERT(node < nodes_, "scheduleForNode(", node,
+                ") outside configured lanes (", nodes_, ")");
+    return scheduleImpl(now() + delay, std::move(fn), false,
+                        static_cast<std::uint16_t>(node));
+}
+
+void
+Engine::scheduleMachine(Cycles delay, Event fn)
+{
+    PLUS_ASSERT(delay >= lookahead_ || curCtx().node == kMachineLane,
+                "machine-lane schedule from node context needs delay >= "
+                "lookahead (", delay, " < ", lookahead_, ")");
+    scheduleImpl(now() + delay, std::move(fn), false, kMachineLane);
 }
 
 EventId
 Engine::scheduleDaemon(Cycles delay, Event fn)
 {
-    return scheduleImpl(now_ + delay, std::move(fn), true);
+    PLUS_ASSERT(curCtx().node == kMachineLane,
+                "daemon events are machine-lane only");
+    return scheduleImpl(now() + delay, std::move(fn), true, kMachineLane);
 }
 
 EventId
-Engine::scheduleImpl(Cycles when, Event fn, bool daemon)
+Engine::scheduleImpl(Cycles when, Event fn, bool daemon,
+                     std::uint16_t lane)
 {
+    PLUS_ASSERT(fn, "scheduling a null event");
+    if (par_ != nullptr) {
+        return par_->schedule(when, std::move(fn), daemon, lane);
+    }
     PLUS_ASSERT(when >= now_, "scheduling into the past: ", when, " < ",
                 now_);
-    PLUS_ASSERT(fn, "scheduling a null event");
     const std::uint32_t idx = slab_.allocate();
+    PLUS_ASSERT(idx <= kIdxMask, "event slab exceeds EventId index space");
     EventRecord& rec = slab_[idx];
     rec.fn = std::move(fn);
     rec.when = when;
-    rec.seq = nextSeq_++;
+    rec.schedWhen = now_;
+    rec.key2 = makeKey2();
+    rec.lane = lane;
     rec.daemon = daemon;
     const EventId id =
         (static_cast<EventId>(rec.gen) << 32U) | static_cast<EventId>(idx);
-    if (impl_ == EngineImpl::Wheel) {
-        wheel_.insert(idx);
-    } else {
+    if (impl_ == EngineImpl::Heap) {
         rec.home = EventRecord::kHomeHeap;
-        heap_.push(HeapEntry{when, rec.seq, idx, rec.gen});
+        heap_.push(HeapEntry{rec.key(), idx, rec.gen});
+    } else {
+        wheel_.insert(idx);
     }
     ++pending_;
     if (daemon) {
@@ -87,16 +163,24 @@ Engine::cancel(EventId id)
     if (id == kInvalidEvent) {
         return false;
     }
-    const auto idx = static_cast<std::uint32_t>(id & 0xffffffffU);
+    const auto low = static_cast<std::uint32_t>(id & 0xffffffffU);
     const auto gen = static_cast<std::uint32_t>(id >> 32U);
-    if (gen == 0 || idx >= slab_.size()) {
+    const std::uint32_t domain = low >> kEventIdxBits;
+    const std::uint32_t idx = low & kIdxMask;
+    if (gen == 0) {
+        return false;
+    }
+    if (par_ != nullptr) {
+        return par_->cancel(domain, idx, gen);
+    }
+    if (domain != 0 || idx >= slab_.size()) {
         return false;
     }
     EventRecord& rec = slab_[idx];
     if (rec.gen != gen || rec.home == EventRecord::kHomeFree) {
         return false; // already fired, already cancelled, or recycled
     }
-    if (impl_ == EngineImpl::Wheel) {
+    if (impl_ != EngineImpl::Heap) {
         wheel_.remove(idx);
     }
     // Heap backend: the HeapEntry goes stale and is skipped on pop
@@ -120,7 +204,7 @@ Engine::nextFromHeap(Cycles limit)
             heap_.pop(); // cancelled; the record was already recycled
             continue;
         }
-        if (top.when > limit) {
+        if (top.key.when > limit) {
             return kNilRecord;
         }
         heap_.pop();
@@ -129,12 +213,24 @@ Engine::nextFromHeap(Cycles limit)
     return kNilRecord;
 }
 
+void
+Engine::enterEventContext(const EventRecord& rec, SchedCtx& ctx)
+{
+    ctx.node = rec.lane;
+    ctx.child = 0;
+    ctx.emit = 0;
+    ctx.init = false;
+    if (rec.lane != kMachineLane) {
+        ctx.step = ++execStep_[rec.lane];
+    }
+}
+
 bool
 Engine::dispatchNext(Cycles limit)
 {
-    const std::uint32_t idx = impl_ == EngineImpl::Wheel
-                                  ? wheel_.extractNext(limit)
-                                  : nextFromHeap(limit);
+    const std::uint32_t idx = impl_ == EngineImpl::Heap
+                                  ? nextFromHeap(limit)
+                                  : wheel_.extractNext(limit);
     if (idx == kNilRecord) {
         return false;
     }
@@ -144,6 +240,7 @@ Engine::dispatchNext(Cycles limit)
     if (rec.daemon) {
         --daemonPending_;
     }
+    enterEventContext(rec, ctx_);
     // Free before invoking: the callback may reschedule into this very
     // slot, and cancel() of the now-fired id must report false.
     slab_.free(idx);
@@ -151,34 +248,78 @@ Engine::dispatchNext(Cycles limit)
     now_ = when;
     ++executed_;
     fn();
+    ctx_.node = kMachineLane;
+    ctx_.init = false;
     return true;
 }
 
 void
 Engine::run()
 {
-    // Daemon events execute interleaved with ordinary work but must not
-    // keep the loop spinning on their own, so the exit check looks at
-    // the ordinary count, not the raw queue.
-    stopping_ = false;
-    while (!stopping_ && pending_ > daemonPending_ &&
-           dispatchNext(~Cycles{0})) {
-    }
+    runUntil(~Cycles{0});
 }
 
 void
 Engine::runUntil(Cycles limit)
 {
-    stopping_ = false;
-    while (!stopping_ && pending_ > daemonPending_ &&
-           dispatchNext(limit)) {
+    stopping_.store(false, std::memory_order_relaxed);
+    if (par_ != nullptr) {
+        par_->run(limit);
+        return;
+    }
+    // Daemon events execute interleaved with ordinary work but must not
+    // keep the loop spinning on their own, so the exit check looks at
+    // the ordinary count, not the raw queue.
+    while (!stopping_.load(std::memory_order_relaxed) &&
+           pending_ > daemonPending_ && dispatchNext(limit)) {
     }
 }
 
 bool
 Engine::step()
 {
+    PLUS_ASSERT(par_ == nullptr,
+                "step() is not supported on the parallel backend");
     return dispatchNext(~Cycles{0});
+}
+
+std::size_t
+Engine::pendingEvents() const
+{
+    std::size_t n = pending_ - daemonPending_;
+    if (par_ != nullptr) {
+        n += par_->domainPending();
+    }
+    return n;
+}
+
+std::uint64_t
+Engine::executedEvents() const
+{
+    std::uint64_t n = executed_;
+    if (par_ != nullptr) {
+        n += par_->domainExecuted();
+    }
+    return n;
+}
+
+Engine::SchedCtx&
+Engine::parCtx()
+{
+    SchedCtx* bound = par_->boundCtx();
+    return bound != nullptr ? *bound : ctx_;
+}
+
+Cycles
+Engine::parNow() const
+{
+    return par_->boundNow(now_);
+}
+
+void
+Engine::deferParallel(Event fn)
+{
+    par_->defer(std::move(fn));
 }
 
 EngineStats
@@ -192,6 +333,9 @@ Engine::stats() const
     s.slabLive = slab_.live();
     s.slabHighWater = slab_.highWater();
     s.slabSlots = slab_.size();
+    if (par_ != nullptr) {
+        par_->addStats(s);
+    }
     return s;
 }
 

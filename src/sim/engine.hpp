@@ -2,25 +2,41 @@
  * @file
  * Discrete-event simulation engine.
  *
- * The whole PLUS machine is simulated by one single-threaded event
- * loop. Components schedule closures at future cycles; ties are
- * broken by insertion order so runs are fully deterministic.
+ * The whole PLUS machine is simulated by an event loop. Components
+ * schedule closures at future cycles; ties are broken by a canonical
+ * *partition-independent* key derived from the scheduling context
+ * (see sim::EventKey), so runs are fully deterministic and every
+ * backend realises the same total order.
  *
  * Internally events live in a slab of reusable records (no per-event
  * heap allocation: the callable is a `sim::Event` with inline capture
  * storage) ordered by a hierarchical timing wheel — O(1) schedule,
  * cancel and dispatch for the short fixed delays that dominate the
  * simulation. The pre-wheel `std::priority_queue` backend is kept
- * behind `PLUS_ENGINE=heap` as a determinism oracle: both backends
- * execute events in identical (when, seq) order, and CI diffs their
- * bench output byte-for-byte (see docs/PERF.md).
+ * behind `PLUS_ENGINE=heap` as a determinism oracle, and
+ * `PLUS_ENGINE=parallel` runs a conservatively synchronised
+ * multi-threaded backend (one timing wheel per spatial domain, window
+ * bound = min pending key + lookahead) that must execute the exact
+ * same event order — CI diffs all three byte-for-byte (docs/PERF.md).
+ *
+ * Scheduling contexts and lanes: every event carries a *lane* — the
+ * node it executes at, or kMachineLane for machine-level work. The
+ * lane decides the scheduling context its callback runs under (which
+ * keys the callback's own schedules) and, under the parallel backend,
+ * which domain dispatches it. Plain schedule() inherits the current
+ * lane; scheduleForNode()/scheduleMachine() override it, and
+ * withNodeContext() brackets machine-side code that seeds events into
+ * a node's lane (processor start, page-copy kickoff).
  */
 
 #ifndef PLUS_SIM_ENGINE_HPP_
 #define PLUS_SIM_ENGINE_HPP_
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <queue>
+#include <utility>
 #include <vector>
 
 #include "common/types.hpp"
@@ -31,21 +47,36 @@
 namespace plus {
 namespace sim {
 
+class ParallelEngine;
+
 /**
  * Handle identifying a scheduled event, usable for cancellation.
- * Encodes (generation << 32 | slab slot); stale handles — including
- * those of events that already fired — are rejected in O(1).
+ * Encodes (generation << 32 | domain << 26 | slab slot); stale
+ * handles — including those of events that already fired — are
+ * rejected in O(1). Cross-domain schedules under the parallel backend
+ * return kInvalidEvent (they cannot be cancelled; no caller needs to).
  */
 using EventId = std::uint64_t;
 
 /** Sentinel meaning "no event". */
 inline constexpr EventId kInvalidEvent = 0;
 
+/** Bit layout of EventId below the generation. */
+inline constexpr unsigned kEventIdxBits = 26;
+inline constexpr unsigned kEventDomainBits = 6;
+/** Domain tag for the global (machine) lane in EventIds. */
+inline constexpr std::uint32_t kGlobalDomain =
+    (1U << kEventDomainBits) - 1;
+
 /** Which event-queue backend an Engine runs on. */
 enum class EngineImpl {
-    Wheel, ///< hierarchical timing wheel (default)
-    Heap,  ///< legacy priority queue, kept as a determinism oracle
+    Wheel,    ///< hierarchical timing wheel (default)
+    Heap,     ///< legacy priority queue, kept as a determinism oracle
+    Parallel, ///< conservative multi-threaded wheels (PLUS_ENGINE=parallel)
 };
+
+/** The backend named by PLUS_ENGINE (Wheel when unset/unknown). */
+EngineImpl implFromEnv();
 
 /** Counters describing engine health (exported as sim.* metrics). */
 struct EngineStats {
@@ -53,6 +84,8 @@ struct EngineStats {
     std::uint64_t executed = 0;     ///< events dispatched
     std::uint64_t cancelled = 0;    ///< successful cancel() calls
     std::uint64_t cascades = 0;     ///< wheel slot redistributions
+    std::uint64_t windows = 0;      ///< parallel synchronisation windows
+    std::uint64_t mailed = 0;       ///< cross-domain mailbox handoffs
     std::size_t slabLive = 0;       ///< records currently allocated
     std::size_t slabHighWater = 0;  ///< peak simultaneous records
     std::size_t slabSlots = 0;      ///< slab capacity (bounded by peak)
@@ -62,7 +95,7 @@ struct EngineStats {
 class Engine
 {
   public:
-    /** Backend chosen by the PLUS_ENGINE env var ("heap" | "wheel"). */
+    /** Backend chosen by PLUS_ENGINE ("heap" | "wheel" | "parallel"). */
     Engine();
     explicit Engine(EngineImpl impl);
     ~Engine();
@@ -70,14 +103,56 @@ class Engine
     Engine(const Engine&) = delete;
     Engine& operator=(const Engine&) = delete;
 
-    /** Current simulated time in cycles. */
-    Cycles now() const { return now_; }
+    /**
+     * Current simulated time in cycles. Under the parallel backend a
+     * worker thread sees its own domain's clock (and, during deferred
+     * side-effect replay, the emitting event's time), so observers and
+     * telemetry stamp identically to the serial backends.
+     */
+    Cycles
+    now() const
+    {
+        return par_ == nullptr ? now_ : parNow();
+    }
+
+    /**
+     * Declare the node-lane space and worker-thread count. Must be
+     * called before any withNodeContext()/scheduleForNode() use; the
+     * Machine calls it right after constructing the engine. @p threads
+     * is clamped to [1, nodes] and only matters to the parallel
+     * backend (each thread owns one contiguous spatial domain).
+     */
+    void configure(unsigned nodes, unsigned threads);
+
+    /**
+     * Conservative lookahead: the minimum cross-node latency of the
+     * network. The parallel backend executes windows of events with
+     * `key < min pending key + lookahead`; cross-domain schedules must
+     * always be at least this far in the future. Also the delay the
+     * Machine applies to node-triggered machine ops so they execute
+     * stop-the-world. Must be >= 1 before a parallel run with more
+     * than one domain.
+     */
+    void setLookahead(Cycles lookahead) { lookahead_ = lookahead; }
+    Cycles lookahead() const { return lookahead_; }
+
+    unsigned nodes() const { return nodes_; }
+    unsigned threads() const { return threads_; }
 
     /** Schedule @p fn to run @p delay cycles from now. */
-    EventId schedule(Cycles delay, Event fn);
+    EventId
+    schedule(Cycles delay, Event fn)
+    {
+        return scheduleImpl(now() + delay, std::move(fn), false,
+                            curCtx().node);
+    }
 
     /** Schedule @p fn at absolute cycle @p when (must be >= now). */
-    EventId scheduleAt(Cycles when, Event fn);
+    EventId
+    scheduleAt(Cycles when, Event fn)
+    {
+        return scheduleImpl(when, std::move(fn), false, curCtx().node);
+    }
 
     /**
      * Schedule a daemon event (cf. Unix daemon threads): it executes
@@ -86,9 +161,70 @@ class Engine
      * events are pending, without executing them or advancing now().
      * For periodic observers (the forward-progress watchdog) that must
      * never stretch a run to their own next deadline. Excluded from
-     * pendingEvents(); cancel() works normally.
+     * pendingEvents(); cancel() works normally. Machine lane only.
      */
     EventId scheduleDaemon(Cycles delay, Event fn);
+
+    /**
+     * Schedule @p fn into node @p node's lane. The key still comes
+     * from the *current* context (deterministic regardless of
+     * partitioning); only the execution lane is overridden. Under the
+     * parallel backend a cross-domain target goes through a mailbox
+     * and returns kInvalidEvent; the delay must then be at least the
+     * lookahead (network hop latencies guarantee this).
+     */
+    EventId scheduleForNode(NodeId node, Cycles delay, Event fn);
+
+    /**
+     * Schedule machine-lane work from node context. Under the parallel
+     * backend machine-lane events execute stop-the-world between
+     * windows; @p delay must be >= lookahead() so the event lands
+     * beyond the current window bound. The serial backends execute it
+     * identically (same key, same order), so behaviour never forks.
+     */
+    void scheduleMachine(Cycles delay, Event fn);
+
+    /**
+     * Run machine-side code in node @p node's scheduling context, so
+     * the events it seeds (processor dispatch, page-copy service) get
+     * node-deterministic keys and land in the node's lane.
+     */
+    template <typename F>
+    auto
+    withNodeContext(NodeId node, F&& f)
+    {
+        PLUS_ASSERT(node < nodes_, "node context ", node,
+                    " outside configured lanes (", nodes_, ")");
+        SchedCtx& c = curCtx();
+        const SchedCtx saved = c;
+        c.node = static_cast<std::uint16_t>(node);
+        c.init = true;
+        struct Restore {
+            SchedCtx& c;
+            const SchedCtx& saved;
+            ~Restore() { c = saved; }
+        } restore{c, saved};
+        return std::forward<F>(f)();
+    }
+
+    /**
+     * Run @p fn "now" from the perspective of observable side effects.
+     * On the serial backends (and outside parallel windows) this is an
+     * immediate inline call. Inside a parallel window the closure is
+     * buffered and replayed by the coordinator in global key order
+     * with now() overridden to the emitting event's time — this is how
+     * checker hooks, telemetry and shared statistics stay byte-
+     * identical to serial execution without any locking.
+     */
+    void
+    defer(Event fn)
+    {
+        if (par_ == nullptr) {
+            fn();
+        } else {
+            deferParallel(std::move(fn));
+        }
+    }
 
     /**
      * Cancel a previously scheduled event.
@@ -107,31 +243,71 @@ class Engine
      */
     void runUntil(Cycles limit);
 
-    /** Execute at most one event. @return false if the queue was empty. */
+    /** Execute at most one event. @return false if the queue was empty.
+     *  Serial backends only. */
     bool step();
 
-    /** Request that run() return after the current event. */
-    void stop() { stopping_ = true; }
+    /**
+     * Request that run() return. Serial backends return after the
+     * current event; the parallel backend finishes the current window
+     * first (stop() is the one asynchronous entry point, so this is
+     * the one place wall-clock parallelism is allowed to show).
+     */
+    void stop() { stopping_.store(true, std::memory_order_relaxed); }
 
     /**
      * Number of ordinary events pending (exact; cancelled events leave,
      * daemon events never count — they represent no work of their own).
      */
-    std::size_t pendingEvents() const { return pending_ - daemonPending_; }
+    std::size_t pendingEvents() const;
 
     /** Total events executed since construction. */
-    std::uint64_t executedEvents() const { return executed_; }
+    std::uint64_t executedEvents() const;
 
     /** The backend this engine runs on. */
     EngineImpl impl() const { return impl_; }
 
+    /**
+     * Whether the multi-threaded parallel backend is actually live
+     * (Parallel impl, configured with more than one domain). The
+     * Machine uses this to interpose the deferring observer wrappers
+     * only when worker threads exist.
+     */
+    bool parallelActive() const { return par_ != nullptr; }
+
     /** Engine health counters for telemetry. */
     EngineStats stats() const;
 
+    /** Executing lane: a node id, or kMachineLane in machine context. */
+    std::uint16_t currentLane() const { return curCtx().node; }
+
+    /**
+     * Index for per-lane statistic shards: the executing node, or
+     * nodes() for machine context. Two events never execute in the
+     * same lane concurrently, so lane-sharded counters need no atomics
+     * and their totals are exact in every backend.
+     */
+    std::size_t
+    shardIndex() const
+    {
+        const std::uint16_t lane = curCtx().node;
+        return lane == kMachineLane ? nodes_ : lane;
+    }
+
+    /** Context events are scheduled from; the source of EventKeys. */
+    struct SchedCtx {
+        std::uint16_t node = kMachineLane; ///< ambient lane
+        std::uint32_t step = 0;            ///< executing event's step
+        std::uint16_t child = 0;           ///< next child index
+        std::uint16_t emit = 0;            ///< next deferred-effect index
+        bool init = false;                 ///< inside withNodeContext()
+    };
+
   private:
+    friend class ParallelEngine;
+
     struct HeapEntry {
-        Cycles when;
-        std::uint64_t seq;
+        EventKey key;
         std::uint32_t idx;
         std::uint32_t gen;
     };
@@ -140,17 +316,34 @@ class Engine
         bool
         operator()(const HeapEntry& a, const HeapEntry& b) const
         {
-            // Earliest time first; FIFO among equal times.
-            if (a.when != b.when) {
-                return a.when > b.when;
-            }
-            return a.seq > b.seq;
+            return b.key < a.key;
         }
     };
 
-    EventId scheduleImpl(Cycles when, Event fn, bool daemon);
+    EventId scheduleImpl(Cycles when, Event fn, bool daemon,
+                         std::uint16_t lane);
+    /** Canonical key tiebreak from the current scheduling context. */
+    std::uint64_t makeKey2();
+    /** Set the dispatch context for a record about to execute. */
+    void enterEventContext(const EventRecord& rec, SchedCtx& ctx);
     bool dispatchNext(Cycles limit);
     std::uint32_t nextFromHeap(Cycles limit);
+
+    SchedCtx&
+    curCtx()
+    {
+        return par_ == nullptr ? ctx_ : parCtx();
+    }
+
+    const SchedCtx&
+    curCtx() const
+    {
+        return const_cast<Engine*>(this)->curCtx();
+    }
+
+    SchedCtx& parCtx();
+    Cycles parNow() const;
+    void deferParallel(Event fn);
 
     EventSlab slab_;
     TimingWheel wheel_{slab_};
@@ -158,13 +351,20 @@ class Engine
         heap_;
     EngineImpl impl_;
     Cycles now_ = 0;
-    std::uint64_t nextSeq_ = 0;
+    Cycles lookahead_ = 0;
+    unsigned nodes_ = 0;
+    unsigned threads_ = 1;
+    SchedCtx ctx_;
+    std::uint32_t machineSeq_ = 0;
+    std::vector<std::uint32_t> initStep_;
+    std::vector<std::uint32_t> execStep_;
     std::uint64_t executed_ = 0;
     std::uint64_t scheduledTotal_ = 0;
     std::uint64_t cancelledTotal_ = 0;
     std::size_t pending_ = 0;
     std::size_t daemonPending_ = 0;
-    bool stopping_ = false;
+    std::atomic<bool> stopping_{false};
+    std::unique_ptr<ParallelEngine> par_;
 };
 
 } // namespace sim

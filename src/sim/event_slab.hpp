@@ -47,6 +47,42 @@ namespace sim {
 /** Null link / "no record" index. */
 inline constexpr std::uint32_t kNilRecord = 0xffffffffU;
 
+/**
+ * Execution lane of an event: the node whose context it runs in, or
+ * kMachineLane for machine-level events (config scripts, watchdog,
+ * page-management ops). Lanes drive two things: the scheduling context
+ * an event executes under (which in turn keys its children), and —
+ * under the parallel backend — which spatial domain dispatches it.
+ */
+inline constexpr std::uint16_t kMachineLane = 0xffff;
+
+/**
+ * Canonical, partition-independent dispatch key. Events execute in
+ * ascending (when, schedWhen, key2) order in *every* backend; the key
+ * is derived purely from the scheduling context (which node/machine
+ * scheduled it, that context's execution step, and a per-context child
+ * counter), never from global insertion order, so the serial wheel,
+ * the heap oracle and every parallel partitioning realise the same
+ * total order. `key2` packs `schedNode:16 | step:32 | child:16`.
+ */
+struct EventKey {
+    Cycles when = 0;       ///< due cycle
+    Cycles schedWhen = 0;  ///< cycle the schedule() call happened
+    std::uint64_t key2 = 0;
+
+    friend constexpr bool
+    operator<(const EventKey& a, const EventKey& b)
+    {
+        if (a.when != b.when) {
+            return a.when < b.when;
+        }
+        if (a.schedWhen != b.schedWhen) {
+            return a.schedWhen < b.schedWhen;
+        }
+        return a.key2 < b.key2;
+    }
+};
+
 /** One scheduled (or free) event: callable + timing + intrusive links. */
 struct EventRecord {
     /** `home` for a record on the slab free list. */
@@ -58,12 +94,16 @@ struct EventRecord {
 
     Event fn;                           ///< poisoned while the slot is free
     Cycles when = 0;                    ///< absolute due cycle
-    std::uint64_t seq = 0;              ///< global insertion order
+    Cycles schedWhen = 0;               ///< cycle it was scheduled at
+    std::uint64_t key2 = 0;             ///< context tiebreak (see EventKey)
     std::uint32_t gen = 1;              ///< bumped on free; never 0
     std::uint32_t next = kNilRecord;    ///< slot list / free list link
     std::uint32_t prev = kNilRecord;    ///< slot list back link
     std::uint16_t home = kHomeFree;     ///< wheel slot index or kHome*
+    std::uint16_t lane = kMachineLane;  ///< executing node or kMachineLane
     bool daemon = false;                ///< does not keep run() alive
+
+    EventKey key() const { return EventKey{when, schedWhen, key2}; }
 };
 
 /** Chunked, address-stable pool of EventRecords with a free list. */

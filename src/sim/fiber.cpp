@@ -25,8 +25,8 @@ namespace sim {
 
 namespace {
 
-/** Fiber currently executing (single-threaded simulator). */
-Fiber* currentFiber = nullptr;
+/** Fiber currently executing on this thread (one domain per thread). */
+thread_local Fiber* currentFiber = nullptr;
 
 /** Thrown from yield() to unwind a fiber being cancelled. */
 struct Cancelled {};

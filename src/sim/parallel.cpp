@@ -1,0 +1,612 @@
+#include "sim/parallel.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/panic.hpp"
+
+namespace plus {
+namespace sim {
+
+namespace {
+
+/**
+ * Per-thread binding to the domain currently executing a window.
+ * Unbound (owner == nullptr) means machine context: the coordinator
+ * between windows, or any thread of a different engine.
+ */
+struct Bind {
+    const void* owner = nullptr;
+    void* domain = nullptr;
+};
+
+thread_local Bind t_bind; // NOLINT(cppcoreguidelines-avoid-non-const-global-variables)
+
+inline void
+cpuRelax()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#elif defined(__aarch64__)
+    asm volatile("yield" ::: "memory");
+#endif
+}
+
+constexpr std::uint32_t kIdxMask = (1U << kEventIdxBits) - 1;
+
+constexpr EventKey kMaxKey{~Cycles{0}, ~Cycles{0}, ~std::uint64_t{0}};
+
+} // namespace
+
+ParallelEngine::Domain::Domain(unsigned idx, unsigned domains)
+    : index(idx), outbox(domains + 1)
+{
+}
+
+ParallelEngine::ParallelEngine(Engine& host, unsigned threads)
+    : host_(host), domainCount_(threads)
+{
+    PLUS_ASSERT(domainCount_ >= 2 && domainCount_ < kGlobalDomain,
+                "parallel engine needs 2..", kGlobalDomain - 1,
+                " domains, got ", domainCount_);
+    PLUS_ASSERT(host_.nodes_ >= domainCount_,
+                "fewer nodes than domains");
+    domains_.reserve(domainCount_);
+    for (unsigned i = 0; i < domainCount_; ++i) {
+        domains_.push_back(std::make_unique<Domain>(i, domainCount_));
+    }
+    domainNext_.assign(domainCount_, EventKey{});
+    domainHasNext_.assign(domainCount_, 0);
+}
+
+ParallelEngine::~ParallelEngine()
+{
+    shutdownWorkers();
+}
+
+void
+ParallelEngine::startWorkers()
+{
+    if (!workers_.empty()) {
+        return;
+    }
+    workers_.reserve(domainCount_ - 1);
+    for (unsigned i = 1; i < domainCount_; ++i) {
+        workers_.emplace_back([this, i] { workerLoop(i); });
+    }
+}
+
+void
+ParallelEngine::shutdownWorkers()
+{
+    if (workers_.empty()) {
+        return;
+    }
+    awaitArrivals();
+    signal(Cmd::Exit);
+    for (std::thread& t : workers_) {
+        t.join();
+    }
+    workers_.clear();
+}
+
+void
+ParallelEngine::workerLoop(unsigned index)
+{
+    Domain& d = *domains_[index];
+    std::uint64_t seen = 0;
+    for (;;) {
+        arrived_.fetch_add(1, std::memory_order_release);
+        awaitEpoch(seen);
+        if (cmd_ == Cmd::Exit) {
+            return;
+        }
+        executeWindow(d, bound_);
+    }
+}
+
+void
+ParallelEngine::awaitArrivals()
+{
+    const unsigned want = static_cast<unsigned>(workers_.size());
+    for (int spin = 0;
+         arrived_.load(std::memory_order_acquire) < want; ++spin) {
+        if (spin < 4096) {
+            cpuRelax();
+        } else {
+            std::this_thread::yield();
+        }
+    }
+}
+
+void
+ParallelEngine::signal(Cmd cmd)
+{
+    cmd_ = cmd;
+    arrived_.store(0, std::memory_order_relaxed);
+    epoch_.fetch_add(1, std::memory_order_acq_rel);
+    if (sleepers_.load(std::memory_order_acquire) > 0) {
+        const std::lock_guard<std::mutex> lock(gateMutex_);
+        gateCv_.notify_all();
+    }
+}
+
+void
+ParallelEngine::awaitEpoch(std::uint64_t& seen)
+{
+    const std::uint64_t target = seen + 1;
+    for (int spin = 0; spin < 20000; ++spin) {
+        if (epoch_.load(std::memory_order_acquire) >= target) {
+            seen = target;
+            return;
+        }
+        cpuRelax();
+    }
+    for (int spin = 0; spin < 256; ++spin) {
+        if (epoch_.load(std::memory_order_acquire) >= target) {
+            seen = target;
+            return;
+        }
+        std::this_thread::yield();
+    }
+    std::unique_lock<std::mutex> lock(gateMutex_);
+    sleepers_.fetch_add(1, std::memory_order_release);
+    gateCv_.wait(lock, [&] {
+        return epoch_.load(std::memory_order_acquire) >= target;
+    });
+    sleepers_.fetch_sub(1, std::memory_order_release);
+    seen = target;
+}
+
+Engine::SchedCtx*
+ParallelEngine::boundCtx()
+{
+    if (t_bind.owner != this) {
+        return nullptr;
+    }
+    return &static_cast<Domain*>(t_bind.domain)->ctx;
+}
+
+Cycles
+ParallelEngine::boundNow(Cycles hostNow) const
+{
+    if (t_bind.owner != this) {
+        return hostNow;
+    }
+    return static_cast<const Domain*>(t_bind.domain)->now;
+}
+
+void
+ParallelEngine::defer(Event fn)
+{
+    if (t_bind.owner != this) {
+        fn(); // machine context: side effects are already in key order
+        return;
+    }
+    Domain& d = *static_cast<Domain*>(t_bind.domain);
+    d.deferred.push_back(
+        Deferred{d.curKey, d.ctx.emit++, std::move(fn)});
+}
+
+EventId
+ParallelEngine::insertDomain(Domain& d, Cycles when, Event fn,
+                             Cycles schedWhen, std::uint64_t key2,
+                             std::uint16_t lane)
+{
+    const std::uint32_t idx = d.slab.allocate();
+    PLUS_ASSERT(idx <= kIdxMask, "event slab exceeds EventId index space");
+    EventRecord& rec = d.slab[idx];
+    rec.fn = std::move(fn);
+    rec.when = when;
+    rec.schedWhen = schedWhen;
+    rec.key2 = key2;
+    rec.lane = lane;
+    rec.daemon = false;
+    d.wheel.insert(idx);
+    ++d.pending;
+    ++d.scheduled;
+    return (static_cast<EventId>(rec.gen) << 32U) |
+           (static_cast<EventId>(d.index) << kEventIdxBits) |
+           static_cast<EventId>(idx);
+}
+
+EventId
+ParallelEngine::schedule(Cycles when, Event fn, bool daemon,
+                         std::uint16_t lane)
+{
+    if (t_bind.owner == this) {
+        // Worker context, inside a window.
+        Domain& d = *static_cast<Domain*>(t_bind.domain);
+        PLUS_ASSERT(when >= d.now, "scheduling into the past: ", when,
+                    " < ", d.now);
+        PLUS_ASSERT(!daemon, "daemon events are machine-lane only");
+        const Cycles schedWhen = d.now;
+        const std::uint64_t key2 = host_.makeKey2();
+        if (lane == kMachineLane) {
+            d.outbox[domainCount_].push_back(
+                Mail{when, schedWhen, key2, lane, std::move(fn)});
+            ++d.mailed;
+            return kInvalidEvent;
+        }
+        const unsigned dst = domainOf(lane);
+        if (dst == d.index) {
+            return insertDomain(d, when, std::move(fn), schedWhen, key2,
+                                lane);
+        }
+        PLUS_ASSERT(when >= d.now + host_.lookahead_,
+                    "cross-domain schedule below the lookahead: ", when,
+                    " < ", d.now, " + ", host_.lookahead_);
+        d.outbox[dst].push_back(
+            Mail{when, schedWhen, key2, lane, std::move(fn)});
+        ++d.mailed;
+        return kInvalidEvent;
+    }
+
+    // Machine context: the world is stopped, insert directly.
+    PLUS_ASSERT(when >= host_.now_, "scheduling into the past: ", when,
+                " < ", host_.now_);
+    const Cycles schedWhen = host_.now_;
+    const std::uint64_t key2 = host_.makeKey2();
+    if (lane != kMachineLane) {
+        PLUS_ASSERT(!daemon, "daemon events are machine-lane only");
+        Domain& d = *domains_[domainOf(lane)];
+        const EventId id =
+            insertDomain(d, when, std::move(fn), schedWhen, key2, lane);
+        const EventKey key{when, schedWhen, key2};
+        if (domainHasNext_[d.index] == 0 || key < domainNext_[d.index]) {
+            domainNext_[d.index] = key;
+            domainHasNext_[d.index] = 1;
+        }
+        return id;
+    }
+    const std::uint32_t idx = host_.slab_.allocate();
+    PLUS_ASSERT(idx <= kIdxMask, "event slab exceeds EventId index space");
+    EventRecord& rec = host_.slab_[idx];
+    rec.fn = std::move(fn);
+    rec.when = when;
+    rec.schedWhen = schedWhen;
+    rec.key2 = key2;
+    rec.lane = kMachineLane;
+    rec.daemon = daemon;
+    host_.wheel_.insert(idx);
+    ++host_.pending_;
+    if (daemon) {
+        ++host_.daemonPending_;
+    }
+    ++host_.scheduledTotal_;
+    return (static_cast<EventId>(rec.gen) << 32U) |
+           (static_cast<EventId>(kGlobalDomain) << kEventIdxBits) |
+           static_cast<EventId>(idx);
+}
+
+bool
+ParallelEngine::cancel(std::uint32_t domain, std::uint32_t idx,
+                       std::uint32_t gen)
+{
+    if (domain == kGlobalDomain) {
+        PLUS_ASSERT(t_bind.owner != this,
+                    "machine-lane cancel from a worker window");
+        if (idx >= host_.slab_.size()) {
+            return false;
+        }
+        EventRecord& rec = host_.slab_[idx];
+        if (rec.gen != gen || rec.home == EventRecord::kHomeFree) {
+            return false;
+        }
+        host_.wheel_.remove(idx);
+        if (rec.daemon) {
+            --host_.daemonPending_;
+        }
+        host_.slab_.free(idx);
+        --host_.pending_;
+        ++host_.cancelledTotal_;
+        return true;
+    }
+    if (domain >= domainCount_) {
+        return false;
+    }
+    Domain& d = *domains_[domain];
+    PLUS_ASSERT(t_bind.owner != this || t_bind.domain == &d,
+                "cross-domain cancel");
+    if (idx >= d.slab.size()) {
+        return false;
+    }
+    EventRecord& rec = d.slab[idx];
+    if (rec.gen != gen || rec.home == EventRecord::kHomeFree) {
+        return false;
+    }
+    d.wheel.remove(idx);
+    d.slab.free(idx);
+    --d.pending;
+    ++d.cancelled;
+    return true;
+}
+
+bool
+ParallelEngine::peek(TimingWheel& wheel, EventSlab& slab, EventKey& out)
+{
+    const std::uint32_t idx = wheel.extractNext(~Cycles{0});
+    if (idx == kNilRecord) {
+        return false;
+    }
+    out = slab[idx].key();
+    wheel.insert(idx);
+    return true;
+}
+
+void
+ParallelEngine::replayDeferred()
+{
+    std::vector<Deferred> all;
+    for (auto& dp : domains_) {
+        if (dp->deferred.empty()) {
+            continue;
+        }
+        all.insert(all.end(),
+                   std::make_move_iterator(dp->deferred.begin()),
+                   std::make_move_iterator(dp->deferred.end()));
+        dp->deferred.clear();
+    }
+    if (all.empty()) {
+        return;
+    }
+    std::sort(all.begin(), all.end(),
+              [](const Deferred& a, const Deferred& b) {
+                  if (a.key < b.key) {
+                      return true;
+                  }
+                  if (b.key < a.key) {
+                      return false;
+                  }
+                  return a.emit < b.emit;
+              });
+    // Replay with now() tracking the emitting event, so checker trace
+    // entries and telemetry stamps match the serial backends exactly.
+    const Cycles saved = host_.now_;
+    for (Deferred& e : all) {
+        host_.now_ = e.key.when;
+        e.fn();
+    }
+    host_.now_ = std::max(saved, all.back().key.when);
+}
+
+void
+ParallelEngine::insertMail(Domain& d, Mail m)
+{
+    const std::uint32_t idx = d.slab.allocate();
+    PLUS_ASSERT(idx <= kIdxMask, "event slab exceeds EventId index space");
+    EventRecord& rec = d.slab[idx];
+    rec.fn = std::move(m.fn);
+    rec.when = m.when;
+    rec.schedWhen = m.schedWhen;
+    rec.key2 = m.key2;
+    rec.lane = m.lane;
+    rec.daemon = false;
+    d.wheel.insert(idx);
+    ++d.pending;
+    ++d.scheduled;
+}
+
+void
+ParallelEngine::drainMail()
+{
+    for (auto& sp : domains_) {
+        Domain& src = *sp;
+        for (unsigned dst = 0; dst < domainCount_; ++dst) {
+            auto& box = src.outbox[dst];
+            if (box.empty()) {
+                continue;
+            }
+            for (Mail& m : box) {
+                insertMail(*domains_[dst], std::move(m));
+            }
+            box.clear();
+        }
+        auto& machineBox = src.outbox[domainCount_];
+        for (Mail& m : machineBox) {
+            const std::uint32_t idx = host_.slab_.allocate();
+            PLUS_ASSERT(idx <= kIdxMask,
+                        "event slab exceeds EventId index space");
+            EventRecord& rec = host_.slab_[idx];
+            rec.fn = std::move(m.fn);
+            rec.when = m.when;
+            rec.schedWhen = m.schedWhen;
+            rec.key2 = m.key2;
+            rec.lane = kMachineLane;
+            rec.daemon = false;
+            host_.wheel_.insert(idx);
+            ++host_.pending_;
+            ++host_.scheduledTotal_;
+        }
+        machineBox.clear();
+    }
+}
+
+void
+ParallelEngine::rethrowWorkerError()
+{
+    int bad = -1;
+    for (unsigned i = 0; i < domainCount_; ++i) {
+        if (domains_[i]->error == nullptr) {
+            continue;
+        }
+        if (bad < 0 ||
+            domains_[i]->errorKey < domains_[bad]->errorKey) {
+            bad = static_cast<int>(i);
+        }
+    }
+    if (bad < 0) {
+        return;
+    }
+    // The erroring domains executed the same per-domain prefix the
+    // serial engine would have, so the minimum-key error is exactly
+    // the one a serial run hits first.
+    const std::exception_ptr err = domains_[bad]->error;
+    for (auto& dp : domains_) {
+        dp->error = nullptr;
+    }
+    shutdownWorkers();
+    std::rethrow_exception(err);
+}
+
+void
+ParallelEngine::executeWindow(Domain& d, EventKey bound)
+{
+    t_bind = Bind{this, &d};
+    try {
+        for (;;) {
+            const std::uint32_t idx = d.wheel.extractNext(bound.when);
+            if (idx == kNilRecord) {
+                break;
+            }
+            EventRecord& rec = d.slab[idx];
+            if (!(rec.key() < bound)) {
+                d.wheel.insert(idx); // at the bound cycle, past the key
+                break;
+            }
+            Event fn = std::move(rec.fn);
+            d.curKey = rec.key();
+            host_.enterEventContext(rec, d.ctx);
+            d.slab.free(idx);
+            --d.pending;
+            d.now = rec.when;
+            ++d.executed;
+            fn();
+        }
+    } catch (...) {
+        d.error = std::current_exception();
+        d.errorKey = d.curKey;
+    }
+    d.ctx.node = kMachineLane;
+    t_bind = Bind{};
+}
+
+void
+ParallelEngine::run(Cycles limit)
+{
+    PLUS_ASSERT(host_.lookahead_ >= 1,
+                "parallel run needs a lookahead >= 1 cycle (set from the "
+                "network's minimum cross-node latency)");
+    startWorkers();
+    for (;;) {
+        awaitArrivals();
+        rethrowWorkerError();
+        replayDeferred();
+        drainMail();
+        if (host_.stopping_.load(std::memory_order_relaxed)) {
+            break;
+        }
+
+        for (unsigned i = 0; i < domainCount_; ++i) {
+            Domain& d = *domains_[i];
+            domainHasNext_[i] =
+                peek(d.wheel, d.slab, domainNext_[i]) ? 1 : 0;
+        }
+
+        // Stop-the-world: execute machine-lane events that precede
+        // every domain event, exactly as the serial loop would.
+        bool done = false;
+        for (;;) {
+            std::size_t ordinary =
+                host_.pending_ - host_.daemonPending_;
+            for (const auto& dp : domains_) {
+                ordinary += dp->pending;
+            }
+            if (ordinary == 0) {
+                done = true;
+                break;
+            }
+            EventKey dmin = kMaxKey;
+            bool anyDomain = false;
+            for (unsigned i = 0; i < domainCount_; ++i) {
+                if (domainHasNext_[i] != 0 &&
+                    (!anyDomain || domainNext_[i] < dmin)) {
+                    dmin = domainNext_[i];
+                    anyDomain = true;
+                }
+            }
+            EventKey gk{};
+            const bool hasGlobal = peek(host_.wheel_, host_.slab_, gk);
+            EventKey m = dmin;
+            if (hasGlobal && (!anyDomain || gk < dmin)) {
+                m = gk;
+            }
+            PLUS_ASSERT(anyDomain || hasGlobal,
+                        "pending work but no pending events");
+            if (m.when > limit) {
+                done = true;
+                break;
+            }
+            if (hasGlobal && (!anyDomain || gk < dmin)) {
+                host_.dispatchNext(limit);
+                continue;
+            }
+
+            // Conservative window bound: nothing executed inside the
+            // window can create work below min + lookahead, and the
+            // next machine-lane event caps it from above.
+            EventKey bound{dmin.when >= ~Cycles{0} - host_.lookahead_
+                               ? ~Cycles{0}
+                               : dmin.when + host_.lookahead_,
+                           0, 0};
+            if (hasGlobal && gk < bound) {
+                bound = gk;
+            }
+            if (limit != ~Cycles{0} &&
+                EventKey{limit + 1, 0, 0} < bound) {
+                bound = EventKey{limit + 1, 0, 0};
+            }
+            bound_ = bound;
+            ++windows_;
+            signal(Cmd::Window);
+            executeWindow(*domains_[0], bound);
+            break;
+        }
+        if (done) {
+            break;
+        }
+    }
+    // now() after a run is the last executed event's time.
+    for (const auto& dp : domains_) {
+        host_.now_ = std::max(host_.now_, dp->now);
+    }
+}
+
+std::size_t
+ParallelEngine::domainPending() const
+{
+    std::size_t n = 0;
+    for (const auto& dp : domains_) {
+        n += dp->pending;
+    }
+    return n;
+}
+
+std::uint64_t
+ParallelEngine::domainExecuted() const
+{
+    std::uint64_t n = 0;
+    for (const auto& dp : domains_) {
+        n += dp->executed;
+    }
+    return n;
+}
+
+void
+ParallelEngine::addStats(EngineStats& s) const
+{
+    s.windows = windows_;
+    for (const auto& dp : domains_) {
+        s.scheduled += dp->scheduled;
+        s.executed += dp->executed;
+        s.cancelled += dp->cancelled;
+        s.cascades += dp->wheel.cascades();
+        s.mailed += dp->mailed;
+        s.slabLive += dp->slab.live();
+        s.slabHighWater += dp->slab.highWater();
+        s.slabSlots += dp->slab.size();
+    }
+}
+
+} // namespace sim
+} // namespace plus

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Conservative-parallel engine backend (PLUS_ENGINE=parallel).
+ *
+ * The mesh is partitioned into contiguous per-thread spatial domains,
+ * each with its own event slab and timing wheel. Execution proceeds in
+ * synchronisation windows: the coordinator (the thread that called
+ * run()) computes a conservative bound
+ *
+ *     B = min(min pending key + lookahead, next machine-lane key)
+ *
+ * where the lookahead is the minimum cross-node network latency, then
+ * every domain executes its events with key < B concurrently. Because
+ * any event an executing event can still create lands at least
+ * `lookahead` cycles in the future — and cross-*node* work can only be
+ * created through the network, whose hop latency is the lookahead
+ * floor even under fault-injected delays (delays only add) — no
+ * domain can receive work inside the open window: classic conservative
+ * PDES à la Chandy/Misra null-message lookahead, with a barrier
+ * instead of null messages.
+ *
+ * Cross-domain schedules ride single-writer mailboxes (one vector per
+ * (source domain, destination) pair, written only by the source
+ * thread during a window, drained only by the coordinator between
+ * windows — the barrier provides the happens-before edge). Machine-
+ * lane events live in the host engine's own slab/wheel and execute
+ * stop-the-world between windows, so config scripts, the watchdog and
+ * page-management ops see a quiescent machine exactly as they do
+ * serially.
+ *
+ * Determinism: events carry partition-independent keys (sim::EventKey)
+ * and every side effect visible outside a domain — checker hooks,
+ * telemetry, shared statistics — is routed through Engine::defer(),
+ * buffered per domain, and replayed by the coordinator in global key
+ * order with now() overridden to the emitting event's time. The
+ * result is byte-identical output to the serial wheel at any thread
+ * count; parallelism changes wall-clock only (docs/PERF.md has the
+ * full argument).
+ */
+
+#ifndef PLUS_SIM_PARALLEL_HPP_
+#define PLUS_SIM_PARALLEL_HPP_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/engine.hpp"
+#include "sim/event_slab.hpp"
+#include "sim/timing_wheel.hpp"
+
+namespace plus {
+namespace sim {
+
+/** Multi-threaded window scheduler behind Engine (impl == Parallel). */
+class ParallelEngine
+{
+  public:
+    ParallelEngine(Engine& host, unsigned threads);
+    ~ParallelEngine();
+
+    ParallelEngine(const ParallelEngine&) = delete;
+    ParallelEngine& operator=(const ParallelEngine&) = delete;
+
+    /** Route a schedule from Engine; see Engine::scheduleImpl. */
+    EventId schedule(Cycles when, Event fn, bool daemon,
+                     std::uint16_t lane);
+    bool cancel(std::uint32_t domain, std::uint32_t idx,
+                std::uint32_t gen);
+    void run(Cycles limit);
+    void defer(Event fn);
+
+    /** Scheduling context of the calling thread's domain, if bound. */
+    Engine::SchedCtx* boundCtx();
+    /** Domain-local clock of the calling thread, else @p hostNow. */
+    Cycles boundNow(Cycles hostNow) const;
+
+    std::size_t domainPending() const;
+    std::uint64_t domainExecuted() const;
+    void addStats(EngineStats& s) const;
+
+    unsigned
+    domainOf(std::uint16_t lane) const
+    {
+        return static_cast<unsigned>(
+            (static_cast<std::uint64_t>(lane) * domainCount_) /
+            host_.nodes_);
+    }
+
+  private:
+    /** A cross-domain (or worker-to-machine) scheduled event in flight. */
+    struct Mail {
+        Cycles when;
+        Cycles schedWhen;
+        std::uint64_t key2;
+        std::uint16_t lane;
+        Event fn;
+    };
+
+    /** A buffered side effect awaiting key-ordered replay. */
+    struct Deferred {
+        EventKey key;       ///< emitting event
+        std::uint32_t emit; ///< emission index within that event
+        Event fn;
+    };
+
+    struct alignas(64) Domain {
+        Domain(unsigned index, unsigned domains);
+
+        unsigned index;
+        EventSlab slab;
+        TimingWheel wheel{slab};
+        Cycles now = 0;
+        Engine::SchedCtx ctx;
+        EventKey curKey{};
+        std::size_t pending = 0;
+        std::uint64_t executed = 0;
+        std::uint64_t scheduled = 0;
+        std::uint64_t cancelled = 0;
+        std::uint64_t mailed = 0;
+        /** [dst domain] node mail; [domainCount] = machine lane. */
+        std::vector<std::vector<Mail>> outbox;
+        std::vector<Deferred> deferred;
+        std::exception_ptr error;
+        EventKey errorKey{};
+    };
+
+    enum class Cmd { Window, Exit };
+
+    void startWorkers();
+    void shutdownWorkers();
+    void workerLoop(unsigned index);
+    void executeWindow(Domain& d, EventKey bound);
+    void awaitArrivals();
+    void signal(Cmd cmd);
+    void awaitEpoch(std::uint64_t& seen);
+    void replayDeferred();
+    void drainMail();
+    void insertMail(Domain& d, Mail m);
+    void rethrowWorkerError();
+    bool peek(TimingWheel& wheel, EventSlab& slab, EventKey& out);
+    EventId insertDomain(Domain& d, Cycles when, Event fn,
+                         Cycles schedWhen, std::uint64_t key2,
+                         std::uint16_t lane);
+
+    Engine& host_;
+    unsigned domainCount_;
+    std::vector<std::unique_ptr<Domain>> domains_;
+    /** Next pending key per domain, maintained inside a round. */
+    std::vector<EventKey> domainNext_;
+    std::vector<char> domainHasNext_;
+    std::uint64_t windows_ = 0;
+
+    // Round gate: workers park by incrementing arrived_ and waiting
+    // for an epoch bump; the coordinator waits for all arrivals, does
+    // the stop-the-world phase, then publishes cmd_/bound_ and bumps
+    // the epoch. arrived_ is reset by signal(), not by the wait, so a
+    // run can end with workers parked and the next run picks them up.
+    std::vector<std::thread> workers_;
+    std::atomic<std::uint64_t> epoch_{0};
+    std::atomic<unsigned> arrived_{0};
+    std::atomic<int> sleepers_{0};
+    std::mutex gateMutex_;
+    std::condition_variable gateCv_;
+    Cmd cmd_ = Cmd::Window;
+    EventKey bound_{};
+};
+
+} // namespace sim
+} // namespace plus
+
+#endif // PLUS_SIM_PARALLEL_HPP_

@@ -10,13 +10,20 @@ namespace sim {
 
 namespace {
 
-/** Heap comparator: std::*_heap keeps the (when, seq) minimum at [0]. */
+/** Heap comparator: std::*_heap keeps the EventKey minimum at [0]. */
 constexpr auto kPreLater = [](const auto& a, const auto& b) {
-    if (a.when != b.when) {
-        return a.when > b.when;
-    }
-    return a.seq > b.seq;
+    return b.key < a.key;
 };
+
+/** Key tiebreak within one level-0 slot (equal `when` by invariant). */
+bool
+tieLess(const EventRecord& a, const EventRecord& b)
+{
+    if (a.schedWhen != b.schedWhen) {
+        return a.schedWhen < b.schedWhen;
+    }
+    return a.key2 < b.key2;
+}
 
 } // namespace
 
@@ -59,9 +66,9 @@ TimingWheel::insert(std::uint32_t idx)
     if (rec.when < cursor_) {
         // runUntil() probing advanced the cursor past now(); park the
         // event in the pre-cursor heap (always drained before the
-        // wheel, so global (when, seq) order is preserved).
+        // wheel, so global EventKey order is preserved).
         rec.home = EventRecord::kHomePre;
-        pre_.push_back(PreEntry{rec.when, rec.seq, idx, rec.gen});
+        pre_.push_back(PreEntry{rec.key(), idx, rec.gen});
         std::push_heap(pre_.begin(), pre_.end(), kPreLater);
         return;
     }
@@ -78,16 +85,47 @@ TimingWheel::fileAt(std::uint32_t idx, Cycles when)
     const unsigned home = level * kSlots + slot;
 
     rec.home = static_cast<std::uint16_t>(home);
-    rec.next = kNilRecord;
-    rec.prev = tails_[home];
     if (tails_[home] == kNilRecord) {
+        rec.next = kNilRecord;
+        rec.prev = kNilRecord;
         heads_[home] = idx;
+        tails_[home] = idx;
         pending_[level] |= Cycles{1} << slot;
         levelMask_ |= 1U << level;
-    } else {
-        slab_[tails_[home]].next = idx;
+        return;
     }
-    tails_[home] = idx;
+    if (level > 0) {
+        // Higher levels are unordered staging: the cascade refiles the
+        // whole list and level 0 re-sorts it, so O(1) append is fine.
+        rec.next = kNilRecord;
+        rec.prev = tails_[home];
+        slab_[tails_[home]].next = idx;
+        tails_[home] = idx;
+        return;
+    }
+    // Level-0 slots hold exactly one timestamp and are dispatched
+    // head-first, so keep the list sorted by the EventKey tiebreak.
+    // Scan from the tail: machine-context keys arrive in ascending
+    // order (O(1)), node-context ties only scan their own cycle.
+    std::uint32_t at = tails_[home];
+    while (at != kNilRecord && tieLess(rec, slab_[at])) {
+        at = slab_[at].prev;
+    }
+    if (at == kNilRecord) {
+        rec.prev = kNilRecord;
+        rec.next = heads_[home];
+        slab_[heads_[home]].prev = idx;
+        heads_[home] = idx;
+        return;
+    }
+    rec.prev = at;
+    rec.next = slab_[at].next;
+    slab_[at].next = idx;
+    if (rec.next == kNilRecord) {
+        tails_[home] = idx;
+    } else {
+        slab_[rec.next].prev = idx;
+    }
 }
 
 void
@@ -135,7 +173,7 @@ TimingWheel::popPre(Cycles limit)
         const EventRecord& rec = slab_[top.idx];
         const bool stale =
             rec.gen != top.gen || rec.home != EventRecord::kHomePre;
-        if (!stale && top.when > limit) {
+        if (!stale && top.key.when > limit) {
             return kNilRecord;
         }
         std::pop_heap(pre_.begin(), pre_.end(), kPreLater);

@@ -9,9 +9,13 @@
  * cache latencies, CM service times) go straight into the near wheel
  * and insertion, cancellation and dispatch are all O(1). When the
  * cursor reaches a higher-level slot its whole list cascades down in
- * order; see docs/PERF.md for the determinism argument (all events
- * with equal `when` always share one slot, so FIFO per cycle falls
- * out of list order and the per-event `seq` never has to be sorted).
+ * order; see docs/PERF.md for the determinism argument. All events
+ * with equal `when` always share one level-0 slot; that slot's list is
+ * kept sorted by the canonical EventKey tiebreak (schedWhen, key2), so
+ * dispatch realises the same partition-independent total order as the
+ * heap oracle and the parallel backend. Machine-context schedules
+ * carry monotonically increasing keys, so the tail-scan insertion is
+ * O(1) for them; node-context ties scan only their own cycle's list.
  *
  * One wrinkle keeps `runUntil()` honest: probing for "is the next
  * event past the limit" may legitimately advance the cursor beyond
@@ -44,15 +48,15 @@ class TimingWheel
 
     explicit TimingWheel(EventSlab& slab);
 
-    /** File record @p idx by its `when`/`seq` (sets home + links). */
+    /** File record @p idx by its EventKey (sets home + links). */
     void insert(std::uint32_t idx);
 
     /** Unlink record @p idx (O(1); pre-cursor entries go stale lazily). */
     void remove(std::uint32_t idx);
 
     /**
-     * Unlink and return the next record in (when, seq) order whose
-     * due cycle is <= @p limit, cascading higher levels as the cursor
+     * Unlink and return the next record in EventKey order whose due
+     * cycle is <= @p limit, cascading higher levels as the cursor
      * advances; kNilRecord when none qualifies. The cursor never
      * advances past @p limit.
      */
@@ -65,8 +69,7 @@ class TimingWheel
 
   private:
     struct PreEntry {
-        Cycles when;
-        std::uint64_t seq;
+        EventKey key;
         std::uint32_t idx;
         std::uint32_t gen;
     };
@@ -86,7 +89,7 @@ class TimingWheel
     std::uint32_t levelMask_ = 0;          ///< non-empty levels
     Cycles cursor_ = 0;
     std::uint64_t cascades_ = 0;
-    /** Min-heap on (when, seq) of events filed below the cursor. */
+    /** Min-heap on EventKey of events filed below the cursor. */
     std::vector<PreEntry> pre_;
 };
 

@@ -17,7 +17,7 @@ Watchdog::Watchdog(Engine& engine, Cycles window, ProgressFn progress,
 void
 Watchdog::arm()
 {
-    PLUS_ASSERT(pending_ == kInvalidEvent, "watchdog armed twice");
+    cancelNow();
     lastProgress_ = progress_();
     pending_ = engine_.scheduleDaemon(window_, [this] { check(); });
 }
@@ -26,15 +26,27 @@ void
 Watchdog::stop()
 {
     if (pending_ != kInvalidEvent) {
+        stopRequested_.store(true, std::memory_order_release);
+    }
+}
+
+void
+Watchdog::cancelNow()
+{
+    if (pending_ != kInvalidEvent) {
         engine_.cancel(pending_);
         pending_ = kInvalidEvent;
     }
+    stopRequested_.store(false, std::memory_order_relaxed);
 }
 
 void
 Watchdog::check()
 {
     pending_ = kInvalidEvent;
+    if (stopRequested_.exchange(false, std::memory_order_acquire)) {
+        return; // stop() arrived since the last check; go quiet
+    }
     const std::uint64_t current = progress_();
     if (current == lastProgress_) {
         if (engine_.pendingEvents() == 0) {

@@ -25,6 +25,7 @@
 #ifndef PLUS_SIM_WATCHDOG_HPP_
 #define PLUS_SIM_WATCHDOG_HPP_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -51,13 +52,25 @@ class Watchdog
     Watchdog(const Watchdog&) = delete;
     Watchdog& operator=(const Watchdog&) = delete;
 
-    ~Watchdog() { stop(); }
+    ~Watchdog() { cancelNow(); }
 
-    /** Schedule the first check, one window from now. */
+    /** Schedule the first check, one window from now (re-arm allowed). */
     void arm();
 
-    /** Cancel the pending check; the watchdog goes quiet. */
+    /**
+     * Request quiet. Safe from any context, including node-context
+     * events on a parallel worker thread (where cancelling a machine-
+     * lane event outright is forbidden): the pending check fires once
+     * more as a no-op and disarms itself — identically in every
+     * backend, so event order never forks on the stop path.
+     */
     void stop();
+
+    /**
+     * Cancel the pending check immediately. Machine context only (the
+     * Machine calls it once a run has returned, and on teardown).
+     */
+    void cancelNow();
 
     bool armed() const { return pending_ != kInvalidEvent; }
 
@@ -72,6 +85,7 @@ class Watchdog
     ProgressFn progress_;
     DumpFn dump_;
     EventId pending_ = kInvalidEvent;
+    std::atomic<bool> stopRequested_{false};
     std::uint64_t lastProgress_ = 0;
     std::uint64_t stallWindows_ = 0;
 };

@@ -179,7 +179,7 @@ runSynthetic(core::Machine& machine, const SyntheticConfig& cfg)
     machine.run();
     result.elapsed = machine.now() - start;
     result.report = machine.report() - baseline;
-    result.meanQueueing = machine.network().stats().queueing.mean();
+    result.meanQueueing = machine.network().queueingHistogram().mean();
     return result;
 }
 

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * The conservative-parallel engine's determinism contract: on the
+ * harness workload (replicated-page update chains, remote reads,
+ * delayed interlocked operations, fences) the parallel backend must
+ * produce a final cycle count, memory image, and statistics report
+ * identical to the serial wheel and heap backends, at every thread
+ * count — and the parallel engine must actually be running worker
+ * domains, not quietly falling back to the serial path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <vector>
+
+#include "common/panic.hpp"
+#include "core/context.hpp"
+#include "plus/plus.hpp"
+
+namespace plus {
+namespace {
+
+constexpr unsigned kNodes = 8;
+constexpr unsigned kCopies = 3;
+
+struct RunOutcome {
+    Cycles elapsed = 0;
+    std::vector<Word> image;
+    core::MachineReport report;
+    std::uint64_t executed = 0;
+};
+
+/** The sim_harness mixed workload, shrunk to unit-test size. */
+RunOutcome
+runHarness(Engine backend, unsigned threads)
+{
+    auto machine_ptr = MachineBuilder()
+                           .nodes(kNodes)
+                           .framesPerNode(64)
+                           .engine(backend)
+                           .threads(threads)
+                           .build();
+    core::Machine& m = *machine_ptr;
+    if (backend == Engine::Parallel && threads > 1) {
+        EXPECT_TRUE(m.engine().parallelActive())
+            << "parallel backend fell back to serial at " << threads
+            << " threads";
+    } else {
+        EXPECT_FALSE(m.engine().parallelActive());
+    }
+
+    std::vector<Addr> pages(kNodes);
+    for (NodeId n = 0; n < kNodes; ++n) {
+        pages[n] = m.alloc(kPageBytes, n);
+        for (unsigned c = 1; c < kCopies; ++c) {
+            m.replicate(pages[n], (n + c) % kNodes);
+        }
+    }
+    const Addr counter = m.alloc(kPageBytes, 0);
+    m.settle();
+
+    for (NodeId n = 0; n < kNodes; ++n) {
+        m.spawn(n, [&pages, counter, n](core::Context& ctx) {
+            const Addr own = pages[n];
+            const Addr peer = pages[(n + 1) % kNodes];
+            std::deque<core::OpHandle> window;
+            for (Word i = 0; i < 16; ++i) {
+                ctx.write(own + 4 * (i % 8), n * 1000 + i);
+                ctx.read(peer + 4 * (i % 8));
+                ctx.compute(15);
+                if (i % 4 == 0) {
+                    window.push_back(ctx.issueFadd(counter, 1));
+                }
+                if (window.size() > 2) {
+                    ctx.verify(window.front());
+                    window.pop_front();
+                }
+            }
+            while (!window.empty()) {
+                ctx.verify(window.front());
+                window.pop_front();
+            }
+            ctx.fence();
+        });
+    }
+    m.run();
+
+    RunOutcome out;
+    out.elapsed = m.now();
+    for (NodeId n = 0; n < kNodes; ++n) {
+        for (Word off = 0; off < 64; off += 4) {
+            out.image.push_back(m.peek(pages[n] + off));
+        }
+    }
+    out.image.push_back(m.peek(counter));
+    out.report = m.report();
+    out.executed = m.engine().executedEvents();
+    return out;
+}
+
+void
+expectIdentical(const RunOutcome& ref, const RunOutcome& got,
+                const char* label)
+{
+    EXPECT_EQ(ref.elapsed, got.elapsed) << label;
+    EXPECT_EQ(ref.image, got.image) << label;
+    EXPECT_EQ(ref.report.localReads, got.report.localReads) << label;
+    EXPECT_EQ(ref.report.remoteReads, got.report.remoteReads) << label;
+    EXPECT_EQ(ref.report.localWrites, got.report.localWrites) << label;
+    EXPECT_EQ(ref.report.remoteWrites, got.report.remoteWrites) << label;
+    EXPECT_EQ(ref.report.updateMessages, got.report.updateMessages)
+        << label;
+    EXPECT_EQ(ref.report.totalMessages, got.report.totalMessages)
+        << label;
+    EXPECT_EQ(ref.executed, got.executed) << label;
+}
+
+TEST(Parallel, CrossBackendIdentity)
+{
+    const RunOutcome wheel = runHarness(Engine::Wheel, 0);
+    ASSERT_FALSE(wheel.image.empty());
+
+    expectIdentical(wheel, runHarness(Engine::Heap, 0), "heap");
+    expectIdentical(wheel, runHarness(Engine::Parallel, 2),
+                    "parallel t=2");
+    expectIdentical(wheel, runHarness(Engine::Parallel, 4),
+                    "parallel t=4");
+    expectIdentical(wheel, runHarness(Engine::Parallel, 8),
+                    "parallel t=8");
+}
+
+TEST(Parallel, SingleThreadDegradesToSerial)
+{
+    // threads=1 is legal and must match too (no worker pool spun up).
+    const RunOutcome wheel = runHarness(Engine::Wheel, 0);
+    expectIdentical(wheel, runHarness(Engine::Parallel, 1),
+                    "parallel t=1");
+}
+
+TEST(Parallel, ValidateRejectsMoreThreadsThanNodes)
+{
+    EXPECT_THROW(MachineBuilder()
+                     .nodes(4)
+                     .framesPerNode(64)
+                     .engine(Engine::Parallel)
+                     .threads(8)
+                     .build(),
+                 FatalError);
+}
+
+} // namespace
+} // namespace plus
