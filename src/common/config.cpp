@@ -1,10 +1,17 @@
 #include "common/config.hpp"
 
 #include <cmath>
+#include <cstdlib>
 
 #include "common/panic.hpp"
 
 namespace plus {
+
+const char*
+envRead(const char* name)
+{
+    return std::getenv(name);
+}
 
 const char*
 toString(ProcessorMode mode)

@@ -21,6 +21,14 @@
 
 namespace plus {
 
+/**
+ * The single sanctioned environment read (pluslint rule R5, see
+ * docs/STATIC_ANALYSIS.md): every PLUS_* knob is read through here so the
+ * full set of environment inputs stays auditable in one translation unit.
+ * Returns nullptr when the variable is unset.
+ */
+const char* envRead(const char* name);
+
 /** One scripted fault-schedule entry (see net::FaultInjector). */
 struct FaultScriptEntry {
     enum class Kind : std::uint8_t {

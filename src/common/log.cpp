@@ -1,6 +1,6 @@
 #include "common/log.hpp"
 
-#include <cstdlib>
+#include "common/config.hpp"
 
 namespace plus {
 
@@ -23,12 +23,15 @@ logComponentName(LogComponent c)
 Log::Log()
 {
     disableAll();
-    applyEnvSpec(std::getenv("PLUS_LOG"));
+    applyEnvSpec(envRead("PLUS_LOG"));
 }
 
 Log&
 Log::instance()
 {
+    // pluslint: allow(R4) -- the logger is a host-facing singleton; its
+    // state never feeds the simulation (output only), and PLUS_LOG must
+    // be readable before any machine exists.
     static Log log;
     return log;
 }

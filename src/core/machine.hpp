@@ -24,9 +24,9 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "check/checker.hpp"
@@ -312,7 +312,10 @@ class Machine
         NodeId target;
         NodeId deleteAfter = kInvalidNode; ///< migration: old copy to drop
     };
-    std::unordered_map<std::uint32_t, PendingCopy> copiesInFlight_;
+    // Ordered by copy id (= creation order) so every scan over the
+    // in-flight set is deterministic (pluslint R1); the map holds at most
+    // a handful of entries, so the tree overhead is irrelevant.
+    std::map<std::uint32_t, PendingCopy> copiesInFlight_;
     std::uint32_t nextCopyId_ = 1;
     unsigned pendingCopies_ = 0;
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/determinism.hpp"
 #include "common/log.hpp"
 #include "common/panic.hpp"
 #include "core/machine.hpp"
@@ -27,7 +28,7 @@ AccessProfile::collect(Machine& machine)
     for (NodeId n = 0; n < machine.nodeCount(); ++n) {
         const mem::RefCounters* counters = machine.nodeAt(n).refCounters();
         PLUS_ASSERT(counters, "node has no reference counters");
-        for (const auto& [vpn, count] : counters->counts()) {
+        for (const auto& [vpn, count] : sortedView(counters->counts())) {
             if (count == 0) {
                 continue;
             }

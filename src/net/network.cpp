@@ -301,6 +301,7 @@ Cycles
 MeshNetwork::maxLinkBusyCycles() const
 {
     Cycles best = 0;
+    // pluslint: allow(R1) -- max over all values; order-independent.
     for (const auto& [key, link] : links_) {
         (void)key;
         best = std::max(best, link.busyCycles);

@@ -311,6 +311,7 @@ LinkLayer::inFlight() const
 {
     std::size_t total = 0;
     for (const auto& per_src : sender_) {
+        // pluslint: allow(R1) -- commutative sum; order-independent.
         for (const auto& [dst, chan] : per_src) {
             (void)dst;
             total += chan.unacked.size();

@@ -85,6 +85,8 @@ class PendingWrites
     bool
     pendingOn(Vpn vpn, Addr word_offset) const
     {
+        // pluslint: allow(R1) -- pure existence scan; every order gives
+        // the same answer.
         for (const auto& [tag, key] : map_) {
             (void)tag;
             if (key.vpn == vpn && key.wordOffset == word_offset) {

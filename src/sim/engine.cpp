@@ -1,8 +1,8 @@
 #include "sim/engine.hpp"
 
-#include <cstdlib>
 #include <string_view>
 
+#include "common/config.hpp"
 #include "common/log.hpp"
 #include "common/panic.hpp"
 #include "sim/parallel.hpp"
@@ -13,7 +13,7 @@ namespace sim {
 EngineImpl
 implFromEnv()
 {
-    const char* env = std::getenv("PLUS_ENGINE");
+    const char* env = envRead("PLUS_ENGINE");
     if (env != nullptr) {
         const std::string_view name(env);
         if (name == "heap") {

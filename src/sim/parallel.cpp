@@ -20,6 +20,9 @@ struct Bind {
     void* domain = nullptr;
 };
 
+// pluslint: allow(R4) -- worker->domain binding for the thread running
+// right now; set once per window by the owning engine and never read
+// across threads, so it cannot carry state between runs.
 thread_local Bind t_bind; // NOLINT(cppcoreguidelines-avoid-non-const-global-variables)
 
 inline void

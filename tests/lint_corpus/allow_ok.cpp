@@ -1,0 +1,31 @@
+// Clean input: the unordered iteration is order-independent and carries
+// the explicit, reasoned allow() comment the contract requires.
+#include <unordered_map>
+
+namespace corpus {
+
+class Counters {
+  public:
+    void
+    bump(unsigned key)
+    {
+        counts_[key] += 1;
+    }
+
+    unsigned
+    total() const
+    {
+        unsigned sum = 0;
+        // pluslint: allow(R1) -- commutative sum; order-independent.
+        for (const auto& [key, count] : counts_) {
+            (void)key;
+            sum += count;
+        }
+        return sum;
+    }
+
+  private:
+    std::unordered_map<unsigned, unsigned> counts_;
+};
+
+} // namespace corpus

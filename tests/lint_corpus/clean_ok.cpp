@@ -1,0 +1,34 @@
+// Clean input: ordered containers, simulated time, stable-id keys, no
+// global state, no environment reads — nothing for pluslint to flag.
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace corpus {
+
+class Ledger {
+  public:
+    void
+    record(std::uint32_t node, std::uint64_t cycles)
+    {
+        perNode_[node] += cycles;
+        history_.push_back(cycles);
+    }
+
+    std::uint64_t
+    busiest() const
+    {
+        std::uint64_t best = 0;
+        for (const auto& [node, cycles] : perNode_) {
+            (void)node;
+            best = best > cycles ? best : cycles;
+        }
+        return best;
+    }
+
+  private:
+    std::map<std::uint32_t, std::uint64_t> perNode_;
+    std::vector<std::uint64_t> history_;
+};
+
+} // namespace corpus

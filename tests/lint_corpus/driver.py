@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Self-test for scripts/pluslint.py against the known-bad corpus.
+
+Each r<N>_bad.cpp must produce at least one finding, every finding it
+produces must be for exactly rule R<N> with a file:line diagnostic, and
+the linter must exit 1. The *_ok.cpp files must produce no findings and
+exit 0. Registered as the `lint_corpus` ctest so a regression in the
+analyzer fails tier-1, not just the lint CI stage.
+"""
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+
+FINDING_RE = re.compile(r"^(?P<path>[^:]+):(?P<line>\d+): \[(?P<rule>R\d)\] ")
+
+EXPECTATIONS = [
+    ("r1_bad.cpp", "R1"),
+    ("r2_bad.cpp", "R2"),
+    ("r3_bad.cpp", "R3"),
+    ("r4_bad.cpp", "R4"),
+    ("r5_bad.cpp", "R5"),
+    ("allow_ok.cpp", None),
+    ("clean_ok.cpp", None),
+]
+
+
+def run_lint(pluslint, target):
+    proc = subprocess.run(
+        [sys.executable, pluslint, target, "--no-baseline"],
+        capture_output=True, text=True, timeout=60, check=False)
+    findings = []
+    for line in proc.stdout.splitlines():
+        m = FINDING_RE.match(line)
+        if m:
+            findings.append((m.group("path"), int(m.group("line")),
+                             m.group("rule")))
+        elif line.strip():
+            raise AssertionError(
+                f"unparseable finding line for {target}: {line!r}")
+    return proc.returncode, findings
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    here = os.path.dirname(os.path.realpath(__file__))
+    ap.add_argument("--pluslint", default=os.path.join(
+        here, os.pardir, os.pardir, "scripts", "pluslint.py"))
+    ap.add_argument("--corpus", default=here)
+    args = ap.parse_args()
+
+    failures = []
+    for name, expected_rule in EXPECTATIONS:
+        target = os.path.join(args.corpus, name)
+        if not os.path.isfile(target):
+            failures.append(f"{name}: corpus file missing")
+            continue
+        code, findings = run_lint(args.pluslint, target)
+        rules = {rule for _path, _line, rule in findings}
+        if expected_rule is None:
+            if code != 0 or findings:
+                failures.append(
+                    f"{name}: expected clean, got exit {code} with "
+                    f"findings {findings}")
+            else:
+                print(f"ok: {name} is clean")
+            continue
+        if code != 1:
+            failures.append(
+                f"{name}: expected exit 1 (findings), got {code}")
+        if not findings:
+            failures.append(f"{name}: rule {expected_rule} did not fire")
+        elif rules != {expected_rule}:
+            failures.append(
+                f"{name}: expected only {expected_rule}, got rules "
+                f"{sorted(rules)} in {findings}")
+        else:
+            marked = sum(1 for _p, line, _r in findings
+                         if "BAD" in open(target, encoding="utf-8")
+                         .read().splitlines()[line - 1])
+            print(f"ok: {name} -> {expected_rule} x{len(findings)} "
+                  f"({marked} on BAD-marked lines)")
+            if marked == 0:
+                failures.append(
+                    f"{name}: no finding landed on a BAD-marked line — "
+                    f"the diagnostic points at the wrong place: "
+                    f"{findings}")
+
+    if failures:
+        print("\nlint corpus FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("lint corpus OK: every rule fires on its known-bad example, "
+          "clean and allow() inputs stay silent")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

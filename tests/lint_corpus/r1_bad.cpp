@@ -1,0 +1,28 @@
+// Known-bad input for pluslint rule R1 (unordered-iteration): the hash
+// order of an unordered_map leaks into observable output.
+#include <cstdio>
+#include <unordered_map>
+
+namespace corpus {
+
+class TrafficTable {
+  public:
+    void
+    record(unsigned link, unsigned bytes)
+    {
+        perLink_[link] += bytes;
+    }
+
+    void
+    dump() const
+    {
+        for (const auto& [link, bytes] : perLink_) { // BAD: hash order
+            std::printf("link %u: %u bytes\n", link, bytes);
+        }
+    }
+
+  private:
+    std::unordered_map<unsigned, unsigned> perLink_;
+};
+
+} // namespace corpus

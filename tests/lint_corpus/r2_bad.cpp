@@ -1,0 +1,16 @@
+// Known-bad input for pluslint rule R2 (wall-clock): host time reaches a
+// value the simulation could observe, and the file is not annotated
+// PLUS_HOST_ONLY.
+#include <chrono>
+#include <cstdint>
+
+namespace corpus {
+
+std::uint64_t
+stampEvent()
+{
+    const auto now = std::chrono::steady_clock::now(); // BAD: host clock
+    return static_cast<std::uint64_t>(now.time_since_epoch().count());
+}
+
+} // namespace corpus

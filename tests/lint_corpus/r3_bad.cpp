@@ -1,0 +1,34 @@
+// Known-bad input for pluslint rule R3 (pointer-order): a std::map keyed
+// by pointer value iterates in allocation-address order, which differs
+// run to run (ASLR, allocator state).
+#include <map>
+
+namespace corpus {
+
+struct Node {
+    unsigned id = 0;
+};
+
+class Registry {
+  public:
+    void
+    add(Node* node, unsigned weight)
+    {
+        weights_[node] = weight;
+    }
+
+    unsigned
+    total() const
+    {
+        unsigned sum = 0;
+        for (const auto& [node, weight] : weights_) {
+            sum += node->id * weight;
+        }
+        return sum;
+    }
+
+  private:
+    std::map<Node*, unsigned> weights_; // BAD: keyed by address
+};
+
+} // namespace corpus

@@ -1,0 +1,16 @@
+// Known-bad input for pluslint rule R4 (mutable-static): namespace-scope
+// and function-local mutable state survives across runs/machines inside
+// one process and breaks replay.
+namespace corpus {
+
+unsigned gEventsSeen = 0; // BAD: mutable namespace-scope state
+
+unsigned
+nextTicket()
+{
+    static unsigned ticket = 0; // BAD: mutable function-local static
+    gEventsSeen += 1;
+    return ++ticket;
+}
+
+} // namespace corpus

@@ -1,0 +1,13 @@
+// Known-bad input for pluslint rule R5 (env-read): a PLUS_* knob read
+// outside common/config bypasses the audited plus::envRead() choke point.
+#include <cstdlib>
+
+namespace corpus {
+
+bool
+fastPathEnabled()
+{
+    return std::getenv("PLUS_FAST_PATH") != nullptr; // BAD: raw getenv
+}
+
+} // namespace corpus
