@@ -9,6 +9,7 @@
  *   --engine=NAME        auto | wheel | heap | parallel
  *   --trace-out=<file>   Perfetto JSON trace
  *   --stats-out=<file>   metrics + traffic JSON
+ *   --prof-out=<file>    host-time profile JSON (enables plus::prof)
  */
 
 #ifndef PLUS_BENCH_BENCH_UTIL_HPP_
@@ -21,6 +22,7 @@
 
 #include "common/table.hpp"
 #include "plus/plus.hpp"
+#include "telemetry/prof.hpp"
 
 namespace plus {
 namespace bench {
@@ -32,6 +34,7 @@ struct HarnessArgs {
     Engine engine = Engine::Auto; ///< --engine=NAME
     std::string traceOut;         ///< --trace-out=<file>
     std::string statsOut;         ///< --stats-out=<file>
+    std::string profOut;          ///< --prof-out=<file>
     std::vector<std::string> rest; ///< unrecognized (bench-specific)
 
     /** @p fallback unless --nodes= was given. */
@@ -72,6 +75,9 @@ parseHarnessArgs(int argc, char** argv)
             args.traceOut = arg.substr(12);
         } else if (arg.rfind("--stats-out=", 0) == 0) {
             args.statsOut = arg.substr(12);
+        } else if (arg.rfind("--prof-out=", 0) == 0) {
+            args.profOut = arg.substr(11);
+            prof::enable(true);
         } else if (arg.rfind("--nodes=", 0) == 0) {
             args.nodes = static_cast<unsigned>(std::stoul(arg.substr(8)));
         } else if (arg.rfind("--threads=", 0) == 0) {
@@ -109,6 +115,27 @@ machineBuilder(unsigned nodes, ProcessorMode mode = ProcessorMode::Delayed)
 }
 
 /**
+ * Write the --prof-out host-time profile, if requested. Called by
+ * exportTelemetry(); benches that never build a machine (or exit
+ * before exportTelemetry) call it directly. No-op otherwise.
+ */
+inline bool
+exportProf()
+{
+    const HarnessArgs& args = harnessArgs();
+    if (args.profOut.empty()) {
+        return true;
+    }
+    std::ofstream os(args.profOut);
+    if (!os) {
+        std::cerr << "cannot open " << args.profOut << "\n";
+        return false;
+    }
+    prof::writeJson(os);
+    return true;
+}
+
+/**
  * Write the files requested on the command line from @p machine's
  * telemetry. Benches that build several machines call this on the one
  * the files should describe (conventionally the last run); each call
@@ -134,7 +161,7 @@ exportTelemetry(const core::Machine& machine)
         }
         machine.writeStatsJson(os);
     }
-    return true;
+    return exportProf();
 }
 
 /** Ratio of local to remote operations as Table 2-1 prints it. */

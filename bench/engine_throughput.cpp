@@ -2,8 +2,8 @@
  * @file
  * Engine throughput benchmark: how fast does the simulator itself run?
  *
- *   engine_throughput [--quick] [--nodes=N] [--out=<file>]
- *                     [--parallel-out=<file>]
+ *   engine_throughput [--quick] [--micro-only] [--nodes=N]
+ *                     [--out=<file>] [--parallel-out=<file>]
  *
  * Two measurements, reported as host events/sec:
  *
@@ -22,6 +22,18 @@
  * threads-axis numbers on the 64-node harness (the committed
  * BENCH_parallel.json). The ci.sh perf-smoke stage reruns with --quick
  * and fails on a large regression. See docs/PERF.md.
+ *
+ * --micro-only stops after the scheduler micro benchmark. With
+ * profiling on (--prof-out or PLUS_PROF=1) each parallel axis point
+ * gets a host-time rollup (work / barrier-wait / mailbox-drain /
+ * other percentages per thread) embedded in the --parallel-out JSON,
+ * and an explicit --threads=T narrows the axis to that one thread
+ * count.
+ *
+ * --prof-overhead runs only the profiler-overhead measurement the
+ * ci.sh prof stage gates on: the wheel micro benchmark with the
+ * profiler disabled and enabled, interleaved in-process (best of 5
+ * each) so host noise hits both sides alike, reported as JSON.
  */
 
 #include <algorithm>
@@ -257,11 +269,31 @@ writeJson(std::ostream& os, bool quick, unsigned nodes, double baseline,
        << "}\n";
 }
 
+/** One parallel axis point's host-time profile (prof enabled only). */
+struct ParProfile {
+    plus::prof::Rollup agg;
+    std::uint64_t windows = 0;
+    double widthMean = 0.0;
+    double eventsMean = 0.0;
+    std::uint64_t mailSum = 0;
+    std::vector<std::pair<std::string, plus::prof::Rollup>> threads;
+};
+
+void
+writeRollup(std::ostream& os, const plus::prof::Rollup& r)
+{
+    os << "{\"workPct\": " << r.workPct
+       << ", \"barrierPct\": " << r.barrierPct
+       << ", \"drainPct\": " << r.drainPct
+       << ", \"otherPct\": " << r.otherPct << "}";
+}
+
 /** The parallel backend's threads axis (BENCH_parallel.json). */
 void
 writeParallelJson(std::ostream& os, bool quick, unsigned nodes,
                   const MacroResult& serial,
-                  const std::vector<std::pair<unsigned, MacroResult>>& axis)
+                  const std::vector<std::pair<unsigned, MacroResult>>& axis,
+                  const std::vector<std::pair<unsigned, ParProfile>>& prof)
 {
     os << "{\n"
        << "  \"bench\": \"engine_throughput_parallel\",\n"
@@ -280,7 +312,28 @@ writeParallelJson(std::ostream& os, bool quick, unsigned nodes,
         os << (i == 0 ? "" : ", ") << "\"" << axis[i].first << "\": "
            << axis[i].second.eventsPerSec / serial.eventsPerSec;
     }
-    os << "}\n}\n";
+    os << "}";
+    if (!prof.empty()) {
+        os << ",\n  \"profile\": {";
+        for (std::size_t i = 0; i < prof.size(); ++i) {
+            const ParProfile& p = prof[i].second;
+            os << (i == 0 ? "" : ", ") << "\n    \"" << prof[i].first
+               << "\": {\"rollup\": ";
+            writeRollup(os, p.agg);
+            os << ", \"windows\": " << p.windows
+               << ", \"widthMean\": " << p.widthMean
+               << ", \"eventsMean\": " << p.eventsMean
+               << ", \"mailSum\": " << p.mailSum << ", \"threads\": {";
+            for (std::size_t t = 0; t < p.threads.size(); ++t) {
+                os << (t == 0 ? "" : ", ") << "\"" << p.threads[t].first
+                   << "\": ";
+                writeRollup(os, p.threads[t].second);
+            }
+            os << "}}";
+        }
+        os << "}";
+    }
+    os << "\n}\n";
 }
 
 } // namespace
@@ -290,18 +343,25 @@ main(int argc, char** argv)
 {
     const HarnessArgs& args = parseHarnessArgs(argc, argv);
     bool quick = false;
+    bool micro_only = false;
+    bool prof_overhead = false;
     const unsigned nodes = args.nodesOr(16);
     std::string out;
     std::string parallel_out;
     for (const std::string& arg : args.rest) {
         if (arg == "--quick") {
             quick = true;
+        } else if (arg == "--micro-only") {
+            micro_only = true;
+        } else if (arg == "--prof-overhead") {
+            prof_overhead = true;
         } else if (arg.rfind("--out=", 0) == 0) {
             out = arg.substr(6);
         } else if (arg.rfind("--parallel-out=", 0) == 0) {
             parallel_out = arg.substr(15);
         } else {
-            std::cerr << "usage: engine_throughput [--quick] [--nodes=N] "
+            std::cerr << "usage: engine_throughput [--quick] "
+                         "[--micro-only] [--prof-overhead] [--nodes=N] "
                          "[--out=<file>] [--parallel-out=<file>]\n";
             return 2;
         }
@@ -309,6 +369,42 @@ main(int argc, char** argv)
 
     const std::uint64_t micro_events = quick ? 400'000 : 4'000'000;
     const unsigned macro_iters = quick ? 16 : 64;
+
+    if (prof_overhead) {
+        // Interleave disabled/enabled measurements in one process so
+        // frequency scaling and host contention bias both sides the
+        // same way; best-of-5 discards the slow outliers.
+        MicroBench<sim::Engine>(micro_events / 8).eventsPerSec();
+        double best_off = 0.0;
+        double best_on = 0.0;
+        for (int rep = 0; rep < 5; ++rep) {
+            prof::enable(false);
+            best_off = std::max(
+                best_off,
+                MicroBench<sim::Engine>(micro_events).eventsPerSec());
+            prof::enable(true);
+            best_on = std::max(
+                best_on,
+                MicroBench<sim::Engine>(micro_events).eventsPerSec());
+        }
+        prof::enable(false);
+        std::ofstream ofs;
+        if (!out.empty()) {
+            ofs.open(out);
+            if (!ofs) {
+                std::cerr << "cannot open " << out << "\n";
+                return 1;
+            }
+        }
+        std::ostream& os = out.empty() ? std::cout : ofs;
+        os << "{\n"
+           << "  \"bench\": \"engine_throughput_prof_overhead\",\n"
+           << "  \"offEventsPerSec\": " << best_off << ",\n"
+           << "  \"onEventsPerSec\": " << best_on << ",\n"
+           << "  \"overheadPct\": "
+           << 100.0 * (1.0 - best_on / best_off) << "\n}\n";
+        return 0;
+    }
 
     printHeader("Engine throughput",
                 "simulator performance (no paper table; see docs/PERF.md)");
@@ -327,23 +423,55 @@ main(int argc, char** argv)
         MicroBench<sim::Engine>(micro_events).eventsPerSec();
     setenv("PLUS_ENGINE", "", 1);
 
-    const MacroResult macro_wheel =
-        macroRun(Engine::Wheel, nodes, macro_iters);
-    const MacroResult macro_heap =
-        macroRun(Engine::Heap, nodes, macro_iters);
-
-    // The parallel backend's threads axis, on the larger harness the
-    // perf gate watches (64 nodes unless --nodes says otherwise).
-    const unsigned par_nodes = std::max(nodes, 64u);
-    const MacroResult par_serial =
-        macroRun(Engine::Wheel, par_nodes, macro_iters);
+    MacroResult macro_wheel;
+    MacroResult macro_heap;
+    MacroResult par_serial;
     std::vector<std::pair<unsigned, MacroResult>> par_axis;
-    for (unsigned t : {1u, 2u, 4u, 8u}) {
-        if (t > par_nodes) {
-            break;
+    std::vector<std::pair<unsigned, ParProfile>> par_prof;
+    const unsigned par_nodes = std::max(nodes, 64u);
+    if (!micro_only) {
+        macro_wheel = macroRun(Engine::Wheel, nodes, macro_iters);
+        macro_heap = macroRun(Engine::Heap, nodes, macro_iters);
+
+        // The parallel backend's threads axis, on the larger harness
+        // the perf gate watches (64 nodes unless --nodes says
+        // otherwise). An explicit --threads narrows the axis.
+        par_serial = macroRun(Engine::Wheel, par_nodes, macro_iters);
+        std::vector<unsigned> counts{1u, 2u, 4u, 8u};
+        if (args.threads != 0) {
+            counts.assign(1, args.threads);
         }
-        par_axis.emplace_back(
-            t, macroRun(Engine::Parallel, par_nodes, macro_iters, t));
+        for (unsigned t : counts) {
+            if (t > par_nodes) {
+                break;
+            }
+            // Isolate each axis point's profile: reset before, collect
+            // after, so the rollup describes exactly this run.
+            if (prof::enabled()) {
+                prof::reset();
+            }
+            par_axis.emplace_back(
+                t, macroRun(Engine::Parallel, par_nodes, macro_iters, t));
+            if (prof::enabled()) {
+                const prof::Summary s = prof::collect();
+                ParProfile p;
+                p.agg = prof::aggregateRollup(s);
+                p.windows = s.windows;
+                p.mailSum = s.windowMailSum;
+                if (s.windows > 0) {
+                    p.widthMean = static_cast<double>(s.windowWidthSum) /
+                                  static_cast<double>(s.windows);
+                    p.eventsMean =
+                        static_cast<double>(s.windowEventsSum) /
+                        static_cast<double>(s.windows);
+                }
+                for (const prof::Summary::Thread& st : s.threads) {
+                    p.threads.emplace_back(
+                        st.label, prof::rollupOf(st, s.runWallTicks));
+                }
+                par_prof.emplace_back(t, p);
+            }
+        }
     }
 
     TablePrinter table;
@@ -376,13 +504,14 @@ main(int argc, char** argv)
         writeJson(std::cout, quick, nodes, baseline, wheel, heap,
                   macro_wheel, macro_heap);
     }
-    if (!parallel_out.empty()) {
+    if (!parallel_out.empty() && !micro_only) {
         std::ofstream os(parallel_out);
         if (!os) {
             std::cerr << "cannot open " << parallel_out << "\n";
             return 1;
         }
-        writeParallelJson(os, quick, par_nodes, par_serial, par_axis);
+        writeParallelJson(os, quick, par_nodes, par_serial, par_axis,
+                          par_prof);
     }
-    return 0;
+    return exportProf() ? 0 : 1;
 }

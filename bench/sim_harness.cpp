@@ -7,14 +7,22 @@
  * metrics snapshot requested on the command line:
  *
  *   sim_harness [--nodes=N] [--trace-out=trace.json]
- *               [--stats-out=stats.json]
+ *               [--stats-out=stats.json] [--out=harness.json]
  *
  * The trace loads in Perfetto / chrome://tracing with one track per
  * node and per mesh link; copy-list update chains appear as flow
  * arrows (see docs/OBSERVABILITY.md).
+ *
+ * --out writes host-throughput numbers (events/s, cycles/s) as JSON —
+ * the committed BENCH_harness.json tracking ROADMAP's serial-harness
+ * throughput item is produced this way. With profiling enabled
+ * (--prof-out or PLUS_PROF=1) the file embeds the host-time phase
+ * breakdown under "prof".
  */
 
+#include <chrono>
 #include <deque>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -36,11 +44,17 @@ int
 main(int argc, char** argv)
 {
     const HarnessArgs& args = parseHarnessArgs(argc, argv);
-    if (!args.rest.empty()) {
-        std::cerr << "usage: sim_harness [--nodes=N] [--threads=T] "
-                     "[--engine=NAME] [--trace-out=<file>] "
-                     "[--stats-out=<file>]\n";
-        return 2;
+    std::string out;
+    for (const std::string& arg : args.rest) {
+        if (arg.rfind("--out=", 0) == 0) {
+            out = arg.substr(6);
+        } else {
+            std::cerr << "usage: sim_harness [--nodes=N] [--threads=T] "
+                         "[--engine=NAME] [--trace-out=<file>] "
+                         "[--stats-out=<file>] [--prof-out=<file>] "
+                         "[--out=<file>]\n";
+            return 2;
+        }
     }
     const unsigned nodes = args.nodesOr(16);
 
@@ -87,7 +101,12 @@ main(int argc, char** argv)
             ctx.fence();
         });
     }
+    const auto start = std::chrono::steady_clock::now();
     machine.run();
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
 
     const auto rep = machine.report();
     TablePrinter table;
@@ -104,6 +123,38 @@ main(int argc, char** argv)
         std::cout << "telemetry: " << t->events().recorded()
                   << " events recorded, " << t->events().dropped()
                   << " dropped\n";
+    }
+
+    if (!out.empty()) {
+        std::ofstream os(out);
+        if (!os) {
+            std::cerr << "cannot open " << out << "\n";
+            return 1;
+        }
+        const std::uint64_t events = machine.engine().executedEvents();
+        os << "{\n"
+           << "  \"bench\": \"sim_harness\",\n"
+           << "  \"nodes\": " << nodes << ",\n"
+           << "  \"cycles\": " << machine.now() << ",\n"
+           << "  \"events\": " << events << ",\n"
+           << "  \"messages\": " << rep.totalMessages << ",\n"
+           << "  \"eventsPerSec\": "
+           << (seconds > 0 ? static_cast<double>(events) / seconds : 0.0)
+           << ",\n"
+           << "  \"cyclesPerSec\": "
+           << (seconds > 0
+                   ? static_cast<double>(machine.now()) / seconds
+                   : 0.0);
+        if (prof::enabled()) {
+            os << ",\n  \"prof\": ";
+            prof::writeJson(os);
+        }
+        os << "\n}\n";
+    }
+    // Host-time attribution table on stderr: stdout stays byte-stable
+    // for the CI determinism diffs.
+    if (prof::enabled()) {
+        std::cerr << prof::summaryTable();
     }
     return exportTelemetry(machine) ? 0 : 1;
 }

@@ -35,9 +35,14 @@
 #                  engine's tests plus the 2/4-thread determinism matrix
 #                  must run with zero TSan reports (skipped with a
 #                  warning when the toolchain lacks -fsanitize=thread)
+#  11. prof:       host-time profiler gates — a profiled parallel run
+#                  must attribute >=90% of each thread's wall clock
+#                  across {work, barrier, drain, other}, and the
+#                  profiler-off overhead on the serial wheel micro
+#                  benchmark must stay under 3% (best of 3)
 #
 # Usage: scripts/ci.sh [tier1|sanitize|tidy|lint|format|trace|determinism|
-#                       perf-smoke|chaos|tsan|all]  (default: all)
+#                       perf-smoke|chaos|tsan|prof|all]  (default: all)
 
 set -euo pipefail
 
@@ -296,6 +301,65 @@ run_tsan() {
     echo "tsan: zero reports, matrix byte-identical"
 }
 
+run_prof() {
+    echo "=== prof: host-time profiler breakdown + overhead gate ==="
+    cmake -B build -S . >/dev/null
+    cmake --build build -j "$JOBS" --target engine_throughput
+    local out
+    out="$(mktemp -d)"
+    trap 'rm -rf "$out"' RETURN
+
+    # A profiled parallel run must attribute the wall clock: every
+    # thread's {work, barrier, drain, other} rollup sums to ~100 with
+    # the named buckets covering >=90%.
+    echo "--- parallel breakdown (4 threads)"
+    build/bench/engine_throughput --quick --threads=4 \
+        --prof-out="$out/prof.json" --out=/dev/null \
+        --parallel-out="$out/parallel.json" >/dev/null
+    python3 - "$out/prof.json" <<'EOF'
+import json, sys
+prof = json.load(open(sys.argv[1]))
+assert prof["enabled"], "profiler not enabled despite --prof-out"
+threads = prof["threads"]
+workers = [t for t in threads if t["label"].startswith("worker")]
+assert len(workers) == 3, \
+    f"expected 3 worker threads in the profile, got {len(workers)}"
+for t in threads:
+    r = t["rollup"]
+    named = r["workPct"] + r["barrierPct"] + r["drainPct"]
+    total = named + r["otherPct"]
+    assert named >= 90.0, \
+        f"{t['label']}: named buckets cover only {named:.1f}% (<90%)"
+    assert 99.0 <= total <= 101.0, \
+        f"{t['label']}: rollup does not sum to 100: {total:.1f}"
+    print(f"{t['label']}: work {r['workPct']:.1f}% / "
+          f"barrier {r['barrierPct']:.1f}% / drain {r['drainPct']:.1f}% / "
+          f"other {r['otherPct']:.1f}%")
+assert prof["windows"]["count"] > 0, "no conservative windows recorded"
+print(f"windows: {prof['windows']['count']} "
+      f"(width mean {prof['windows']['widthMean']:.2f} cycles)")
+EOF
+
+    # Overhead gate: the serial wheel micro benchmark with profiling
+    # enabled must stay within 3% of the disabled run. The bench
+    # interleaves the two configurations in-process (best of 5 each) so
+    # host noise — frequency scaling, a shared CI box — biases both
+    # sides the same way instead of masquerading as overhead.
+    echo "--- overhead gate (profiler off vs on, in-process best of 5)"
+    build/bench/engine_throughput --prof-overhead \
+        --out="$out/overhead.json"
+    python3 - "$out/overhead.json" <<'EOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+print(f"wheel micro: {d['offEventsPerSec']:.3g} ev/s off, "
+      f"{d['onEventsPerSec']:.3g} ev/s on "
+      f"({d['overheadPct']:.2f}% overhead)")
+assert d["overheadPct"] <= 3.0, \
+    f"profiler-on overhead exceeds 3%: {d['overheadPct']:.2f}%"
+print("prof overhead gate OK")
+EOF
+}
+
 case "$STAGE" in
     tier1)       run_tier1 ;;
     sanitize)    run_sanitize ;;
@@ -307,13 +371,14 @@ case "$STAGE" in
     perf-smoke)  run_perf_smoke ;;
     chaos)       run_chaos ;;
     tsan)        run_tsan ;;
+    prof)        run_prof ;;
     all)         run_tier1; run_sanitize; run_tidy; run_lint; run_format
                  run_trace; run_determinism; run_perf_smoke; run_chaos
-                 run_tsan ;;
+                 run_tsan; run_prof ;;
     *)
         echo "unknown stage '$STAGE'" \
              "(want tier1|sanitize|tidy|lint|format|trace|determinism|" \
-             "perf-smoke|chaos|tsan|all)" >&2
+             "perf-smoke|chaos|tsan|prof|all)" >&2
         exit 2
         ;;
 esac

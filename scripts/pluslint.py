@@ -12,7 +12,8 @@ output. scripts/ci.sh verifies that dynamically; pluslint enforces the
                             plus::sortedView() (common/determinism.hpp).
   R2  wall-clock            no std::chrono::{system,steady,high_resolution}
                             _clock, time(), clock(), gettimeofday(),
-                            std::random_device, rand()/srand() outside files
+                            std::random_device, rand()/srand(), or cycle
+                            counters (__rdtsc and friends) outside files
                             annotated PLUS_HOST_ONLY("reason").
   R3  pointer-order         no pointer-keyed std::map/std::set and no
                             std::less<T*> — allocation addresses differ run
@@ -75,7 +76,8 @@ ORDERED_TYPES = {"map", "set", "multimap", "multiset", "vector", "deque",
 R2_BANNED_IDS = {"system_clock", "steady_clock", "high_resolution_clock",
                  "random_device"}
 R2_BANNED_CALLS = {"time", "clock", "rand", "srand", "gettimeofday",
-                   "clock_gettime", "timespec_get", "localtime", "gmtime"}
+                   "clock_gettime", "timespec_get", "localtime", "gmtime",
+                   "__rdtsc", "__builtin_ia32_rdtsc", "__builtin_readcyclecounter"}
 R5_BANNED_CALLS = {"getenv", "secure_getenv", "setenv", "putenv", "unsetenv"}
 R4_SKIP_STARTERS = {"using", "typedef", "namespace", "template", "friend",
                     "static_assert", "extern", "struct", "class", "union",

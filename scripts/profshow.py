@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""profshow — render plus::prof host-time profile JSON as tables.
+
+The profiler (src/telemetry/prof.hpp, docs/OBSERVABILITY.md) writes one
+JSON object per run via --prof-out. This script turns it into the two
+tables people actually read:
+
+  - per-thread phase breakdown: exclusive milliseconds, call counts and
+    percent of the run wall per phase (engine.run, proto.handle,
+    par.barrier, ...), plus the {work, barrier-wait, mailbox-drain,
+    other} rollup that answers "where does the parallel backend's time
+    go";
+  - window statistics: how many conservative windows the parallel run
+    committed, their width in simulated cycles, events per window and
+    mailbox volume — the numbers that explain the barrier percentage.
+
+Usage:
+    scripts/profshow.py prof.json [prof2.json ...]
+    some_bench --prof-out=/dev/stdout | scripts/profshow.py -
+
+Accepts either a bare prof object or a bench JSON embedding one under a
+"prof" key (sim_harness --out) or per-thread-count rollups under
+"profile" (BENCH_parallel.json).
+"""
+
+import json
+import sys
+
+
+def fmt(value, digits=1):
+    if isinstance(value, float):
+        return f"{value:,.{digits}f}"
+    return f"{value:,}"
+
+
+def table(rows, header):
+    widths = [
+        max(len(str(r[i])) for r in [header] + rows)
+        for i in range(len(header))
+    ]
+    def line(cells):
+        return "  ".join(str(c).ljust(w) for c, w in zip(cells, widths))
+    out = [line(header), "-" * (sum(widths) + 2 * (len(widths) - 1))]
+    out.extend(line(r) for r in rows)
+    return "\n".join(out)
+
+
+def show_prof(prof, label=""):
+    if label:
+        print(f"== {label} ==")
+    wall_ms = prof.get("runWallNs", 0) / 1e6
+    print(f"run wall: {fmt(wall_ms, 2)} ms"
+          f"   lookahead: {prof.get('lookahead', 0)} cycles")
+
+    rows = []
+    for t in prof.get("threads", []):
+        first = True
+        for phase, d in t.get("phases", {}).items():
+            rows.append([
+                t["label"] if first else "",
+                phase,
+                fmt(d["ns"] / 1e6, 2),
+                fmt(d["count"]),
+                fmt(d["pct"], 1),
+            ])
+            first = False
+        r = t.get("rollup")
+        if r:
+            rows.append([
+                t["label"] if first else "",
+                "(rollup)",
+                "-",
+                "-",
+                "work {} / barrier {} / drain {} / other {}".format(
+                    fmt(r["workPct"], 1), fmt(r["barrierPct"], 1),
+                    fmt(r["drainPct"], 1), fmt(r["otherPct"], 1)),
+            ])
+    if rows:
+        print()
+        print(table(rows, ["thread", "phase", "ms", "count", "% wall"]))
+
+    w = prof.get("windows", {})
+    if w.get("count", 0) > 0:
+        print()
+        print(table(
+            [[fmt(w["count"]),
+              f"{fmt(w['widthMean'], 2)} ({w['widthMin']}..{w['widthMax']})",
+              f"{fmt(w['eventsMean'], 2)} ({w['eventsMin']}..{w['eventsMax']})",
+              fmt(w["mailSum"])]],
+            ["windows", "width (cycles)", "events/window", "mail"]))
+    print()
+
+
+def show_profile_map(profile):
+    """BENCH_parallel.json style: {"<threads>": {rollup, threads, ...}}."""
+    for count in sorted(profile, key=lambda k: int(k)):
+        p = profile[count]
+        print(f"== {count} thread(s): {fmt(p['windows'])} windows, "
+              f"width mean {fmt(p['widthMean'], 2)} cycles, "
+              f"{fmt(p['eventsMean'], 2)} events/window, "
+              f"mail {fmt(p['mailSum'])} ==")
+        rows = []
+        agg = p.get("rollup")
+        if agg:
+            rows.append(["(all)", fmt(agg["workPct"], 1),
+                         fmt(agg["barrierPct"], 1), fmt(agg["drainPct"], 1),
+                         fmt(agg["otherPct"], 1)])
+        for label, r in p.get("threads", {}).items():
+            rows.append([label, fmt(r["workPct"], 1),
+                         fmt(r["barrierPct"], 1), fmt(r["drainPct"], 1),
+                         fmt(r["otherPct"], 1)])
+        print(table(rows, ["thread", "work %", "barrier %", "drain %",
+                           "other %"]))
+        print()
+
+
+def show_file(path):
+    if path == "-":
+        doc = json.load(sys.stdin)
+    else:
+        with open(path) as f:
+            doc = json.load(f)
+    if "threads" in doc and "runWallNs" in doc:
+        show_prof(doc, label=path if path != "-" else "")
+    elif "prof" in doc:
+        show_prof(doc["prof"], label=doc.get("bench", path))
+    elif "profile" in doc:
+        show_profile_map(doc["profile"])
+    else:
+        sys.exit(f"{path}: no prof data (want a --prof-out file, a bench "
+                 "JSON with a \"prof\" key, or one with \"profile\")")
+
+
+def main(argv):
+    if len(argv) < 2 or argv[1] in ("-h", "--help"):
+        print(__doc__.strip())
+        return 0 if len(argv) >= 2 else 2
+    for path in argv[1:]:
+        show_file(path)
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main(sys.argv))
+    except BrokenPipeError:  # e.g. piped into head/less
+        sys.exit(0)

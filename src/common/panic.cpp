@@ -1,6 +1,21 @@
 #include "common/panic.hpp"
 
 namespace plus {
+
+namespace {
+
+// pluslint: allow(R4) -- process-wide diagnostic hook; only decorates
+// panic text, never feeds simulation state.
+PanicDecorator g_decorator = nullptr; // NOLINT(cppcoreguidelines-avoid-non-const-global-variables)
+
+} // namespace
+
+void
+setPanicDecorator(PanicDecorator fn)
+{
+    g_decorator = fn;
+}
+
 namespace detail {
 
 void
@@ -8,6 +23,9 @@ throwPanic(const char* file, int line, const std::string& msg)
 {
     std::ostringstream os;
     os << "panic: " << msg << " (" << file << ":" << line << ")";
+    if (g_decorator != nullptr) {
+        os << g_decorator();
+    }
     throw PanicError(os.str());
 }
 

@@ -28,6 +28,17 @@ class PanicError : public std::logic_error {
     explicit PanicError(const std::string& what) : std::logic_error(what) {}
 };
 
+/**
+ * Optional hook appended to every panic message. Diagnostic layers
+ * (the host-time profiler's flight recorder) install one so stall and
+ * invariant-failure reports carry recent per-thread activity. The
+ * decorator must be safe to call from any thread and must not throw.
+ */
+using PanicDecorator = std::string (*)();
+
+/** Install @p fn (nullptr to clear). Not thread-safe vs. a racing panic. */
+void setPanicDecorator(PanicDecorator fn);
+
 namespace detail {
 
 [[noreturn]] void throwPanic(const char* file, int line,

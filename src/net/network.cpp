@@ -7,6 +7,7 @@
 #include "net/fault_injector.hpp"
 #include "net/reliable_link.hpp"
 #include "sim/engine.hpp"
+#include "telemetry/prof.hpp"
 
 namespace plus {
 namespace net {
@@ -102,6 +103,7 @@ void
 Network::deliverUp(Packet packet, unsigned hops, Cycles injected_at,
                    Cycles queueing)
 {
+    const prof::ScopedPhase prof_scope(prof::Phase::NetDeliver);
     NetworkStats& s = shard();
     s.packets += 1;
     s.payloadBytes += packet.payloadBytes;

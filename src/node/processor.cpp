@@ -5,6 +5,7 @@
 #include "common/log.hpp"
 #include "common/panic.hpp"
 #include "sim/engine.hpp"
+#include "telemetry/prof.hpp"
 
 namespace plus {
 namespace node {
@@ -168,6 +169,7 @@ Processor::dispatch()
     if (current_ != kNone || readyQueue_.empty()) {
         return;
     }
+    const prof::ScopedPhase prof_scope(prof::Phase::ProcDispatch);
     const unsigned t = readyQueue_.front();
     readyQueue_.pop_front();
     PLUS_ASSERT(threads_[t].state == ThreadState::Ready,

@@ -8,6 +8,7 @@
 #include "common/panic.hpp"
 #include "net/network.hpp"
 #include "sim/engine.hpp"
+#include "telemetry/prof.hpp"
 
 namespace plus {
 namespace proto {
@@ -543,6 +544,7 @@ CoherenceManager::sendPageCopyBatch(FrameId src_frame, PhysPage dst,
 void
 CoherenceManager::onPacket(net::Packet packet)
 {
+    const prof::ScopedPhase prof_scope(prof::Phase::ProtoHandle);
     PLUS_ASSERT(dynamic_cast<ProtoMsg*>(packet.payload.get()) != nullptr,
                 "non-protocol packet at coherence manager");
     std::unique_ptr<ProtoMsg> msg(

@@ -6,6 +6,7 @@
 #include "common/log.hpp"
 #include "common/panic.hpp"
 #include "sim/parallel.hpp"
+#include "telemetry/prof.hpp"
 
 namespace plus {
 namespace sim {
@@ -267,6 +268,8 @@ Engine::runUntil(Cycles limit)
         par_->run(limit);
         return;
     }
+    const prof::RunTimer prof_run;
+    const prof::ScopedPhase prof_scope(prof::Phase::EngineRun);
     // Daemon events execute interleaved with ordinary work but must not
     // keep the loop spinning on their own, so the exit check looks at
     // the ordinary count, not the raw queue.

@@ -1,9 +1,11 @@
 #include "sim/parallel.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <utility>
 
 #include "common/panic.hpp"
+#include "telemetry/prof.hpp"
 
 namespace plus {
 namespace sim {
@@ -96,14 +98,23 @@ ParallelEngine::shutdownWorkers()
 void
 ParallelEngine::workerLoop(unsigned index)
 {
+    if (prof::enabled()) {
+        char name[16];
+        std::snprintf(name, sizeof(name), "worker%u", index);
+        prof::setThreadLabel(name);
+    }
     Domain& d = *domains_[index];
     std::uint64_t seen = 0;
     for (;;) {
-        arrived_.fetch_add(1, std::memory_order_release);
-        awaitEpoch(seen);
+        {
+            const prof::ScopedPhase wait(prof::Phase::ParBarrier);
+            arrived_.fetch_add(1, std::memory_order_release);
+            awaitEpoch(seen);
+        }
         if (cmd_ == Cmd::Exit) {
             return;
         }
+        const prof::ScopedPhase work(prof::Phase::ParWork);
         executeWindow(d, bound_);
     }
 }
@@ -491,11 +502,50 @@ ParallelEngine::run(Cycles limit)
                 "parallel run needs a lookahead >= 1 cycle (set from the "
                 "network's minimum cross-node latency)");
     startWorkers();
+    const prof::RunTimer prof_run;
+    const bool profiling = prof::enabled();
+    // Per-window stats deltas: dp->executed/mailed are plain fields the
+    // coordinator may only read after awaitArrivals() (workers publish
+    // via the arrived_ release/acquire pair).
+    const auto mailedNow = [this] {
+        std::uint64_t n = 0;
+        for (const auto& dp : domains_) {
+            n += dp->mailed;
+        }
+        return n;
+    };
+    std::uint64_t prevExecuted = 0;
+    std::uint64_t prevMailed = 0;
+    std::uint64_t openWidth = 0;
+    bool windowOpen = false;
+    if (profiling) {
+        prof::setThreadLabel("coord");
+        prof::noteLookahead(host_.lookahead_);
+        prevExecuted = domainExecuted();
+        prevMailed = mailedNow();
+    }
     for (;;) {
-        awaitArrivals();
+        {
+            const prof::ScopedPhase wait(prof::Phase::ParBarrier);
+            awaitArrivals();
+        }
+        if (windowOpen) {
+            const std::uint64_t e = domainExecuted();
+            const std::uint64_t m = mailedNow();
+            prof::noteWindow(openWidth, e - prevExecuted, m - prevMailed);
+            prevExecuted = e;
+            prevMailed = m;
+            windowOpen = false;
+        }
         rethrowWorkerError();
-        replayDeferred();
-        drainMail();
+        {
+            const prof::ScopedPhase replay(prof::Phase::ParReplay);
+            replayDeferred();
+        }
+        {
+            const prof::ScopedPhase drain(prof::Phase::ParDrain);
+            drainMail();
+        }
         if (host_.stopping_.load(std::memory_order_relaxed)) {
             break;
         }
@@ -541,6 +591,7 @@ ParallelEngine::run(Cycles limit)
                 break;
             }
             if (hasGlobal && (!anyDomain || gk < dmin)) {
+                const prof::ScopedPhase mach(prof::Phase::ParMachine);
                 host_.dispatchNext(limit);
                 continue;
             }
@@ -561,8 +612,15 @@ ParallelEngine::run(Cycles limit)
             }
             bound_ = bound;
             ++windows_;
+            if (profiling) {
+                openWidth = bound.when - dmin.when;
+                windowOpen = true;
+            }
             signal(Cmd::Window);
-            executeWindow(*domains_[0], bound);
+            {
+                const prof::ScopedPhase work(prof::Phase::ParWork);
+                executeWindow(*domains_[0], bound);
+            }
             break;
         }
         if (done) {

@@ -91,7 +91,9 @@ MetricsRegistry::snapshot(Cycles now) const
         d.mean = hist->mean();
         d.p50 = hist->percentile(50.0);
         d.p90 = hist->percentile(90.0);
+        d.p95 = hist->percentile(95.0);
         d.p99 = hist->percentile(99.0);
+        d.p999 = hist->percentile(99.9);
         snap.distributions.emplace_back(name, d);
     }
     return snap;
@@ -113,7 +115,9 @@ MetricsRegistry::renderTable(const Snapshot& snap)
                       "n=" + TablePrinter::num(d.count) +
                           " mean=" + TablePrinter::num(d.mean, 1) +
                           " p50=" + TablePrinter::num(d.p50, 1) +
+                          " p95=" + TablePrinter::num(d.p95, 1) +
                           " p99=" + TablePrinter::num(d.p99, 1) +
+                          " p999=" + TablePrinter::num(d.p999, 1) +
                           " max=" + TablePrinter::num(d.max, 1)});
     }
     return table.toString();
@@ -145,7 +149,9 @@ MetricsRegistry::writeJson(std::ostream& os, const Snapshot& snap)
            << ",\"mean\":" << jsonNumber(d.mean)
            << ",\"p50\":" << jsonNumber(d.p50)
            << ",\"p90\":" << jsonNumber(d.p90)
-           << ",\"p99\":" << jsonNumber(d.p99) << "}";
+           << ",\"p95\":" << jsonNumber(d.p95)
+           << ",\"p99\":" << jsonNumber(d.p99)
+           << ",\"p999\":" << jsonNumber(d.p999) << "}";
         first = false;
     }
     os << "}}";

@@ -40,7 +40,9 @@ struct DistSummary {
     double mean = 0.0;
     double p50 = 0.0;
     double p90 = 0.0;
+    double p95 = 0.0;
     double p99 = 0.0;
+    double p999 = 0.0;
 };
 
 /** Named, typed, pull-based metric sources. */

@@ -43,6 +43,7 @@ EventRing::push(const TraceEvent& event)
         events_.push_back(event);
     } else {
         events_[static_cast<std::size_t>(recorded_ % capacity_)] = event;
+        ++dropped_;
     }
     ++recorded_;
 }
@@ -66,6 +67,11 @@ Telemetry::registerMetrics(MetricsRegistry& registry)
     registry.addCounter("telemetry.events.recorded",
                         [this] { return ring_.recorded(); });
     registry.addCounter("telemetry.events.dropped",
+                        [this] { return ring_.dropped(); });
+    // Alias under the trace.* prefix: the ring overwriting the oldest
+    // record is a tracing fidelity loss, and stats snapshots should
+    // say so where trace consumers look for it.
+    registry.addCounter("telemetry.trace.dropped",
                         [this] { return ring_.dropped(); });
     for (std::size_t t = 0;
          t < static_cast<std::size_t>(proto::MsgType::NumTypes); ++t) {

@@ -86,12 +86,12 @@ class EventRing
     /** Events ever pushed (including overwritten ones). */
     std::uint64_t recorded() const { return recorded_; }
 
-    /** Events lost to wrap-around. */
-    std::uint64_t
-    dropped() const
-    {
-        return recorded_ > events_.size() ? recorded_ - events_.size() : 0;
-    }
+    /**
+     * Events lost to wrap-around. Counted explicitly at each
+     * overwrite so overflow is an observable signal (surfaced as the
+     * telemetry.trace.dropped counter), not a silent loss.
+     */
+    std::uint64_t dropped() const { return dropped_; }
 
     std::size_t capacity() const { return capacity_; }
 
@@ -112,6 +112,7 @@ class EventRing
     std::size_t capacity_;
     std::vector<TraceEvent> events_;
     std::uint64_t recorded_ = 0;
+    std::uint64_t dropped_ = 0;
 };
 
 class MetricsRegistry;

@@ -1,0 +1,308 @@
+/**
+ * @file
+ * The host-time profiler (plus::prof): off means free and silent, on
+ * means per-thread exclusive-time attribution, a flight recorder that
+ * rides along on every panic (including the watchdog's stall report),
+ * JSON output with per-thread rollups, and — on the parallel backend —
+ * per-window statistics and a barrier-wait breakdown for every worker.
+ *
+ * The profiler reads host clocks by design (it is PLUS_HOST_ONLY), so
+ * these tests assert structure and ordering properties, never absolute
+ * times: which phases recorded, who billed whom, what the dump and the
+ * JSON contain.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <deque>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/determinism.hpp"
+#include "common/panic.hpp"
+#include "core/context.hpp"
+#include "plus/plus.hpp"
+#include "telemetry/prof.hpp"
+
+namespace plus {
+namespace {
+
+PLUS_HOST_ONLY("exercises the host-time profiler; asserts structure, "
+               "not simulation state");
+
+/** Burn host time so a scope has something to measure. */
+void
+spin(std::uint64_t iters)
+{
+    volatile std::uint64_t sink = 0;
+    for (std::uint64_t i = 0; i < iters; ++i) {
+        sink = sink + i;
+    }
+}
+
+/** This thread's entry in a fresh collect(), or nullptr. */
+const prof::Summary::Thread*
+threadNamed(const prof::Summary& s, const std::string& label)
+{
+    for (const prof::Summary::Thread& t : s.threads) {
+        if (t.label == label) {
+            return &t;
+        }
+    }
+    return nullptr;
+}
+
+std::uint64_t
+countOf(const prof::Summary& s, prof::Phase phase)
+{
+    std::uint64_t n = 0;
+    for (const prof::Summary::Thread& t : s.threads) {
+        n += t.count[static_cast<std::size_t>(phase)];
+    }
+    return n;
+}
+
+TEST(Prof, DisabledScopesRecordNothing)
+{
+    prof::enable(false);
+    prof::reset();
+    {
+        const prof::ScopedPhase scope(prof::Phase::ProtoHandle);
+        spin(1000);
+    }
+    prof::noteWindow(4, 10, 2);
+    prof::noteLookahead(7);
+    const prof::Summary s = prof::collect();
+    EXPECT_EQ(countOf(s, prof::Phase::ProtoHandle), 0u);
+    EXPECT_EQ(s.windows, 0u);
+    EXPECT_EQ(s.lookahead, 0u);
+    EXPECT_TRUE(prof::flightRecorderDump().empty());
+}
+
+TEST(Prof, NestedScopesBillExclusiveTime)
+{
+    prof::enable(true);
+    prof::reset();
+    prof::setThreadLabel("t0");
+    {
+        const prof::ScopedPhase outer(prof::Phase::EngineRun);
+        {
+            const prof::ScopedPhase inner(prof::Phase::ProtoHandle);
+            spin(2'000'000); // the inner scope does all the work
+        }
+    }
+    const prof::Summary s = prof::collect();
+    const prof::Summary::Thread* t = threadNamed(s, "t0");
+    ASSERT_NE(t, nullptr);
+    const auto outer_ix = static_cast<std::size_t>(prof::Phase::EngineRun);
+    const auto inner_ix =
+        static_cast<std::size_t>(prof::Phase::ProtoHandle);
+    EXPECT_EQ(t->count[outer_ix], 1u);
+    EXPECT_EQ(t->count[inner_ix], 1u);
+    EXPECT_GT(t->ticks[inner_ix], 0u);
+    // Exclusive accounting: the busy-wait belongs to the inner phase,
+    // so the outer phase keeps only its own (tiny) share.
+    EXPECT_LT(t->ticks[outer_ix], t->ticks[inner_ix]);
+}
+
+TEST(Prof, WindowStatsAggregate)
+{
+    prof::enable(true);
+    prof::reset();
+    prof::noteLookahead(3);
+    prof::noteWindow(4, 10, 2);
+    prof::noteWindow(2, 0, 0);
+    prof::noteWindow(6, 5, 1);
+    const prof::Summary s = prof::collect();
+    EXPECT_EQ(s.lookahead, 3u);
+    EXPECT_EQ(s.windows, 3u);
+    EXPECT_EQ(s.windowWidthSum, 12u);
+    EXPECT_EQ(s.windowWidthMin, 2u);
+    EXPECT_EQ(s.windowWidthMax, 6u);
+    EXPECT_EQ(s.windowEventsSum, 15u);
+    EXPECT_EQ(s.windowEventsMin, 0u);
+    EXPECT_EQ(s.windowEventsMax, 10u);
+    EXPECT_EQ(s.windowMailSum, 3u);
+}
+
+TEST(Prof, FlightRecorderKeepsRecentScopes)
+{
+    prof::enable(true);
+    prof::reset();
+    for (int i = 0; i < 3; ++i) {
+        const prof::ScopedPhase scope(prof::Phase::NetDeliver);
+        spin(100);
+    }
+    const std::string dump = prof::flightRecorderDump();
+    EXPECT_NE(dump.find("prof flight recorder"), std::string::npos)
+        << dump;
+    EXPECT_NE(dump.find("net.deliver"), std::string::npos) << dump;
+}
+
+TEST(Prof, PanicCarriesTheFlightRecorder)
+{
+    prof::enable(true);
+    prof::reset();
+    {
+        const prof::ScopedPhase scope(prof::Phase::ProcDispatch);
+        spin(100);
+    }
+    try {
+        PLUS_PANIC("prof test panic");
+        FAIL() << "PLUS_PANIC returned";
+    } catch (const PanicError& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("prof test panic"), std::string::npos);
+        EXPECT_NE(what.find("prof flight recorder"), std::string::npos)
+            << what;
+        EXPECT_NE(what.find("proc.dispatch"), std::string::npos) << what;
+    }
+}
+
+TEST(Prof, WriteJsonEmitsRollupAndWindows)
+{
+    prof::enable(true);
+    prof::reset();
+    prof::noteLookahead(2);
+    prof::noteWindow(4, 8, 1);
+    {
+        const prof::ScopedPhase work(prof::Phase::ParWork);
+        spin(10'000);
+    }
+    {
+        const prof::ScopedPhase wait(prof::Phase::ParBarrier);
+        spin(10'000);
+    }
+    std::ostringstream os;
+    prof::writeJson(os);
+    const std::string json = os.str();
+    for (const char* key :
+         {"\"enabled\":true", "\"ticksPerSec\"", "\"runWallNs\"",
+          "\"lookahead\":2", "\"windows\"", "\"count\":1", "\"threads\"",
+          "\"par.work\"", "\"par.barrier\"", "\"rollup\"", "\"workPct\"",
+          "\"barrierPct\"", "\"drainPct\"", "\"otherPct\""}) {
+        EXPECT_NE(json.find(key), std::string::npos)
+            << "missing " << key << " in: " << json;
+    }
+}
+
+TEST(Prof, RollupCoversTheWholeWall)
+{
+    prof::Summary::Thread t;
+    t.ticks[static_cast<std::size_t>(prof::Phase::ParWork)] = 400;
+    t.ticks[static_cast<std::size_t>(prof::Phase::ParBarrier)] = 500;
+    t.ticks[static_cast<std::size_t>(prof::Phase::ParDrain)] = 50;
+    const prof::Rollup r = prof::rollupOf(t, 1000);
+    EXPECT_NEAR(r.workPct, 40.0, 1e-9);
+    EXPECT_NEAR(r.barrierPct, 50.0, 1e-9);
+    EXPECT_NEAR(r.drainPct, 5.0, 1e-9);
+    EXPECT_NEAR(r.otherPct, 5.0, 1e-9);
+    EXPECT_NEAR(r.workPct + r.barrierPct + r.drainPct + r.otherPct, 100.0,
+                1e-9);
+}
+
+/** The sim_harness mixed workload, shrunk to unit-test size. */
+void
+runSmallHarness(Engine backend, unsigned threads)
+{
+    constexpr unsigned kNodes = 8;
+    auto machine_ptr = MachineBuilder()
+                           .nodes(kNodes)
+                           .framesPerNode(64)
+                           .engine(backend)
+                           .threads(threads)
+                           .build();
+    core::Machine& m = *machine_ptr;
+    std::vector<Addr> pages(kNodes);
+    for (NodeId n = 0; n < kNodes; ++n) {
+        pages[n] = m.alloc(kPageBytes, n);
+        m.replicate(pages[n], (n + 1) % kNodes);
+    }
+    m.settle();
+    for (NodeId n = 0; n < kNodes; ++n) {
+        m.spawn(n, [&pages, n](core::Context& ctx) {
+            for (Word i = 0; i < 8; ++i) {
+                ctx.write(pages[n] + 4 * (i % 8), n * 100 + i);
+                ctx.read(pages[(n + 1) % kNodes] + 4 * (i % 8));
+                ctx.compute(15);
+            }
+            ctx.fence();
+        });
+    }
+    m.run();
+}
+
+TEST(Prof, ParallelRunProducesPerThreadBreakdown)
+{
+    prof::enable(true);
+    prof::reset();
+    runSmallHarness(Engine::Parallel, 2);
+    const prof::Summary s = prof::collect();
+
+    // The coordinator relabels itself and one worker thread spins up.
+    const prof::Summary::Thread* coord = threadNamed(s, "coord");
+    const prof::Summary::Thread* worker = threadNamed(s, "worker1");
+    ASSERT_NE(coord, nullptr);
+    ASSERT_NE(worker, nullptr);
+    const auto barrier_ix =
+        static_cast<std::size_t>(prof::Phase::ParBarrier);
+    const auto work_ix = static_cast<std::size_t>(prof::Phase::ParWork);
+    EXPECT_GT(coord->count[barrier_ix], 0u);
+    EXPECT_GT(coord->count[work_ix], 0u);
+    EXPECT_GT(worker->count[barrier_ix], 0u);
+    EXPECT_GT(worker->count[work_ix], 0u);
+
+    // Conservative windows were measured.
+    EXPECT_GT(s.windows, 0u);
+    EXPECT_GT(s.windowEventsSum, 0u);
+    EXPECT_GE(s.lookahead, 1u);
+
+    // Every thread's rollup attributes the full wall clock.
+    for (const prof::Summary::Thread& t : s.threads) {
+        const prof::Rollup r = prof::rollupOf(t, s.runWallTicks);
+        EXPECT_NEAR(r.workPct + r.barrierPct + r.drainPct + r.otherPct,
+                    100.0, 0.01)
+            << t.label;
+    }
+    prof::enable(false);
+}
+
+TEST(Prof, WatchdogStallDumpIncludesFlightRecorder)
+{
+    // A permanent partition with unlimited retransmits: only the
+    // watchdog can diagnose the hang, and with profiling on its panic
+    // must carry the per-thread flight recorder.
+    setenv("PLUS_ENGINE", "wheel", 1);
+    prof::enable(true);
+    prof::reset();
+    MachineConfig cfg;
+    cfg.nodes = 4;
+    cfg.network.fault.enabled = true;
+    cfg.network.fault.maxRetransmits = 0;
+    cfg.network.fault.script.push_back(
+        {1, FaultScriptEntry::Kind::LinkDown, 0, 1});
+    cfg.watchdog.enabled = true;
+    cfg.watchdog.windowCycles = 1u << 15;
+    core::Machine m(cfg);
+    const Addr a = m.alloc(8, 0); // homed on node 0
+    m.spawn(1, [&](core::Context& ctx) { ctx.read(a); });
+    try {
+        m.run();
+        FAIL() << "expected the watchdog to panic";
+    } catch (const PanicError& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("watchdog"), std::string::npos) << what;
+        EXPECT_NE(what.find("prof flight recorder"), std::string::npos)
+            << what;
+        // The stalled run still dispatched processor work before
+        // hanging; its phase records are in the dump.
+        EXPECT_NE(what.find("proc.dispatch"), std::string::npos) << what;
+    }
+    prof::enable(false);
+    unsetenv("PLUS_ENGINE");
+}
+
+} // namespace
+} // namespace plus

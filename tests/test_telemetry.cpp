@@ -86,6 +86,43 @@ TEST(MetricsRegistry, TableAndJsonRenderAllSources)
     EXPECT_NE(json.find("\"net.packets\":42"), std::string::npos);
     EXPECT_NE(json.find("\"distributions\""), std::string::npos);
     EXPECT_NE(json.find("\"p99\""), std::string::npos);
+    EXPECT_NE(json.find("\"p95\""), std::string::npos);
+    EXPECT_NE(json.find("\"p999\""), std::string::npos);
+}
+
+TEST(MetricsRegistry, PercentilesMatchKnownDistributions)
+{
+    // 1..1000 inserted in a scrambled order: nearest-rank percentiles
+    // have closed-form expectations (rank = round(p/100 * (n-1))).
+    MetricsRegistry reg;
+    Histogram hist;
+    for (int i = 0; i < 1000; ++i) {
+        hist.record(static_cast<double>((i * 617) % 1000 + 1));
+    }
+    reg.addDistribution("u", &hist);
+    const auto snap = reg.snapshot(0);
+    ASSERT_EQ(snap.distributions.size(), 1u);
+    const DistSummary& d = snap.distributions[0].second;
+    EXPECT_EQ(d.count, 1000u);
+    EXPECT_DOUBLE_EQ(d.min, 1.0);
+    EXPECT_DOUBLE_EQ(d.max, 1000.0);
+    EXPECT_DOUBLE_EQ(d.p50, 501.0);
+    EXPECT_DOUBLE_EQ(d.p90, 900.0);
+    EXPECT_DOUBLE_EQ(d.p95, 950.0);
+    EXPECT_DOUBLE_EQ(d.p99, 990.0);
+    EXPECT_DOUBLE_EQ(d.p999, 999.0);
+
+    // A 1-in-100 outlier: p99 rounds to rank 98 (still the common
+    // value); only the p99.9 tail and the max land on the spike.
+    Histogram spike;
+    for (int i = 0; i < 99; ++i) {
+        spike.record(1.0);
+    }
+    spike.record(100.0);
+    EXPECT_DOUBLE_EQ(spike.percentile(50.0), 1.0);
+    EXPECT_DOUBLE_EQ(spike.percentile(99.0), 1.0);
+    EXPECT_DOUBLE_EQ(spike.percentile(99.9), 100.0);
+    EXPECT_DOUBLE_EQ(spike.percentile(100.0), 100.0);
 }
 
 // --- EventRing --------------------------------------------------------------
@@ -370,6 +407,41 @@ TEST(Telemetry, RingCapacityIsRespected)
     std::size_t retained = 0;
     t->events().forEach([&](const TraceEvent&) { ++retained; });
     EXPECT_EQ(retained, 16u);
+}
+
+TEST(Telemetry, RingOverflowIsCountedInMetricsSnapshot)
+{
+    // Ring overflow used to be silent truncation; now every overwrite
+    // shows up as telemetry.trace.dropped in the metrics snapshot.
+    MachineConfig cfg;
+    cfg.nodes = 4;
+    cfg.framesPerNode = 64;
+    cfg.telemetry.trace = true;
+    cfg.telemetry.ringCapacity = 16;
+    core::Machine m(cfg);
+    const Addr page = m.alloc(kPageBytes, 3);
+    m.spawn(0, [page](core::Context& ctx) {
+        for (Word i = 0; i < 32; ++i) {
+            ctx.write(page + 4 * (i % 16), i);
+        }
+        ctx.fence();
+    });
+    m.run();
+
+    const Telemetry* t = m.telemetry();
+    ASSERT_NE(t, nullptr);
+    const std::uint64_t expected = t->events().dropped();
+    ASSERT_GT(expected, 0u);
+
+    const auto snap = m.metricsSnapshot();
+    bool found = false;
+    for (const auto& [name, value] : snap.counters) {
+        if (name == "telemetry.trace.dropped") {
+            found = true;
+            EXPECT_EQ(value, expected);
+        }
+    }
+    EXPECT_TRUE(found) << "telemetry.trace.dropped missing from snapshot";
 }
 
 } // namespace
