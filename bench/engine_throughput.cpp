@@ -276,6 +276,9 @@ struct ParProfile {
     double widthMean = 0.0;
     double eventsMean = 0.0;
     std::uint64_t mailSum = 0;
+    std::uint64_t batches = 0;
+    double windowsPerBatch = 0.0;
+    double eventsPerBatch = 0.0;
     std::vector<std::pair<std::string, plus::prof::Rollup>> threads;
 };
 
@@ -323,7 +326,11 @@ writeParallelJson(std::ostream& os, bool quick, unsigned nodes,
             os << ", \"windows\": " << p.windows
                << ", \"widthMean\": " << p.widthMean
                << ", \"eventsMean\": " << p.eventsMean
-               << ", \"mailSum\": " << p.mailSum << ", \"threads\": {";
+               << ", \"mailSum\": " << p.mailSum
+               << ", \"batches\": " << p.batches
+               << ", \"windowsPerBatch\": " << p.windowsPerBatch
+               << ", \"eventsPerBatch\": " << p.eventsPerBatch
+               << ", \"threads\": {";
             for (std::size_t t = 0; t < p.threads.size(); ++t) {
                 os << (t == 0 ? "" : ", ") << "\"" << p.threads[t].first
                    << "\": ";
@@ -458,6 +465,15 @@ main(int argc, char** argv)
                 p.agg = prof::aggregateRollup(s);
                 p.windows = s.windows;
                 p.mailSum = s.windowMailSum;
+                p.batches = s.batches;
+                if (s.batches > 0) {
+                    p.windowsPerBatch =
+                        static_cast<double>(s.batchWindowsSum) /
+                        static_cast<double>(s.batches);
+                    p.eventsPerBatch =
+                        static_cast<double>(s.batchEventsSum) /
+                        static_cast<double>(s.batches);
+                }
                 if (s.windows > 0) {
                     p.widthMean = static_cast<double>(s.windowWidthSum) /
                                   static_cast<double>(s.windows);

@@ -153,6 +153,19 @@ class MachineBuilder
         return *this;
     }
 
+    /**
+     * Spatial domains for the parallel backend; 0 = auto (up to 4 per
+     * thread). More domains than threads improves load balance; must
+     * be a multiple of the thread count and at most min(nodes, 62).
+     * Ignored by serial backends.
+     */
+    MachineBuilder&
+    domains(unsigned d)
+    {
+        config_.simDomains = d;
+        return *this;
+    }
+
     /** Seed for all workload randomness (and the fault injector's). */
     MachineBuilder&
     seed(std::uint64_t s)

@@ -88,6 +88,14 @@ def show_prof(prof, label=""):
               f"{fmt(w['eventsMean'], 2)} ({w['eventsMin']}..{w['eventsMax']})",
               fmt(w["mailSum"])]],
             ["windows", "width (cycles)", "events/window", "mail"]))
+    b = prof.get("batches", {})
+    if b.get("count", 0) > 0:
+        print()
+        print(table(
+            [[fmt(b["count"]),
+              fmt(b["windowsPerBatchMean"], 2),
+              fmt(b["eventsPerBatchMean"], 2)]],
+            ["batches", "windows/batch", "events/batch"]))
     print()
 
 
@@ -95,10 +103,15 @@ def show_profile_map(profile):
     """BENCH_parallel.json style: {"<threads>": {rollup, threads, ...}}."""
     for count in sorted(profile, key=lambda k: int(k)):
         p = profile[count]
+        batch = ""
+        if p.get("batches", 0) > 0:
+            batch = (f", {fmt(p['batches'])} batches "
+                     f"({fmt(p['windowsPerBatch'], 1)} windows / "
+                     f"{fmt(p['eventsPerBatch'], 1)} events each)")
         print(f"== {count} thread(s): {fmt(p['windows'])} windows, "
               f"width mean {fmt(p['widthMean'], 2)} cycles, "
               f"{fmt(p['eventsMean'], 2)} events/window, "
-              f"mail {fmt(p['mailSum'])} ==")
+              f"mail {fmt(p['mailSum'])}{batch} ==")
         rows = []
         agg = p.get("rollup")
         if agg:

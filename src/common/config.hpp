@@ -361,6 +361,16 @@ struct MachineConfig {
      */
     unsigned simThreads = 0;
 
+    /**
+     * Spatial domains for the parallel backend. Each domain is a
+     * contiguous node range with its own event wheel; threads own
+     * domains round-robin, so more domains than threads improves load
+     * balance on skewed meshes. 0 = pick automatically (up to 4 per
+     * thread). Must be a multiple of the resolved thread count and at
+     * most min(nodes, 62); ignored by the serial backends.
+     */
+    unsigned simDomains = 0;
+
     NetworkConfig network;
     CostModel cost;
     CheckConfig check;

@@ -83,7 +83,19 @@ Machine::Machine(MachineConfig config)
       topology_(1, 1, 1) // replaced below once the config is validated
 {
     config_.validate();
-    engine_.configure(config_.nodes, resolveThreads(config_));
+    const unsigned threads = resolveThreads(config_);
+    if (config_.simDomains != 0 && threads > 1 &&
+        config_.simDomains % threads != 0) {
+        // validate() can only check this when simThreads is explicit;
+        // with the auto thread policy the count is known only here.
+        PLUS_FATAL("simDomains (", config_.simDomains,
+                   ") must be a multiple of the resolved thread count (",
+                   threads, " from the auto policy); set simDomains to ",
+                   (config_.simDomains / threads) * threads, " or ",
+                   ((config_.simDomains / threads) + 1) * threads,
+                   ", or pin simThreads explicitly");
+    }
+    engine_.configure(config_.nodes, threads, config_.simDomains);
     topology_ = net::Topology(config_.nodes, config_.meshWidth(),
                               config_.meshHeight());
     network_ = net::makeNetwork(engine_, topology_, config_.network);
@@ -91,6 +103,9 @@ Machine::Machine(MachineConfig config)
     // machine applies to node-triggered directory operations so every
     // backend executes them at the same cycle.
     engine_.setLookahead(network_->minCrossNodeLatency());
+    if (engine_.parallelActive()) {
+        installLookaheadMatrix();
+    }
     if (config_.network.fault.enabled) {
         network_->enableFaults(config_.network.fault);
     }
@@ -197,9 +212,49 @@ Machine::Machine(MachineConfig config)
     }
 
     registerMetrics();
+    updateMachineMailHint();
 }
 
 Machine::~Machine() = default;
+
+void
+Machine::installLookaheadMatrix()
+{
+    const unsigned dcount = engine_.domains();
+    const std::size_t cells =
+        static_cast<std::size_t>(dcount) * dcount;
+    // Minimum hop distance between each pair of domain node ranges.
+    // O(nodes^2), ctor-only; machines are at most a few thousand nodes.
+    std::vector<unsigned> min_hops(cells, ~0U);
+    for (NodeId a = 0; a < config_.nodes; ++a) {
+        const unsigned da = engine_.domainOfLane(a);
+        for (NodeId b = 0; b < config_.nodes; ++b) {
+            const unsigned db = engine_.domainOfLane(b);
+            if (da == db) {
+                continue;
+            }
+            unsigned& cell = min_hops[da * dcount + db];
+            cell = std::min(cell, topology_.distance(a, b));
+        }
+    }
+    std::vector<Cycles> matrix(cells, 0);
+    for (unsigned i = 0; i < dcount; ++i) {
+        for (unsigned j = 0; j < dcount; ++j) {
+            if (i != j) {
+                matrix[i * dcount + j] =
+                    network_->crossNodeFloor(min_hops[i * dcount + j]);
+            }
+        }
+    }
+    engine_.setLookaheadMatrix(std::move(matrix));
+}
+
+void
+Machine::updateMachineMailHint()
+{
+    engine_.setNodeMachineMailHint(pendingCopies_ != 0 ||
+                                   replThreshold_ != 0);
+}
 
 std::string
 Machine::diagnosticDump()
@@ -619,6 +674,7 @@ Machine::replicate(Addr addr, NodeId target)
     copiesInFlight_.emplace(copy_id, PendingCopy{vpn, target,
                                                  kInvalidNode});
     ++pendingCopies_;
+    updateMachineMailHint();
     // The copy engine's events belong to the anchor node's lane.
     engine_.withNodeContext(anchor.node, [&] {
         nodes_[anchor.node]->cm().startPageCopy(anchor.frame, new_copy,
@@ -646,6 +702,7 @@ Machine::onPageCopyDone(std::uint32_t copy_id)
     const PendingCopy rec = it->second;
     copiesInFlight_.erase(it);
     --pendingCopies_;
+    updateMachineMailHint();
 
     // The new copy is fully written: nodes may now switch their address
     // translation to it. Lazy page tables make this a shootdown; each
@@ -979,6 +1036,7 @@ Machine::enableCompetitiveReplication(std::uint64_t threshold,
             });
         });
     }
+    updateMachineMailHint();
 }
 
 } // namespace core

@@ -268,6 +268,25 @@ class Machine
      * appended to watchdog / retry-exhaustion panics.
      */
     std::string diagnosticDump();
+
+    /**
+     * Compute and install the parallel backend's domain-pair lookahead
+     * matrix: Network::crossNodeFloor() of the minimum mesh hop
+     * distance between each pair of domain node ranges. Ctor-only,
+     * after the network exists and only when the backend is parallel.
+     */
+    void installLookaheadMatrix();
+
+    /**
+     * Arm or disarm the engine's node->machine mail hint. The only
+     * node-context producers of machine-lane events are page-copy
+     * completions and competitive-replication overflow triggers, so
+     * while no page copy is in flight and competitive replication is
+     * unarmed the parallel backend may run whole batches without
+     * checking for machine mail.
+     */
+    void updateMachineMailHint();
+
     void onPageCopyDone(std::uint32_t copy_id);
     void shootdown(Vpn vpn);
     PhysAddr masterOf(Addr addr) const;

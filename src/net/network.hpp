@@ -202,6 +202,18 @@ class Network
      */
     virtual Cycles minCrossNodeLatency() const = 0;
 
+    /**
+     * The smallest accumulated delay any chain of events can take to
+     * carry work across @p hops mesh hops — the per-distance lookahead
+     * floor the parallel backend builds its domain-pair matrix from at
+     * partition time. Monotone and subadditive in @p hops (floor(a) +
+     * floor(b) >= floor(a + b)), so the per-hop schedules of a routed
+     * path never undercut the end-to-end floor; fault-injected delays
+     * only add. Must be >= 1 for hops >= 1 (MachineConfig::validate()
+     * rejects configurations that would yield zero entries).
+     */
+    virtual Cycles crossNodeFloor(unsigned hops) const = 0;
+
     /** Cycles a packet of the given payload occupies one link. */
     Cycles serializationCycles(unsigned payload_bytes) const;
 
@@ -263,6 +275,12 @@ class IdealNetwork : public Network
         return zeroLoadLatency(1);
     }
 
+    /** Packets are delivered end-to-end in one schedule at zero load. */
+    Cycles crossNodeFloor(unsigned hops) const override
+    {
+        return zeroLoadLatency(hops);
+    }
+
   protected:
     void inject(Packet packet) override;
 };
@@ -284,6 +302,12 @@ class MeshNetwork : public Network
     Cycles minCrossNodeLatency() const override
     {
         return config_.perHopCycles;
+    }
+
+    /** Each of the @p hops forwarding events costs >= perHopCycles. */
+    Cycles crossNodeFloor(unsigned hops) const override
+    {
+        return config_.perHopCycles * hops;
     }
 
   protected:

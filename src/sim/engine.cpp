@@ -1,5 +1,6 @@
 #include "sim/engine.hpp"
 
+#include <algorithm>
 #include <string_view>
 
 #include "common/config.hpp"
@@ -47,7 +48,7 @@ Engine::~Engine()
 }
 
 void
-Engine::configure(unsigned nodes, unsigned threads)
+Engine::configure(unsigned nodes, unsigned threads, unsigned domains)
 {
     PLUS_ASSERT(pending_ == 0 && executed_ == 0,
                 "configure() must precede any scheduling");
@@ -60,12 +61,57 @@ Engine::configure(unsigned nodes, unsigned threads)
     if (threads_ >= kGlobalDomain) {
         threads_ = kGlobalDomain - 1; // domain tags leave 63 for machine
     }
+    const unsigned max_domains =
+        nodes_ == 0 ? 1 : std::min(nodes_, kGlobalDomain - 1);
+    if (domains == 0) {
+        // Auto: up to 4 domains per thread. Threads own domains
+        // round-robin, so the extra granularity load-balances skewed
+        // meshes without extra barriers.
+        const unsigned per_thread =
+            std::max(1U, std::min(4U, max_domains / threads_));
+        domains = threads_ * per_thread;
+    }
+    PLUS_ASSERT(domains <= max_domains, "domain count ", domains,
+                " exceeds min(nodes, ", kGlobalDomain - 1, ") = ",
+                max_domains);
+    PLUS_ASSERT(domains % threads_ == 0, "domain count ", domains,
+                " is not a multiple of the thread count ", threads_);
+    domains_ = domains;
     initStep_.assign(nodes_, 0);
     execStep_.assign(nodes_, 0);
     par_.reset();
-    if (impl_ == EngineImpl::Parallel && threads_ > 1) {
-        par_ = std::make_unique<ParallelEngine>(*this, threads_);
+    if (impl_ == EngineImpl::Parallel && threads_ > 1 && domains_ >= 2) {
+        par_ = std::make_unique<ParallelEngine>(*this, threads_, domains_);
     }
+    if (par_ == nullptr) {
+        domains_ = 1; // serial: the whole node space is one domain
+    }
+}
+
+void
+Engine::setLookaheadMatrix(std::vector<Cycles> flat)
+{
+    if (par_ == nullptr) {
+        return; // serial backends have no windows to bound
+    }
+    PLUS_ASSERT(flat.size() ==
+                    static_cast<std::size_t>(domains_) * domains_,
+                "lookahead matrix must be domains^2 = ",
+                static_cast<std::size_t>(domains_) * domains_,
+                " entries, got ", flat.size());
+    for (unsigned i = 0; i < domains_; ++i) {
+        for (unsigned j = 0; j < domains_; ++j) {
+            if (i != j && flat[i * domains_ + j] == 0) {
+                PLUS_FATAL("lookahead matrix entry [", i, "][", j,
+                           "] is 0: no conservative window could ever "
+                           "open between those domains; the network's "
+                           "cross-node floor must be >= 1 cycle (set "
+                           "perHopCycles >= 1, or fixedCycles >= 1 on "
+                           "the ideal network)");
+            }
+        }
+    }
+    par_->setLookaheadMatrix(std::move(flat));
 }
 
 std::uint64_t

@@ -84,7 +84,8 @@ struct EngineStats {
     std::uint64_t executed = 0;     ///< events dispatched
     std::uint64_t cancelled = 0;    ///< successful cancel() calls
     std::uint64_t cascades = 0;     ///< wheel slot redistributions
-    std::uint64_t windows = 0;      ///< parallel synchronisation windows
+    std::uint64_t windows = 0;      ///< parallel per-domain event windows
+    std::uint64_t batches = 0;      ///< parallel window batches (barriers)
     std::uint64_t mailed = 0;       ///< cross-domain mailbox handoffs
     std::size_t slabLive = 0;       ///< records currently allocated
     std::size_t slabHighWater = 0;  ///< peak simultaneous records
@@ -116,28 +117,75 @@ class Engine
     }
 
     /**
-     * Declare the node-lane space and worker-thread count. Must be
-     * called before any withNodeContext()/scheduleForNode() use; the
-     * Machine calls it right after constructing the engine. @p threads
-     * is clamped to [1, nodes] and only matters to the parallel
-     * backend (each thread owns one contiguous spatial domain).
+     * Declare the node-lane space, worker-thread count and spatial
+     * domain count. Must be called before any withNodeContext()/
+     * scheduleForNode() use; the Machine calls it right after
+     * constructing the engine. @p threads is clamped to [1, nodes] and
+     * only matters to the parallel backend. @p domains is the number
+     * of contiguous spatial domains the node space is split into
+     * (threads own domains round-robin; 0 = auto, up to 4 per thread);
+     * it must be a multiple of the thread count and at most
+     * min(nodes, 62).
      */
-    void configure(unsigned nodes, unsigned threads);
+    void configure(unsigned nodes, unsigned threads,
+                   unsigned domains = 0);
 
     /**
-     * Conservative lookahead: the minimum cross-node latency of the
-     * network. The parallel backend executes windows of events with
-     * `key < min pending key + lookahead`; cross-domain schedules must
-     * always be at least this far in the future. Also the delay the
-     * Machine applies to node-triggered machine ops so they execute
+     * Global conservative lookahead floor: the minimum cross-node
+     * latency of the network. Lower-bounds every lookahead-matrix
+     * entry, caps a batch when node->machine mail may be in flight
+     * (see setNodeMachineMailHint) and is the delay the Machine
+     * applies to node-triggered machine ops so they execute
      * stop-the-world. Must be >= 1 before a parallel run with more
      * than one domain.
      */
     void setLookahead(Cycles lookahead) { lookahead_ = lookahead; }
     Cycles lookahead() const { return lookahead_; }
 
+    /**
+     * Distance-aware lookahead matrix for the parallel backend:
+     * @p flat is a domains() x domains() row-major matrix where entry
+     * [src][dst] lower-bounds the delay any chain of events takes to
+     * carry work from a node of domain src to a node of domain dst
+     * (Network::crossNodeFloor of the minimum hop distance between
+     * the domains' node ranges). Entries must be >= 1 off-diagonal
+     * and satisfy the triangle inequality (automatic for floors that
+     * are monotone + subadditive in distance). Installed by the
+     * Machine at partition time; without it the parallel backend
+     * falls back to a uniform matrix of lookahead(). No-op on serial
+     * backends.
+     */
+    void setLookaheadMatrix(std::vector<Cycles> flat);
+
+    /**
+     * Hint: may node-lane events currently schedule machine-lane work
+     * (scheduleMachine from node context)? While true the parallel
+     * backend caps every batch at `global min + lookahead` so a
+     * machine-lane event created mid-batch still executes
+     * stop-the-world in key order; while false batches stretch to the
+     * next already-known machine event, which is where the batching
+     * win comes from. Defaults to true (always safe); the Machine
+     * drops it while no page copies are in flight and competitive
+     * replication is unarmed — the only two node->machine producers.
+     */
+    void setNodeMachineMailHint(bool on) { nodeMachineMailHint_ = on; }
+    bool nodeMachineMailHint() const { return nodeMachineMailHint_; }
+
     unsigned nodes() const { return nodes_; }
     unsigned threads() const { return threads_; }
+    /** Spatial domain count resolved by configure() (1 when serial). */
+    unsigned domains() const { return domains_; }
+
+    /** The domain owning node lane @p lane under the resolved split. */
+    unsigned
+    domainOfLane(unsigned lane) const
+    {
+        return nodes_ == 0
+                   ? 0
+                   : static_cast<unsigned>(
+                         (static_cast<std::uint64_t>(lane) * domains_) /
+                         nodes_);
+    }
 
     /** Schedule @p fn to run @p delay cycles from now. */
     EventId
@@ -354,6 +402,8 @@ class Engine
     Cycles lookahead_ = 0;
     unsigned nodes_ = 0;
     unsigned threads_ = 1;
+    unsigned domains_ = 1;
+    bool nodeMachineMailHint_ = true;
     SchedCtx ctx_;
     std::uint32_t machineSeq_ = 0;
     std::vector<std::uint32_t> initStep_;

@@ -15,11 +15,12 @@ namespace {
 /**
  * Per-thread binding to the domain currently executing a window.
  * Unbound (owner == nullptr) means machine context: the coordinator
- * between windows, or any thread of a different engine.
+ * between batches, or any thread of a different engine.
  */
 struct Bind {
     const void* owner = nullptr;
     void* domain = nullptr;
+    unsigned thread = 0;
 };
 
 // pluslint: allow(R4) -- worker->domain binding for the thread running
@@ -39,26 +40,70 @@ cpuRelax()
 
 constexpr std::uint32_t kIdxMask = (1U << kEventIdxBits) - 1;
 
-constexpr EventKey kMaxKey{~Cycles{0}, ~Cycles{0}, ~std::uint64_t{0}};
+constexpr Cycles kNever = ~Cycles{0};
+
+constexpr EventKey kMaxKey{kNever, kNever, ~std::uint64_t{0}};
+
+/** a + b clamped to the top of the cycle space. */
+inline Cycles
+satAdd(Cycles a, Cycles b)
+{
+    return a >= kNever - b ? kNever : a + b;
+}
+
+/**
+ * Deferred side effects buffered per thread before the batch is forced
+ * to a barrier for a replay drain (bounds replay-buffer memory; the
+ * batch simply reopens afterwards).
+ */
+constexpr std::size_t kDeferredBreak = 131072;
 
 } // namespace
 
-ParallelEngine::Domain::Domain(unsigned idx, unsigned domains)
-    : index(idx), outbox(domains + 1)
+void
+ParallelEngine::MailRing::push(Mail m)
 {
+    const std::uint32_t h = head.load(std::memory_order_acquire);
+    const std::uint32_t t = tail.load(std::memory_order_relaxed);
+    if (t - h < kSlots) {
+        slot[t % kSlots] = std::move(m);
+        tail.store(t + 1, std::memory_order_release);
+        return;
+    }
+    {
+        const std::lock_guard<std::mutex> lock(spillMutex);
+        spill.push_back(std::move(m));
+    }
+    spillCount.fetch_add(1, std::memory_order_release);
 }
 
-ParallelEngine::ParallelEngine(Engine& host, unsigned threads)
-    : host_(host), domainCount_(threads)
+ParallelEngine::Domain::Domain(unsigned idx) : index(idx) {}
+
+ParallelEngine::ParallelEngine(Engine& host, unsigned threads,
+                               unsigned domains)
+    : host_(host), threadCount_(threads), domainCount_(domains)
 {
+    PLUS_ASSERT(threadCount_ >= 2, "parallel engine needs >= 2 threads");
     PLUS_ASSERT(domainCount_ >= 2 && domainCount_ < kGlobalDomain,
                 "parallel engine needs 2..", kGlobalDomain - 1,
                 " domains, got ", domainCount_);
+    PLUS_ASSERT(domainCount_ % threadCount_ == 0,
+                "domain count must be a multiple of the thread count");
     PLUS_ASSERT(host_.nodes_ >= domainCount_,
                 "fewer nodes than domains");
     domains_.reserve(domainCount_);
     for (unsigned i = 0; i < domainCount_; ++i) {
-        domains_.push_back(std::make_unique<Domain>(i, domainCount_));
+        domains_.push_back(std::make_unique<Domain>(i));
+    }
+    pub_ = std::vector<PubMin>(domainCount_);
+    floor_ = std::vector<PubMin>(domainCount_);
+    for (unsigned i = 0; i < domainCount_; ++i) {
+        floor_[i].when.store(kNever, std::memory_order_relaxed);
+    }
+    rings_.reserve(static_cast<std::size_t>(threadCount_) * threadCount_);
+    for (unsigned i = 0;
+         i < static_cast<unsigned>(threadCount_ * threadCount_); ++i) {
+        rings_.push_back(std::make_unique<MailRing>());
     }
     domainNext_.assign(domainCount_, EventKey{});
     domainHasNext_.assign(domainCount_, 0);
@@ -69,14 +114,108 @@ ParallelEngine::~ParallelEngine()
     shutdownWorkers();
 }
 
+ParallelEngine::MailRing&
+ParallelEngine::ringTo(unsigned srcThread, unsigned dstThread)
+{
+    return *rings_[srcThread * threadCount_ + dstThread];
+}
+
+void
+ParallelEngine::noteMailFloor(unsigned dst, Cycles when)
+{
+    // Called by the sender AFTER the mail is visible (ring push or
+    // direct sibling wheel insert) and before the sender's own P is
+    // republished. The release pairs with the acquire loads in the
+    // two-pass snapshot and in foldMailFloor: a reader that observes
+    // this floor also observes the mail.
+    Cycles cur = floor_[dst].when.load(std::memory_order_relaxed);
+    while (when < cur &&
+           !floor_[dst].when.compare_exchange_weak(
+               cur, when, std::memory_order_release,
+               std::memory_order_relaxed)) {
+    }
+}
+
+void
+ParallelEngine::foldMailFloor(unsigned index)
+{
+    // Owner side, top of each batch iteration: lower the published P
+    // under the floor *first*, then wipe the floor. The CAS fails if
+    // a sender lowered the floor concurrently, in which case we fold
+    // again — so a wiped floor always implies the fold is published
+    // (readers load the floor before P, acquiring the wipe and hence
+    // the fold). The mail itself is guaranteed drainable: its write
+    // precedes the floor CAS we observed.
+    Cycles f = floor_[index].when.load(std::memory_order_acquire);
+    while (f != kNever) {
+        if (f < pub_[index].when.load(std::memory_order_relaxed)) {
+            pub_[index].when.store(f, std::memory_order_release);
+        }
+        if (floor_[index].when.compare_exchange_weak(
+                f, kNever, std::memory_order_acq_rel,
+                std::memory_order_acquire)) {
+            break;
+        }
+    }
+}
+
+void
+ParallelEngine::setLookaheadMatrix(std::vector<Cycles> flat)
+{
+    matrix_ = std::move(flat);
+    finalizeMatrix();
+}
+
+void
+ParallelEngine::finalizeMatrix()
+{
+    matrixMin_ = kNever;
+    for (unsigned i = 0; i < domainCount_; ++i) {
+        for (unsigned j = 0; j < domainCount_; ++j) {
+            if (i != j) {
+                matrixMin_ = std::min(matrixMin_, matrixAt(i, j));
+            }
+        }
+    }
+    // Diagonal = minimum round trip: the soonest a domain's own
+    // execution can come back at it through any other domain (the
+    // triangle inequality makes longer reflection paths no shorter).
+    // The window bound includes the u == i term with this value, so a
+    // window never runs past the earliest self-generated reflection.
+    for (unsigned i = 0; i < domainCount_; ++i) {
+        Cycles rt = kNever;
+        for (unsigned u = 0; u < domainCount_; ++u) {
+            if (u != i) {
+                rt = std::min(rt,
+                              satAdd(matrixAt(i, u), matrixAt(u, i)));
+            }
+        }
+        matrix_[static_cast<std::size_t>(i) * domainCount_ + i] = rt;
+    }
+}
+
+void
+ParallelEngine::ensureMatrix()
+{
+    if (!matrix_.empty()) {
+        return;
+    }
+    // No matrix installed (raw Engine users): fall back to a uniform
+    // matrix of the global lookahead — the pre-matrix behaviour.
+    matrix_.assign(
+        static_cast<std::size_t>(domainCount_) * domainCount_,
+        host_.lookahead_);
+    finalizeMatrix();
+}
+
 void
 ParallelEngine::startWorkers()
 {
     if (!workers_.empty()) {
         return;
     }
-    workers_.reserve(domainCount_ - 1);
-    for (unsigned i = 1; i < domainCount_; ++i) {
+    workers_.reserve(threadCount_ - 1);
+    for (unsigned i = 1; i < threadCount_; ++i) {
         workers_.emplace_back([this, i] { workerLoop(i); });
     }
 }
@@ -103,7 +242,6 @@ ParallelEngine::workerLoop(unsigned index)
         std::snprintf(name, sizeof(name), "worker%u", index);
         prof::setThreadLabel(name);
     }
-    Domain& d = *domains_[index];
     std::uint64_t seen = 0;
     for (;;) {
         {
@@ -114,8 +252,7 @@ ParallelEngine::workerLoop(unsigned index)
         if (cmd_ == Cmd::Exit) {
             return;
         }
-        const prof::ScopedPhase work(prof::Phase::ParWork);
-        executeWindow(d, bound_);
+        batchLoop(index);
     }
 }
 
@@ -229,7 +366,7 @@ ParallelEngine::schedule(Cycles when, Event fn, bool daemon,
                          std::uint16_t lane)
 {
     if (t_bind.owner == this) {
-        // Worker context, inside a window.
+        // Worker context, inside a window of a batch.
         Domain& d = *static_cast<Domain*>(t_bind.domain);
         PLUS_ASSERT(when >= d.now, "scheduling into the past: ", when,
                     " < ", d.now);
@@ -237,9 +374,23 @@ ParallelEngine::schedule(Cycles when, Event fn, bool daemon,
         const Cycles schedWhen = d.now;
         const std::uint64_t key2 = host_.makeKey2();
         if (lane == kMachineLane) {
-            d.outbox[domainCount_].push_back(
+            PLUS_ASSERT(batchHint_,
+                        "node->machine mail created while the machine-"
+                        "mail hint is off; call Engine::"
+                        "setNodeMachineMailHint(true) before arming "
+                        "this producer");
+            d.machineBox.push_back(
                 Mail{when, schedWhen, key2, lane, std::move(fn)});
             ++d.mailed;
+            // Publish the floor so concurrent bound computations cap
+            // their windows below this event (release pairs with the
+            // acquire load at the top of each batch iteration).
+            Cycles cur = machineMailMin_.load(std::memory_order_relaxed);
+            while (when < cur &&
+                   !machineMailMin_.compare_exchange_weak(
+                       cur, when, std::memory_order_release,
+                       std::memory_order_relaxed)) {
+            }
             return kInvalidEvent;
         }
         const unsigned dst = domainOf(lane);
@@ -247,12 +398,27 @@ ParallelEngine::schedule(Cycles when, Event fn, bool daemon,
             return insertDomain(d, when, std::move(fn), schedWhen, key2,
                                 lane);
         }
-        PLUS_ASSERT(when >= d.now + host_.lookahead_,
-                    "cross-domain schedule below the lookahead: ", when,
-                    " < ", d.now, " + ", host_.lookahead_);
-        d.outbox[dst].push_back(
-            Mail{when, schedWhen, key2, lane, std::move(fn)});
+        PLUS_ASSERT(when >= satAdd(d.now, matrixAt(d.index, dst)),
+                    "cross-domain schedule below the lookahead-matrix "
+                    "floor: ", when, " < ", d.now, " + ",
+                    matrixAt(d.index, dst));
         ++d.mailed;
+        const unsigned dstThread = dst % threadCount_;
+        if (dstThread == t_bind.thread) {
+            // A sibling domain of this very thread: insert directly.
+            // Its bound this iteration was computed from our published
+            // P, which is <= d.now, so the mail lands at or beyond the
+            // sibling's window bound — never inside it. The floor
+            // still must drop: other threads may have snapshotted the
+            // sibling's P before this insert lowered its wheel.
+            insertDomain(*domains_[dst], when, std::move(fn), schedWhen,
+                         key2, lane);
+            noteMailFloor(dst, when);
+            return kInvalidEvent;
+        }
+        ringTo(t_bind.thread, dstThread)
+            .push(Mail{when, schedWhen, key2, lane, std::move(fn)});
+        noteMailFloor(dst, when);
         return kInvalidEvent;
     }
 
@@ -349,17 +515,29 @@ ParallelEngine::peek(TimingWheel& wheel, EventSlab& slab, EventKey& out)
 }
 
 void
-ParallelEngine::replayDeferred()
+ParallelEngine::replayDeferred(const EventKey& cutoff)
 {
+    // Each domain executes in key order, so its deferred vector is
+    // sorted and the replayable part is a prefix. Splice the prefixes
+    // out, merge-sort them globally, replay. Entries at or above the
+    // cutoff (a key some domain has not yet reached, or the next
+    // machine-lane event) stay buffered for a later barrier — they
+    // may still be overtaken by smaller-key effects.
     std::vector<Deferred> all;
     for (auto& dp : domains_) {
-        if (dp->deferred.empty()) {
+        auto& v = dp->deferred;
+        std::size_t n = 0;
+        while (n < v.size() && v[n].key < cutoff) {
+            ++n;
+        }
+        if (n == 0) {
             continue;
         }
         all.insert(all.end(),
-                   std::make_move_iterator(dp->deferred.begin()),
-                   std::make_move_iterator(dp->deferred.end()));
-        dp->deferred.clear();
+                   std::make_move_iterator(v.begin()),
+                   std::make_move_iterator(v.begin() +
+                                           static_cast<std::ptrdiff_t>(n)));
+        v.erase(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(n));
     }
     if (all.empty()) {
         return;
@@ -401,23 +579,29 @@ ParallelEngine::insertMail(Domain& d, Mail m)
     ++d.scheduled;
 }
 
-void
-ParallelEngine::drainMail()
+bool
+ParallelEngine::drainIncoming(unsigned threadIndex)
 {
-    for (auto& sp : domains_) {
-        Domain& src = *sp;
-        for (unsigned dst = 0; dst < domainCount_; ++dst) {
-            auto& box = src.outbox[dst];
-            if (box.empty()) {
-                continue;
-            }
-            for (Mail& m : box) {
-                insertMail(*domains_[dst], std::move(m));
-            }
-            box.clear();
-        }
-        auto& machineBox = src.outbox[domainCount_];
-        for (Mail& m : machineBox) {
+    bool any = false;
+    for (unsigned src = 0; src < threadCount_; ++src) {
+        any |= ringTo(src, threadIndex).drainInto([this](Mail m) {
+            insertMail(*domains_[domainOf(m.lane)], std::move(m));
+        });
+    }
+    return any;
+}
+
+void
+ParallelEngine::drainResidualMail()
+{
+    // Between batches: mail addressed to parked threads (sent after
+    // their final ring drain) plus the machine-lane boxes. The barrier
+    // provides the happens-before edge, so plain drains suffice.
+    for (unsigned t = 0; t < threadCount_; ++t) {
+        drainIncoming(t);
+    }
+    for (auto& dp : domains_) {
+        for (Mail& m : dp->machineBox) {
             const std::uint32_t idx = host_.slab_.allocate();
             PLUS_ASSERT(idx <= kIdxMask,
                         "event slab exceeds EventId index space");
@@ -432,7 +616,7 @@ ParallelEngine::drainMail()
             ++host_.pending_;
             ++host_.scheduledTotal_;
         }
-        machineBox.clear();
+        dp->machineBox.clear();
     }
 }
 
@@ -452,21 +636,31 @@ ParallelEngine::rethrowWorkerError()
     if (bad < 0) {
         return;
     }
-    // The erroring domains executed the same per-domain prefix the
+    // The erroring domain executed the same per-domain prefix the
     // serial engine would have, so the minimum-key error is exactly
-    // the one a serial run hits first.
+    // the one a serial run hits first. Drop the batch's buffered
+    // side effects and in-flight mail — the serial run never gets to
+    // them either — so a caught error leaves no stale replay state.
     const std::exception_ptr err = domains_[bad]->error;
+    for (unsigned t = 0; t < threadCount_; ++t) {
+        for (unsigned s = 0; s < threadCount_; ++s) {
+            ringTo(s, t).drainInto([](Mail) {});
+        }
+    }
     for (auto& dp : domains_) {
         dp->error = nullptr;
+        dp->deferred.clear();
+        dp->machineBox.clear();
     }
     shutdownWorkers();
     std::rethrow_exception(err);
 }
 
 void
-ParallelEngine::executeWindow(Domain& d, EventKey bound)
+ParallelEngine::executeWindow(Domain& d, EventKey bound,
+                              unsigned threadIndex)
 {
-    t_bind = Bind{this, &d};
+    t_bind = Bind{this, &d, threadIndex};
     try {
         for (;;) {
             const std::uint32_t idx = d.wheel.extractNext(bound.when);
@@ -496,68 +690,239 @@ ParallelEngine::executeWindow(Domain& d, EventKey bound)
 }
 
 void
+ParallelEngine::batchLoop(unsigned threadIndex)
+{
+    const bool profiling = prof::enabled();
+    const EventKey limitKey =
+        batchLimit_ == kNever ? kMaxKey
+                              : EventKey{batchLimit_ + 1, 0, 0};
+    // Park bound: once an owned domain's next key reaches this and no
+    // peer can mail below it, the domain is done for the batch. The
+    // machine-mail floor joins at its live value each iteration (it
+    // only decreases, which keeps already-satisfied park conditions
+    // satisfied).
+    EventKey parkKey = batchGk_;
+    if (limitKey < parkKey) {
+        parkKey = limitKey;
+    }
+    std::vector<Cycles> snap(domainCount_);
+    std::vector<Cycles> floorSnap(domainCount_);
+    for (;;) {
+        if (host_.stopping_.load(std::memory_order_relaxed)) {
+            batchBreak_.store(true, std::memory_order_release);
+        }
+        const bool breaking =
+            batchBreak_.load(std::memory_order_acquire);
+        // Fold the inbox floors of our own domains into their
+        // published P and wipe them, so everything already visible in
+        // our rings stays covered while we drain it into the wheels.
+        for (unsigned i = threadIndex; i < domainCount_;
+             i += threadCount_) {
+            foldMailFloor(i);
+        }
+        bool progress = false;
+        {
+            const prof::ScopedPhase drain(prof::Phase::ParDrain);
+            progress = drainIncoming(threadIndex);
+        }
+        // Two-pass snapshot, elementwise min, floor before P within a
+        // pass. Pass two closes the sender handoff (mail write, floor
+        // CAS, P raise — in that order with releases): a raised P seen
+        // in pass one means the floor CAS is visible by pass two. The
+        // floor-then-P order closes the owner handoff (fold P, wipe
+        // floor): a wiped floor means the folded P is visible.
+        for (int pass = 0; pass < 2; ++pass) {
+            for (unsigned u = 0; u < domainCount_; ++u) {
+                const Cycles f =
+                    floor_[u].when.load(std::memory_order_acquire);
+                const Cycles p =
+                    pub_[u].when.load(std::memory_order_acquire);
+                const Cycles v = std::min(f, p);
+                snap[u] = pass == 0 ? v : std::min(snap[u], v);
+                floorSnap[u] =
+                    pass == 0 ? f : std::min(floorSnap[u], f);
+            }
+        }
+        const Cycles mm =
+            machineMailMin_.load(std::memory_order_acquire);
+        Cycles minAll = kNever;
+        for (unsigned u = 0; u < domainCount_; ++u) {
+            minAll = std::min(minAll, snap[u]);
+        }
+        const Cycles parkCapWhen =
+            std::min(std::min(batchCapWhen_, mm), parkKey.when);
+        const EventKey mmKey{mm, 0, 0};
+        bool allParked = true;
+        std::size_t deferredTotal = 0;
+        for (unsigned i = threadIndex; i < domainCount_;
+             i += threadCount_) {
+            Domain& d = *domains_[i];
+            // Per-domain conservative bound: the closest any peer's
+            // pending work can reach us, capped by the batch bound.
+            // Every u contributes, including u == i: the diagonal is
+            // the minimum round trip (finalizeMatrix), so the window
+            // cannot outrun mail its own execution reflects back here
+            // through a peer.
+            Cycles crossWhen = kNever;
+            for (unsigned u = 0; u < domainCount_; ++u) {
+                crossWhen = std::min(
+                    crossWhen, satAdd(snap[u], matrixAt(u, i)));
+            }
+            // Own inbox floor: mail addressed to this very domain gets
+            // no lookahead leg, so the peer terms above do not cover it
+            // once the sender has raised its P (the pass-two snapshot
+            // guarantees the floor is visible in exactly that case).
+            // The fold at the top of the iteration only covers mail
+            // whose floor CAS was visible then; anything CASed between
+            // the fold and the snapshot must cap the window directly.
+            crossWhen = std::min(crossWhen, floorSnap[i]);
+            EventKey bound{crossWhen, 0, 0};
+            if (batchGk_ < bound) {
+                bound = batchGk_;
+            }
+            if (limitKey < bound) {
+                bound = limitKey;
+            }
+            if (batchHint_) {
+                // Node->machine mail may appear at any point >= some
+                // executing event + the global lookahead; cap the
+                // window so such an event still runs stop-the-world
+                // in key order. Both terms are needed: minAll covers
+                // mail a peer is creating right now (its P is still
+                // at or below the creating event), machineMailMin_
+                // covers mail already published.
+                const EventKey hintKey{
+                    std::min(satAdd(minAll, host_.lookahead_), mm), 0,
+                    0};
+                if (hintKey < bound) {
+                    bound = hintKey;
+                }
+            }
+            EventKey nk;
+            bool has = peek(d.wheel, d.slab, nk);
+            if (!breaking && has && nk < bound) {
+                const std::uint64_t e0 = d.executed;
+                const std::uint64_t m0 = d.mailed;
+                {
+                    const prof::ScopedPhase work(prof::Phase::ParWork);
+                    executeWindow(d, bound, threadIndex);
+                }
+                ++d.windows;
+                if (profiling) {
+                    prof::noteWindow(d.now - nk.when + 1,
+                                     d.executed - e0, d.mailed - m0);
+                }
+                has = peek(d.wheel, d.slab, nk);
+                progress = true;
+            }
+            pub_[i].when.store(has ? nk.when : kNever,
+                               std::memory_order_release);
+            if (d.error != nullptr) {
+                batchBreak_.store(true, std::memory_order_release);
+            }
+            deferredTotal += d.deferred.size();
+            // Park check for this domain: own work has reached the
+            // batch bound and no peer (by its snapshotted P and the
+            // pair floor) can still mail below it.
+            if (has && nk < parkKey && nk < mmKey) {
+                allParked = false;
+                continue;
+            }
+            if (floor_[i].when.load(std::memory_order_acquire) <
+                parkCapWhen) {
+                // Undrained mail below the cap: stay for one more
+                // iteration so the fold/drain above picks it up.
+                allParked = false;
+                continue;
+            }
+            for (unsigned u = 0; u < domainCount_; ++u) {
+                if (u != i &&
+                    satAdd(snap[u], matrixAt(u, i)) < parkCapWhen) {
+                    allParked = false;
+                    break;
+                }
+            }
+        }
+        if (breaking) {
+            return;
+        }
+        if (deferredTotal > kDeferredBreak) {
+            batchBreak_.store(true, std::memory_order_release);
+            return;
+        }
+        if (allParked) {
+            return;
+        }
+        if (!progress) {
+            // Nothing moved this iteration: someone else holds the
+            // global minimum. Back off briefly before re-snapshotting.
+            const prof::ScopedPhase wait(prof::Phase::ParBarrier);
+            for (int spin = 0; spin < 64; ++spin) {
+                cpuRelax();
+            }
+            std::this_thread::yield();
+        }
+    }
+}
+
+void
 ParallelEngine::run(Cycles limit)
 {
     PLUS_ASSERT(host_.lookahead_ >= 1,
                 "parallel run needs a lookahead >= 1 cycle (set from the "
                 "network's minimum cross-node latency)");
+    ensureMatrix();
     startWorkers();
     const prof::RunTimer prof_run;
     const bool profiling = prof::enabled();
-    // Per-window stats deltas: dp->executed/mailed are plain fields the
-    // coordinator may only read after awaitArrivals() (workers publish
-    // via the arrived_ release/acquire pair).
-    const auto mailedNow = [this] {
-        std::uint64_t n = 0;
-        for (const auto& dp : domains_) {
-            n += dp->mailed;
-        }
-        return n;
-    };
+    std::uint64_t prevWindows = 0;
     std::uint64_t prevExecuted = 0;
-    std::uint64_t prevMailed = 0;
-    std::uint64_t openWidth = 0;
-    bool windowOpen = false;
+    bool batchOpen = false;
     if (profiling) {
         prof::setThreadLabel("coord");
         prof::noteLookahead(host_.lookahead_);
+        for (const auto& dp : domains_) {
+            prevWindows += dp->windows;
+        }
         prevExecuted = domainExecuted();
-        prevMailed = mailedNow();
     }
     for (;;) {
         {
             const prof::ScopedPhase wait(prof::Phase::ParBarrier);
             awaitArrivals();
         }
-        if (windowOpen) {
-            const std::uint64_t e = domainExecuted();
-            const std::uint64_t m = mailedNow();
-            prof::noteWindow(openWidth, e - prevExecuted, m - prevMailed);
-            prevExecuted = e;
-            prevMailed = m;
-            windowOpen = false;
+        if (batchOpen) {
+            batchOpen = false;
+            if (profiling) {
+                std::uint64_t w = 0;
+                for (const auto& dp : domains_) {
+                    w += dp->windows;
+                }
+                const std::uint64_t e = domainExecuted();
+                prof::noteBatch(w - prevWindows, e - prevExecuted);
+                prevWindows = w;
+                prevExecuted = e;
+            }
         }
         rethrowWorkerError();
         {
-            const prof::ScopedPhase replay(prof::Phase::ParReplay);
-            replayDeferred();
-        }
-        {
             const prof::ScopedPhase drain(prof::Phase::ParDrain);
-            drainMail();
+            drainResidualMail();
         }
-        if (host_.stopping_.load(std::memory_order_relaxed)) {
-            break;
-        }
-
         for (unsigned i = 0; i < domainCount_; ++i) {
             Domain& d = *domains_[i];
             domainHasNext_[i] =
                 peek(d.wheel, d.slab, domainNext_[i]) ? 1 : 0;
         }
+        if (host_.stopping_.load(std::memory_order_relaxed)) {
+            const prof::ScopedPhase replay(prof::Phase::ParReplay);
+            replayDeferred(kMaxKey);
+            break;
+        }
 
         // Stop-the-world: execute machine-lane events that precede
-        // every domain event, exactly as the serial loop would.
+        // every domain event, exactly as the serial loop would, each
+        // preceded by the deferred effects below its key.
         bool done = false;
         for (;;) {
             std::size_t ordinary =
@@ -591,39 +956,48 @@ ParallelEngine::run(Cycles limit)
                 break;
             }
             if (hasGlobal && (!anyDomain || gk < dmin)) {
+                {
+                    const prof::ScopedPhase replay(
+                        prof::Phase::ParReplay);
+                    replayDeferred(gk);
+                }
                 const prof::ScopedPhase mach(prof::Phase::ParMachine);
                 host_.dispatchNext(limit);
                 continue;
             }
 
-            // Conservative window bound: nothing executed inside the
-            // window can create work below min + lookahead, and the
-            // next machine-lane event caps it from above.
-            EventKey bound{dmin.when >= ~Cycles{0} - host_.lookahead_
-                               ? ~Cycles{0}
-                               : dmin.when + host_.lookahead_,
-                           0, 0};
-            if (hasGlobal && gk < bound) {
-                bound = gk;
-            }
-            if (limit != ~Cycles{0} &&
-                EventKey{limit + 1, 0, 0} < bound) {
-                bound = EventKey{limit + 1, 0, 0};
-            }
-            bound_ = bound;
-            ++windows_;
-            if (profiling) {
-                openWidth = bound.when - dmin.when;
-                windowOpen = true;
-            }
-            signal(Cmd::Window);
+            // Domains lead: flush effects below the batch floor, then
+            // open a batch of asynchronous windows up to the next
+            // machine event / limit.
             {
-                const prof::ScopedPhase work(prof::Phase::ParWork);
-                executeWindow(*domains_[0], bound);
+                const prof::ScopedPhase replay(prof::Phase::ParReplay);
+                replayDeferred(dmin);
             }
+            for (unsigned i = 0; i < domainCount_; ++i) {
+                pub_[i].when.store(domainHasNext_[i] != 0
+                                       ? domainNext_[i].when
+                                       : kNever,
+                                   std::memory_order_relaxed);
+                // Quiescent: residual mail is drained, so stale floors
+                // from the previous batch can be cleared outright.
+                floor_[i].when.store(kNever, std::memory_order_relaxed);
+            }
+            machineMailMin_.store(kNever, std::memory_order_relaxed);
+            batchBreak_.store(false, std::memory_order_relaxed);
+            batchGk_ = hasGlobal ? gk : kMaxKey;
+            batchLimit_ = limit;
+            batchCapWhen_ =
+                std::min(hasGlobal ? gk.when : kNever, satAdd(limit, 1));
+            batchHint_ = host_.nodeMachineMailHint_;
+            ++batches_;
+            batchOpen = true;
+            signal(Cmd::Batch);
+            batchLoop(0);
             break;
         }
         if (done) {
+            const prof::ScopedPhase replay(prof::Phase::ParReplay);
+            replayDeferred(kMaxKey);
             break;
         }
     }
@@ -656,8 +1030,9 @@ ParallelEngine::domainExecuted() const
 void
 ParallelEngine::addStats(EngineStats& s) const
 {
-    s.windows = windows_;
+    s.batches = batches_;
     for (const auto& dp : domains_) {
+        s.windows += dp->windows;
         s.scheduled += dp->scheduled;
         s.executed += dp->executed;
         s.cancelled += dp->cancelled;

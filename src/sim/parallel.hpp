@@ -2,38 +2,71 @@
  * @file
  * Conservative-parallel engine backend (PLUS_ENGINE=parallel).
  *
- * The mesh is partitioned into contiguous per-thread spatial domains,
+ * The mesh is partitioned into D contiguous spatial domains (D a
+ * multiple of the thread count W; threads own domains round-robin),
  * each with its own event slab and timing wheel. Execution proceeds in
- * synchronisation windows: the coordinator (the thread that called
- * run()) computes a conservative bound
+ * *batches* of asynchronous per-domain windows: inside a batch every
+ * thread repeatedly
  *
- *     B = min(min pending key + lookahead, next machine-lane key)
+ *   1. for each owned domain, folds the inbox floor F[d] into the
+ *      published value P[d] and wipes it (CAS back to "none"),
+ *   2. drains its incoming mail rings,
+ *   3. snapshots min(P[u], F[u]) for every domain — two passes,
+ *      elementwise min (see below),
+ *   4. for each owned domain d executes events with
+ *          key < B_d = min over all u (snap[u] + L[u][d])
+ *      — the u == d term uses the matrix diagonal, which holds the
+ *      minimum round trip min over u != d of L[d][u] + L[u][d], so a
+ *      window never outruns mail its own execution reflects back at
+ *      it through a peer — additionally capped by d's own snapshotted
+ *      inbox floor (mail addressed to d gets no lookahead leg) and by
+ *      the batch bound (next machine-lane key, the run limit, and —
+ *      while node->machine mail may exist — the machine-mail floor),
+ *      and
+ *   5. republishes P[d] (release) from a real wheel peek,
  *
- * where the lookahead is the minimum cross-node network latency, then
- * every domain executes its events with key < B concurrently. Because
- * any event an executing event can still create lands at least
- * `lookahead` cycles in the future — and cross-*node* work can only be
- * created through the network, whose hop latency is the lookahead
- * floor even under fault-injected delays (delays only add) — no
- * domain can receive work inside the open window: classic conservative
- * PDES à la Chandy/Misra null-message lookahead, with a barrier
- * instead of null messages.
+ * with no barrier between iterations. L is the per-domain-pair
+ * lookahead matrix: Network::crossNodeFloor() of the minimum hop
+ * distance between the two domains' node ranges, installed by the
+ * Machine at partition time. Because the floor is monotone and
+ * subadditive in distance, L satisfies the triangle inequality, and
+ * any *chain* of cross-domain events from u to d accumulates at least
+ * L[u][d] cycles. A published P alone is not enough to make that
+ * argument sound, though: once a sender has executed the chain root
+ * and republished a higher P, the mail may still sit unread in an
+ * intermediate domain's ring while that domain's P says "idle". The
+ * inbox floor F closes the hole — a sender CAS-mins F[dst] (release)
+ * *after* making the mail visible and *before* republishing its own
+ * P, so at any reader either the sender's old P or the destination's
+ * floor covers mail in flight. The two-pass snapshot (read F then P
+ * per domain, two sweeps, take the elementwise min) catches the
+ * handoff races in both directions: a raised P observed in pass one
+ * guarantees the floor CAS is visible by pass two, and a wiped floor
+ * guarantees the owner's pre-wipe fold of P is visible (docs/PERF.md
+ * derives this). Threads park (arrive at the barrier) only when every
+ * owned domain's next key has reached the batch bound and no peer can
+ * still mail below it; between batches the coordinator replays
+ * deferred side effects below the global cutoff, executes machine-lane
+ * events stop-the-world, and opens the next batch. The barrier itself
+ * is a sense-reversing centralized spin gate (epoch counter +
+ * cache-line-padded flags, spin-then-yield) with the old
+ * mutex/condition_variable path kept only as the deep-idle fallback.
  *
- * Cross-domain schedules ride single-writer mailboxes (one vector per
- * (source domain, destination) pair, written only by the source
- * thread during a window, drained only by the coordinator between
- * windows — the barrier provides the happens-before edge). Machine-
- * lane events live in the host engine's own slab/wheel and execute
- * stop-the-world between windows, so config scripts, the watchdog and
- * page-management ops see a quiescent machine exactly as they do
- * serially.
+ * Cross-domain schedules ride single-producer/single-consumer mail
+ * rings (one per (source thread, destination thread) pair, with a
+ * mutexed spill vector for overflow) and are drained by the receiving
+ * thread *during* the batch; machine-lane events live in the host
+ * engine's slab/wheel and execute stop-the-world between batches, so
+ * config scripts, the watchdog and page-management ops see a quiescent
+ * machine exactly as they do serially.
  *
  * Determinism: events carry partition-independent keys (sim::EventKey)
  * and every side effect visible outside a domain — checker hooks,
  * telemetry, shared statistics — is routed through Engine::defer(),
  * buffered per domain, and replayed by the coordinator in global key
- * order with now() overridden to the emitting event's time. The
- * result is byte-identical output to the serial wheel at any thread
+ * order (below the cutoff no domain has yet reached) with now()
+ * overridden to the emitting event's time. The result is
+ * byte-identical output to the serial wheel at any thread and domain
  * count; parallelism changes wall-clock only (docs/PERF.md has the
  * full argument).
  */
@@ -41,6 +74,7 @@
 #ifndef PLUS_SIM_PARALLEL_HPP_
 #define PLUS_SIM_PARALLEL_HPP_
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
@@ -58,11 +92,11 @@
 namespace plus {
 namespace sim {
 
-/** Multi-threaded window scheduler behind Engine (impl == Parallel). */
+/** Multi-threaded batched window scheduler behind Engine (Parallel). */
 class ParallelEngine
 {
   public:
-    ParallelEngine(Engine& host, unsigned threads);
+    ParallelEngine(Engine& host, unsigned threads, unsigned domains);
     ~ParallelEngine();
 
     ParallelEngine(const ParallelEngine&) = delete;
@@ -75,6 +109,9 @@ class ParallelEngine
                 std::uint32_t gen);
     void run(Cycles limit);
     void defer(Event fn);
+
+    /** Install the domain-pair lookahead matrix (see Engine). */
+    void setLookaheadMatrix(std::vector<Cycles> flat);
 
     /** Scheduling context of the calling thread's domain, if bound. */
     Engine::SchedCtx* boundCtx();
@@ -96,10 +133,10 @@ class ParallelEngine
   private:
     /** A cross-domain (or worker-to-machine) scheduled event in flight. */
     struct Mail {
-        Cycles when;
-        Cycles schedWhen;
-        std::uint64_t key2;
-        std::uint16_t lane;
+        Cycles when = 0;
+        Cycles schedWhen = 0;
+        std::uint64_t key2 = 0;
+        std::uint16_t lane = 0;
         Event fn;
     };
 
@@ -110,8 +147,62 @@ class ParallelEngine
         Event fn;
     };
 
+    /**
+     * SPSC mail ring for one (source thread, destination thread) pair.
+     * The producer writes slots then releases tail_; the consumer
+     * acquires tail_, moves slots out and releases head_. A full ring
+     * spills into a mutexed vector (spillCount_ lets the consumer skip
+     * the lock when empty). Drained mid-batch by the owning thread and
+     * residually by the coordinator at the barrier.
+     */
+    struct alignas(64) MailRing {
+        static constexpr std::uint32_t kSlots = 256;
+
+        alignas(64) std::atomic<std::uint32_t> head{0};
+        alignas(64) std::atomic<std::uint32_t> tail{0};
+        alignas(64) std::array<Mail, kSlots> slot;
+        std::mutex spillMutex;
+        std::vector<Mail> spill;
+        std::atomic<std::uint32_t> spillCount{0};
+
+        void push(Mail m);
+        /** Deliver every queued mail to @p sink; true if any arrived. */
+        template <typename Sink>
+        bool
+        drainInto(Sink&& sink)
+        {
+            bool any = false;
+            const std::uint32_t t = tail.load(std::memory_order_acquire);
+            std::uint32_t h = head.load(std::memory_order_relaxed);
+            while (h != t) {
+                sink(std::move(slot[h % kSlots]));
+                ++h;
+                any = true;
+            }
+            head.store(h, std::memory_order_release);
+            if (spillCount.load(std::memory_order_acquire) > 0) {
+                std::vector<Mail> taken;
+                {
+                    const std::lock_guard<std::mutex> lock(spillMutex);
+                    taken.swap(spill);
+                    spillCount.store(0, std::memory_order_relaxed);
+                }
+                for (Mail& m : taken) {
+                    sink(std::move(m));
+                    any = true;
+                }
+            }
+            return any;
+        }
+    };
+
+    /** Cache-line-padded published min pending `when` of one domain. */
+    struct alignas(64) PubMin {
+        std::atomic<Cycles> when{0};
+    };
+
     struct alignas(64) Domain {
-        Domain(unsigned index, unsigned domains);
+        explicit Domain(unsigned index);
 
         unsigned index;
         EventSlab slab;
@@ -124,52 +215,98 @@ class ParallelEngine
         std::uint64_t scheduled = 0;
         std::uint64_t cancelled = 0;
         std::uint64_t mailed = 0;
-        /** [dst domain] node mail; [domainCount] = machine lane. */
-        std::vector<std::vector<Mail>> outbox;
+        std::uint64_t windows = 0;
+        /** Machine-lane mail, drained only at the barrier. */
+        std::vector<Mail> machineBox;
+        /** Key-sorted (execution order) side effects awaiting replay. */
         std::vector<Deferred> deferred;
         std::exception_ptr error;
         EventKey errorKey{};
     };
 
-    enum class Cmd { Window, Exit };
+    enum class Cmd { Batch, Exit };
 
     void startWorkers();
     void shutdownWorkers();
     void workerLoop(unsigned index);
-    void executeWindow(Domain& d, EventKey bound);
+    void batchLoop(unsigned threadIndex);
+    void executeWindow(Domain& d, EventKey bound, unsigned threadIndex);
     void awaitArrivals();
     void signal(Cmd cmd);
     void awaitEpoch(std::uint64_t& seen);
-    void replayDeferred();
-    void drainMail();
+    void replayDeferred(const EventKey& cutoff);
+    void drainResidualMail();
     void insertMail(Domain& d, Mail m);
     void rethrowWorkerError();
     bool peek(TimingWheel& wheel, EventSlab& slab, EventKey& out);
     EventId insertDomain(Domain& d, Cycles when, Event fn,
                          Cycles schedWhen, std::uint64_t key2,
                          std::uint16_t lane);
+    void ensureMatrix();
+    void finalizeMatrix();
+    MailRing& ringTo(unsigned srcThread, unsigned dstThread);
+    void noteMailFloor(unsigned dst, Cycles when);
+    void foldMailFloor(unsigned index);
+    bool drainIncoming(unsigned threadIndex);
+
+    /** L[src * domainCount_ + dst]; see setLookaheadMatrix. */
+    Cycles
+    matrixAt(unsigned src, unsigned dst) const
+    {
+        return matrix_[src * domainCount_ + dst];
+    }
 
     Engine& host_;
+    unsigned threadCount_;
     unsigned domainCount_;
     std::vector<std::unique_ptr<Domain>> domains_;
-    /** Next pending key per domain, maintained inside a round. */
+    std::vector<Cycles> matrix_;
+    Cycles matrixMin_ = 0; ///< min off-diagonal entry (hint-cap floor)
+    /** Published min pending `when` per domain (~0 = none). */
+    std::vector<PubMin> pub_;
+    /**
+     * Inbox floor per destination domain (~0 = none): min `when` of
+     * cross-domain mail made visible (ring push or sibling wheel
+     * insert) but possibly not yet reflected in the owner's published
+     * P. Senders CAS-min it (release) after the mail write; the owner
+     * folds it into P and wipes it at the top of each batch iteration.
+     */
+    std::vector<PubMin> floor_;
+    /** Mail rings, indexed [src thread * threads + dst thread]. */
+    std::vector<std::unique_ptr<MailRing>> rings_;
+    /** Next pending key per domain, maintained between batches. */
     std::vector<EventKey> domainNext_;
     std::vector<char> domainHasNext_;
-    std::uint64_t windows_ = 0;
+    std::uint64_t batches_ = 0;
 
-    // Round gate: workers park by incrementing arrived_ and waiting
-    // for an epoch bump; the coordinator waits for all arrivals, does
-    // the stop-the-world phase, then publishes cmd_/bound_ and bumps
-    // the epoch. arrived_ is reset by signal(), not by the wait, so a
-    // run can end with workers parked and the next run picks them up.
+    // Batch parameters: written by the coordinator between batches
+    // (before the epoch bump), read-only to workers inside one.
+    EventKey batchGk_{};     ///< next machine-lane key (kMax if none)
+    Cycles batchCapWhen_ = 0; ///< min(gk.when, limit + 1)
+    Cycles batchLimit_ = 0;   ///< run limit
+    bool batchHint_ = true;   ///< node->machine mail possible?
+
+    /** Min `when` of machine mail created this batch (~0 = none). */
+    alignas(64) std::atomic<Cycles> machineMailMin_{~Cycles{0}};
+    /** Ends the batch early (stop(), error, deferred overflow). */
+    alignas(64) std::atomic<bool> batchBreak_{false};
+
+    // Batch gate: workers park by incrementing arrived_ and spinning
+    // on an epoch bump (sense-reversal generalized to a counter); the
+    // coordinator waits for all arrivals, does the stop-the-world
+    // phase, then publishes the batch parameters and bumps the epoch.
+    // arrived_ is reset by signal(), not by the wait, so a run can end
+    // with workers parked and the next run picks them up. Flags are
+    // cache-line padded so spinning never bounces a written line; the
+    // mutex/cv pair is only the deep-idle slow path (machine-heavy
+    // stop-the-world phases, idle engines between runs).
     std::vector<std::thread> workers_;
-    std::atomic<std::uint64_t> epoch_{0};
-    std::atomic<unsigned> arrived_{0};
-    std::atomic<int> sleepers_{0};
+    alignas(64) std::atomic<std::uint64_t> epoch_{0};
+    alignas(64) std::atomic<unsigned> arrived_{0};
+    alignas(64) std::atomic<int> sleepers_{0};
     std::mutex gateMutex_;
     std::condition_variable gateCv_;
-    Cmd cmd_ = Cmd::Window;
-    EventKey bound_{};
+    Cmd cmd_ = Cmd::Batch;
 };
 
 } // namespace sim

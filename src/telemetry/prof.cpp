@@ -100,6 +100,10 @@ collect()
     s.windowEventsSum = g.windowEventsSum.load(std::memory_order_relaxed);
     s.windowEventsMax = g.windowEventsMax.load(std::memory_order_relaxed);
     s.windowMailSum = g.windowMailSum.load(std::memory_order_relaxed);
+    s.batches = g.batches.load(std::memory_order_relaxed);
+    s.batchWindowsSum =
+        g.batchWindowsSum.load(std::memory_order_relaxed);
+    s.batchEventsSum = g.batchEventsSum.load(std::memory_order_relaxed);
     s.lookahead = g.lookahead.load(std::memory_order_relaxed);
     const std::uint64_t wmin =
         g.windowWidthMin.load(std::memory_order_relaxed);
@@ -209,7 +213,21 @@ writeJson(std::ostream& os)
               s.windows ? static_cast<double>(s.windowEventsSum) /
                               static_cast<double>(s.windows)
                         : 0.0)
-       << ",\"mailSum\":" << s.windowMailSum << "},\"threads\":[";
+       << ",\"mailSum\":" << s.windowMailSum << "},\"batches\":{"
+       << "\"count\":" << s.batches
+       << ",\"windowsSum\":" << s.batchWindowsSum
+       << ",\"windowsPerBatchMean\":"
+       << telemetry::jsonNumber(
+              s.batches ? static_cast<double>(s.batchWindowsSum) /
+                              static_cast<double>(s.batches)
+                        : 0.0)
+       << ",\"eventsSum\":" << s.batchEventsSum
+       << ",\"eventsPerBatchMean\":"
+       << telemetry::jsonNumber(
+              s.batches ? static_cast<double>(s.batchEventsSum) /
+                              static_cast<double>(s.batches)
+                        : 0.0)
+       << "},\"threads\":[";
     for (std::size_t i = 0; i < s.threads.size(); ++i) {
         const Summary::Thread& t = s.threads[i];
         const Rollup r = rollupOf(t, s.runWallTicks);
@@ -318,6 +336,9 @@ reset()
     g.windowEventsMin.store(~std::uint64_t{0}, std::memory_order_relaxed);
     g.windowEventsMax.store(0, std::memory_order_relaxed);
     g.windowMailSum.store(0, std::memory_order_relaxed);
+    g.batches.store(0, std::memory_order_relaxed);
+    g.batchWindowsSum.store(0, std::memory_order_relaxed);
+    g.batchEventsSum.store(0, std::memory_order_relaxed);
     g.lookahead.store(0, std::memory_order_relaxed);
     const std::lock_guard<std::mutex> lock(g.mutex);
     for (const auto& tp : g.threads) {

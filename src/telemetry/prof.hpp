@@ -164,6 +164,10 @@ struct Global {
     std::atomic<std::uint64_t> windowEventsMin{~std::uint64_t{0}};
     std::atomic<std::uint64_t> windowEventsMax{0};
     std::atomic<std::uint64_t> windowMailSum{0};
+    /** Parallel-backend batch statistics (coordinator-written). */
+    std::atomic<std::uint64_t> batches{0};
+    std::atomic<std::uint64_t> batchWindowsSum{0};
+    std::atomic<std::uint64_t> batchEventsSum{0};
     std::atomic<std::uint64_t> lookahead{0};
 };
 
@@ -349,6 +353,20 @@ noteWindow(std::uint64_t width_cycles, std::uint64_t events,
     g.windowMailSum.fetch_add(mails, std::memory_order_relaxed);
 }
 
+/** Parallel coordinator: one completed window batch (the windows and
+ *  events it spanned between two barrier crossings). */
+inline void
+noteBatch(std::uint64_t windows, std::uint64_t events)
+{
+    if (!enabled()) {
+        return;
+    }
+    detail::Global& g = detail::g_prof;
+    g.batches.fetch_add(1, std::memory_order_relaxed);
+    g.batchWindowsSum.fetch_add(windows, std::memory_order_relaxed);
+    g.batchEventsSum.fetch_add(events, std::memory_order_relaxed);
+}
+
 /** Parallel coordinator: the conservative lookahead in use. */
 inline void
 noteLookahead(std::uint64_t cycles)
@@ -387,6 +405,9 @@ struct Summary {
     std::uint64_t windowEventsMin = 0;
     std::uint64_t windowEventsMax = 0;
     std::uint64_t windowMailSum = 0;
+    std::uint64_t batches = 0;
+    std::uint64_t batchWindowsSum = 0;
+    std::uint64_t batchEventsSum = 0;
     std::uint64_t lookahead = 0;
 };
 

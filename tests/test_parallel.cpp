@@ -11,12 +11,15 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <deque>
+#include <functional>
 #include <vector>
 
 #include "common/panic.hpp"
 #include "core/context.hpp"
 #include "plus/plus.hpp"
+#include "sim/engine.hpp"
 
 namespace plus {
 namespace {
@@ -33,13 +36,14 @@ struct RunOutcome {
 
 /** The sim_harness mixed workload, shrunk to unit-test size. */
 RunOutcome
-runHarness(Engine backend, unsigned threads)
+runHarness(Engine backend, unsigned threads, unsigned domains = 0)
 {
     auto machine_ptr = MachineBuilder()
                            .nodes(kNodes)
                            .framesPerNode(64)
                            .engine(backend)
                            .threads(threads)
+                           .domains(domains)
                            .build();
     core::Machine& m = *machine_ptr;
     if (backend == Engine::Parallel && threads > 1) {
@@ -147,6 +151,108 @@ TEST(Parallel, ValidateRejectsMoreThreadsThanNodes)
                      .threads(8)
                      .build(),
                  FatalError);
+}
+
+TEST(Parallel, DomainsDecoupledFromThreads)
+{
+    // Byte-identity must hold at every (threads, domains) split,
+    // including 1-node domains (8 domains over 8 nodes).
+    const RunOutcome wheel = runHarness(Engine::Wheel, 0);
+    expectIdentical(wheel, runHarness(Engine::Parallel, 2, 8),
+                    "parallel t=2 d=8");
+    expectIdentical(wheel, runHarness(Engine::Parallel, 4, 8),
+                    "parallel t=4 d=8");
+    expectIdentical(wheel, runHarness(Engine::Parallel, 8, 8),
+                    "parallel t=8 d=8");
+    expectIdentical(wheel, runHarness(Engine::Parallel, 2, 4),
+                    "parallel t=2 d=4");
+}
+
+TEST(Parallel, SingleDomainFallsBackToSerialPath)
+{
+    // One domain cannot overlap with anything: the engine must drop to
+    // the serial path rather than spin one worker forever.
+    const RunOutcome wheel = runHarness(Engine::Wheel, 0);
+    expectIdentical(wheel, runHarness(Engine::Parallel, 1, 1),
+                    "parallel t=1 d=1");
+}
+
+TEST(Parallel, ValidateRejectsBadDomainCounts)
+{
+    // Not a multiple of the thread count.
+    EXPECT_THROW(MachineBuilder()
+                     .nodes(kNodes)
+                     .framesPerNode(64)
+                     .engine(Engine::Parallel)
+                     .threads(2)
+                     .domains(3)
+                     .build(),
+                 FatalError);
+    // More domains than nodes.
+    EXPECT_THROW(MachineBuilder()
+                     .nodes(4)
+                     .framesPerNode(64)
+                     .engine(Engine::Parallel)
+                     .threads(2)
+                     .domains(8)
+                     .build(),
+                 FatalError);
+}
+
+TEST(Parallel, RejectsZeroLookaheadMatrixEntry)
+{
+    sim::Engine eng(sim::EngineImpl::Parallel);
+    eng.configure(4, 2, 2);
+    ASSERT_TRUE(eng.parallelActive());
+    eng.setLookahead(1);
+    std::vector<Cycles> flat{0, 1, 0, 0}; // [1][0] == 0: unusable
+    EXPECT_THROW(eng.setLookaheadMatrix(std::move(flat)), FatalError);
+}
+
+TEST(Parallel, SpinBarrierTorture)
+{
+    // Minimal-lookahead cross-domain ping-pong chains: every hop ends
+    // the window, so the run is almost pure barrier traffic. Repeated
+    // short runs exercise worker park/wake across run() boundaries.
+    // Primarily a ThreadSanitizer target (ci.sh tsan stage).
+    sim::Engine eng(sim::EngineImpl::Parallel);
+    eng.configure(kNodes, 4, kNodes);
+    ASSERT_TRUE(eng.parallelActive());
+    eng.setLookahead(2);
+    std::vector<Cycles> flat(kNodes * kNodes, 2);
+    for (unsigned i = 0; i < kNodes; ++i) {
+        flat[i * kNodes + i] = 0;
+    }
+    eng.setLookaheadMatrix(std::move(flat));
+    eng.setNodeMachineMailHint(false);
+
+    std::atomic<std::uint64_t> fired{0};
+    std::function<void(NodeId, unsigned)> bounce =
+        [&](NodeId lane, unsigned hops_left) {
+            fired.fetch_add(1, std::memory_order_relaxed);
+            if (hops_left == 0) {
+                return;
+            }
+            const NodeId next = (lane + 1) % kNodes;
+            eng.scheduleForNode(next, 2, [&bounce, next, hops_left] {
+                bounce(next, hops_left - 1);
+            });
+        };
+
+    constexpr unsigned kRounds = 8;
+    constexpr unsigned kHops = 64;
+    for (unsigned round = 0; round < kRounds; ++round) {
+        for (NodeId n = 0; n < kNodes; ++n) {
+            eng.withNodeContext(n, [&] {
+                eng.scheduleForNode(n, 1, [&bounce, n] {
+                    bounce(n, kHops);
+                });
+            });
+        }
+        eng.run();
+    }
+    EXPECT_EQ(fired.load(),
+              std::uint64_t{kRounds} * kNodes * (kHops + 1));
 }
 
 } // namespace
