@@ -10,21 +10,36 @@
  * demonstration: a permanent partition with an unbounded retransmit
  * budget must be converted into a forward-progress panic, not a hang.
  *
- *   chaos_sweep [--nodes=N] [--seeds=K]
+ *   chaos_sweep [--nodes=N] [--seeds=K] [--kill-node=<id>@<cycle>]
+ *
+ * --kill-node appends a fail-stop section: the named node is crashed
+ * mid-run (cycle is relative to workload start), recovery re-masters
+ * its pages, and the run must end with every surviving replica
+ * byte-identical and the survivor image matching the oracle. Recovery
+ * latency percentiles are reported from the telemetry histograms, and
+ * a combined image hash is printed for cross-backend identity checks
+ * (scripts/ci.sh `recovery` stage). Fail-stop runs use a 1xN linear
+ * mesh and should kill an end node: a crashed node's *router* also
+ * dies, so a mid-mesh victim would black-hole survivor-to-survivor
+ * transit traffic (see docs/ROBUSTNESS.md "Crash recovery").
  *
  * Exits non-zero on any image mismatch or if the watchdog fails to
  * fire. See docs/ROBUSTNESS.md.
  */
 
+#include <cstdint>
+#include <iomanip>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "bench/bench_util.hpp"
 #include "common/panic.hpp"
+#include "common/stats.hpp"
 #include "core/context.hpp"
 #include "net/fault_injector.hpp"
 #include "net/reliable_link.hpp"
+#include "proto/recovery_manager.hpp"
 
 namespace {
 
@@ -40,6 +55,10 @@ struct RunResult {
     Cycles cycles = 0;
     net::FaultStats faults;
     net::LinkStats link;
+    // Fail-stop runs only (FaultConfig::recover armed):
+    proto::RecoveryStats rec;            ///< epoch outcome counters
+    telemetry::DistSummary recLatency;   ///< recovery.latency snapshot
+    bool survivorsConsistent = true;     ///< replicas byte-identical
 };
 
 /**
@@ -54,8 +73,15 @@ runOnce(unsigned nodes, const FaultConfig* fault)
     MachineBuilder builder = machineBuilder(nodes);
     if (fault) {
         builder.faults(*fault);
-        builder.tune([](MachineConfig& c) {
+        const bool fail_stop = fault->recover;
+        builder.tune([nodes, fail_stop](MachineConfig& c) {
             c.watchdog.enabled = true; // a hung chaos run should diagnose
+            if (fail_stop) {
+                // A crashed node's router dies with it. On a 1xN line
+                // the end node is never a transit hop for survivor
+                // pairs, so killing it cannot black-hole live traffic.
+                c.network.meshWidth = nodes;
+            }
         });
     }
     auto machine_ptr = builder.build();
@@ -93,18 +119,54 @@ runOnce(unsigned nodes, const FaultConfig* fault)
 
     RunResult r;
     r.cycles = machine.now();
+    // A page whose every copy died is gone from the directory; report
+    // the degraded-mode value in its place instead of peeking.
+    auto peekWord = [&machine](Addr addr) {
+        return machine.pageIsLost(pageOf(addr)) ? kPageLostValue
+                                                : machine.peek(addr);
+    };
     for (NodeId n = 0; n < nodes; ++n) {
         for (unsigned w = 0; w < kWordsUsed; ++w) {
-            r.image.push_back(machine.peek(pages[n] + 8 * w));
+            r.image.push_back(peekWord(pages[n] + 8 * w));
         }
     }
-    r.image.push_back(machine.peek(counter));
+    r.image.push_back(peekWord(counter));
     if (const net::FaultInjector* inj =
             machine.network().faultInjector()) {
         r.faults = inj->stats();
     }
     if (const net::LinkLayer* link = machine.network().linkLayer()) {
         r.link = link->stats();
+    }
+    if (const proto::RecoveryManager* rm = machine.recovery()) {
+        r.rec = rm->stats();
+        for (const auto& [name, dist] :
+             machine.metricsSnapshot().distributions) {
+            if (name == "recovery.latency") {
+                r.recLatency = dist;
+            }
+        }
+        // Surviving-replica consistency: after copy-list repair every
+        // remaining copy of a page must be byte-identical.
+        std::vector<Addr> bases = pages;
+        bases.push_back(counter);
+        for (const Addr base : bases) {
+            if (machine.pageIsLost(pageOf(base))) {
+                continue;
+            }
+            const mem::CopyList& list = machine.copyListOf(base);
+            const PhysPage master = list.master();
+            for (const PhysPage& copy : list.copies()) {
+                for (Addr w = 0; w < kPageWords; ++w) {
+                    if (machine.nodeAt(copy.node).memory().read(
+                            copy.frame, w) !=
+                        machine.nodeAt(master.node).memory().read(
+                            master.frame, w)) {
+                        r.survivorsConsistent = false;
+                    }
+                }
+            }
+        }
     }
     return r;
 }
@@ -132,6 +194,65 @@ watchdogConvertsPartitionToPanic(unsigned nodes)
     return false;
 }
 
+/** One --kill-node=<id>@<cycle> request (cycle relative to run start). */
+struct KillSpec {
+    NodeId node = 0;
+    Cycles at = 0;
+};
+
+/**
+ * Check a fail-stop run's image against the fault-free oracle. A
+ * surviving node's page must match the oracle word for word (its
+ * writer ran to completion; recovery replays anything the crash
+ * tore). A crashed node's words stop at whatever round its writer
+ * reached, so each must be zero or some round's value for that word.
+ * The commutative counter loses only the dead nodes' increments.
+ */
+bool
+imageOkAfterKill(const std::vector<Word>& oracle,
+                 const RunResult& run,
+                 const std::vector<KillSpec>& kills,
+                 unsigned nodes)
+{
+    auto killed = [&kills](NodeId n) {
+        for (const KillSpec& k : kills) {
+            if (k.node == n) {
+                return true;
+            }
+        }
+        return false;
+    };
+    for (NodeId n = 0; n < nodes; ++n) {
+        for (unsigned w = 0; w < kWordsUsed; ++w) {
+            const Word got = run.image[n * kWordsUsed + w];
+            if (!killed(n)) {
+                if (got != oracle[n * kWordsUsed + w]) {
+                    return false;
+                }
+                continue;
+            }
+            if (got == 0 || got == kPageLostValue) {
+                continue; // round never reached, or page lost outright
+            }
+            const Word round = got - n * 1000;
+            if (round >= kIters || round % kWordsUsed != w) {
+                return false;
+            }
+        }
+    }
+    // i % 6 == 0 rounds increment the shared counter.
+    Word fadds = 0;
+    for (Word i = 0; i < kIters; ++i) {
+        fadds += (i % 6 == 0) ? 1 : 0;
+    }
+    const Word got = run.image.back();
+    if (got == kPageLostValue) {
+        return killed(0); // counter master is node 0
+    }
+    const auto dead = static_cast<Word>(kills.size());
+    return got >= fadds * (nodes - dead) && got <= fadds * nodes;
+}
+
 } // namespace
 
 int
@@ -140,11 +261,25 @@ main(int argc, char** argv)
     const HarnessArgs& args = parseHarnessArgs(argc, argv);
     const unsigned nodes = args.nodesOr(8);
     unsigned seeds = 3;
+    std::vector<KillSpec> kills;
     for (const std::string& arg : args.rest) {
         if (arg.rfind("--seeds=", 0) == 0) {
             seeds = static_cast<unsigned>(std::stoul(arg.substr(8)));
+        } else if (arg.rfind("--kill-node=", 0) == 0) {
+            const std::string spec = arg.substr(12);
+            const std::size_t sep = spec.find('@');
+            if (sep == std::string::npos) {
+                std::cerr << "malformed " << arg
+                          << " (want --kill-node=<id>@<cycle>)\n";
+                return 2;
+            }
+            KillSpec k;
+            k.node = static_cast<NodeId>(std::stoul(spec.substr(0, sep)));
+            k.at = std::stoull(spec.substr(sep + 1));
+            kills.push_back(k);
         } else {
-            std::cerr << "usage: chaos_sweep [--nodes=N] [--seeds=K]\n";
+            std::cerr << "usage: chaos_sweep [--nodes=N] [--seeds=K] "
+                         "[--kill-node=<id>@<cycle>]\n";
             return 2;
         }
     }
@@ -214,12 +349,84 @@ main(int argc, char** argv)
               << oracle.image.size() << "-word image\n\n";
     table.print(std::cout);
 
+    bool killsOk = true;
+    if (!kills.empty()) {
+        TablePrinter kt;
+        kt.setHeader({"scenario", "seed", "cycles", "epochs",
+                      "remastered", "lost", "latency", "image"});
+        Histogram latencies;
+        std::uint64_t hash = 1469598103934665603ull; // FNV-1a offset
+        auto mix = [&hash](std::uint64_t v) {
+            for (unsigned b = 0; b < 8; ++b) {
+                hash ^= (v >> (8 * b)) & 0xffu;
+                hash *= 1099511628211ull;
+            }
+        };
+        for (unsigned seed = 1; seed <= seeds; ++seed) {
+            FaultConfig fault;
+            fault.recover = true;
+            fault.maxRetransmits = 4; // small budget = fast detection
+            fault.seed = seed;
+            // Stagger the crash per seed so the latency distribution
+            // samples detection at different protocol phases.
+            const Cycles shift = (seed - 1) * 800;
+            std::string name = "fail-stop";
+            for (const KillSpec& k : kills) {
+                fault.script.push_back({k.at + shift,
+                                        FaultScriptEntry::Kind::CrashNode,
+                                        k.node});
+                name += " n" + std::to_string(k.node) + "@" +
+                        std::to_string(k.at + shift);
+            }
+            const RunResult run = runOnce(nodes, &fault);
+            const bool ok = imageOkAfterKill(oracle.image, run, kills,
+                                             nodes) &&
+                            run.survivorsConsistent &&
+                            run.rec.nodeRecoveries == kills.size();
+            killsOk = killsOk && ok;
+            if (run.recLatency.count > 0) {
+                // One seal per epoch; the per-run mean degrades to the
+                // exact sample for the common single-crash case.
+                for (std::uint64_t i = 0; i < run.recLatency.count; ++i) {
+                    latencies.record(run.recLatency.mean);
+                }
+            }
+            for (const Word w : run.image) {
+                mix(w);
+            }
+            mix(run.cycles);
+            mix(run.rec.pagesRemastered);
+            mix(run.rec.copyListsRepaired);
+            mix(run.rec.pagesLost);
+            kt.addRow({name, std::to_string(seed),
+                       TablePrinter::num(run.cycles),
+                       std::to_string(run.rec.nodeRecoveries),
+                       std::to_string(run.rec.pagesRemastered),
+                       std::to_string(run.rec.pagesLost),
+                       TablePrinter::num(run.recLatency.mean, 0),
+                       ok ? "ok" : "MISMATCH"});
+        }
+        std::cout << "\nfail-stop recovery (1x" << nodes
+                  << " line, cycle relative to workload start):\n\n";
+        kt.print(std::cout);
+        std::cout << "\nrecovery latency cycles: p50 "
+                  << TablePrinter::num(latencies.percentile(50.0), 0)
+                  << ", p90 "
+                  << TablePrinter::num(latencies.percentile(90.0), 0)
+                  << ", p99 "
+                  << TablePrinter::num(latencies.percentile(99.0), 0)
+                  << " over " << latencies.count() << " epoch(s)\n";
+        std::cout << "fail-stop image hash: 0x" << std::hex
+                  << std::setw(16) << std::setfill('0') << hash
+                  << std::dec << std::setfill(' ') << "\n";
+    }
+
     const bool dogOk = watchdogConvertsPartitionToPanic(nodes);
     std::cout << "\nwatchdog partition demo: "
               << (dogOk ? "panicked as expected" : "FAILED TO FIRE")
               << "\n";
 
-    if (!allOk || !dogOk) {
+    if (!allOk || !killsOk || !dogOk) {
         std::cerr << "\nchaos sweep FAILED\n";
         return 1;
     }

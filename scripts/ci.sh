@@ -33,18 +33,25 @@
 #                  with the injector disabled bench output must stay
 #                  byte-identical to the committed golden/ files under
 #                  both engine backends
-#  10. tsan:       ThreadSanitizer build (PLUS_TSAN=ON) — the parallel
+#  10. recovery:   node-crash chaos matrix — the recovery unit tests,
+#                  then chaos_sweep --kill-node on wheel and
+#                  parallel x 2 threads; every run must leave the
+#                  surviving replicas mutually consistent and the
+#                  post-recovery image hash byte-identical across
+#                  backends
+#  11. tsan:       ThreadSanitizer build (PLUS_TSAN=ON) — the parallel
 #                  engine's tests plus the 2/4-thread determinism matrix
 #                  must run with zero TSan reports (skipped with a
 #                  warning when the toolchain lacks -fsanitize=thread)
-#  11. prof:       host-time profiler gates — a profiled parallel run
+#  12. prof:       host-time profiler gates — a profiled parallel run
 #                  must attribute >=90% of each thread's wall clock
 #                  across {work, barrier, drain, other}, and the
 #                  profiler-off overhead on the serial wheel micro
 #                  benchmark must stay under 3% (best of 3)
 #
 # Usage: scripts/ci.sh [tier1|sanitize|tidy|lint|format|trace|determinism|
-#                       perf-smoke|chaos|tsan|prof|all]  (default: all)
+#                       perf-smoke|chaos|recovery|tsan|prof|all]
+#                      (default: all)
 
 set -euo pipefail
 
@@ -290,6 +297,40 @@ run_chaos() {
     echo "fault-free path byte-identical to golden/ on every backend"
 }
 
+run_recovery() {
+    echo "=== recovery: node-crash chaos matrix ==="
+    cmake -B build -S . >/dev/null
+    cmake --build build -j "$JOBS" --target chaos_sweep test_recovery
+    local out
+    out="$(mktemp -d)"
+    trap 'rm -rf "$out"' RETURN
+
+    # The recovery unit tests carry the fine-grained assertions:
+    # dead-node purge, surviving-replica consistency, degraded serving
+    # of lost pages, and the wheel/heap/parallel image identity.
+    build/tests/test_recovery
+
+    # Crash the end node of a 1x8 line mid-run on each backend. Every
+    # run self-checks (survivor image vs oracle, replica consistency),
+    # and the combined post-recovery image hash — memory words, elapsed
+    # cycles, and epoch outcomes — must be byte-identical across
+    # backends.
+    local combo
+    for combo in "wheel:0" "parallel:2"; do
+        local eng="${combo%%:*}" thr="${combo##*:}"
+        local flags="--engine=$eng"
+        if [ "$thr" != 0 ]; then flags="$flags --threads=$thr"; fi
+        echo "--- fail-stop sweep: $eng threads=$thr"
+        # shellcheck disable=SC2086
+        build/bench/chaos_sweep --nodes=8 --seeds=2 --kill-node=7@2000 \
+            $flags | tee "$out/sweep_$eng.txt"
+        grep "fail-stop image hash" "$out/sweep_$eng.txt" \
+            > "$out/hash_$eng.txt"
+    done
+    diff "$out/hash_wheel.txt" "$out/hash_parallel.txt"
+    echo "post-recovery image byte-identical across backends"
+}
+
 run_tsan() {
     echo "=== tsan: ThreadSanitizer over the parallel engine ==="
     # Probe the toolchain: containers without libtsan should skip, not
@@ -396,15 +437,16 @@ case "$STAGE" in
     determinism) run_determinism ;;
     perf-smoke)  run_perf_smoke ;;
     chaos)       run_chaos ;;
+    recovery)    run_recovery ;;
     tsan)        run_tsan ;;
     prof)        run_prof ;;
     all)         run_tier1; run_sanitize; run_tidy; run_lint; run_format
                  run_trace; run_determinism; run_perf_smoke; run_chaos
-                 run_tsan; run_prof ;;
+                 run_recovery; run_tsan; run_prof ;;
     *)
         echo "unknown stage '$STAGE'" \
              "(want tier1|sanitize|tidy|lint|format|trace|determinism|" \
-             "perf-smoke|chaos|tsan|prof|all)" >&2
+             "perf-smoke|chaos|recovery|tsan|prof|all)" >&2
         exit 2
         ;;
 esac

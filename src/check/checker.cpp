@@ -50,6 +50,24 @@ Checker::onCopyListChanged(Vpn vpn)
 }
 
 void
+Checker::onNodeCrashed(NodeId node)
+{
+    trace_.record(makeEvent(EventKind::NodeCrashed, node, 0, 0, 0, 0));
+    if (invariants_) {
+        invariants_->nodeCrashed(node);
+    }
+}
+
+void
+Checker::onEpochSealed(NodeId dead, std::uint64_t epoch)
+{
+    trace_.record(makeEvent(EventKind::EpochSealed, dead, 0, 0, epoch, 0));
+    if (invariants_) {
+        invariants_->epochSealed(dead, epoch);
+    }
+}
+
+void
 Checker::onPendingInsert(NodeId node, std::uint32_t tag, Vpn vpn,
                          Addr word_offset)
 {
@@ -66,6 +84,26 @@ Checker::onPendingComplete(NodeId node, std::uint32_t tag)
     trace_.record(makeEvent(EventKind::PendingComplete, node, 0, 0, tag, 0));
     if (invariants_) {
         invariants_->pendingComplete(node, tag);
+    }
+}
+
+void
+Checker::onPendingAborted(NodeId node, std::uint32_t tag, bool retried)
+{
+    trace_.record(makeEvent(EventKind::PendingAborted, node, 0, 0, tag,
+                            retried ? 1 : 0));
+    if (invariants_) {
+        invariants_->pendingAborted(node, tag, retried);
+    }
+}
+
+void
+Checker::onMessageProcessed(NodeId src, NodeId dst, std::uint8_t msg_class)
+{
+    // Not traced: one entry per delivered message would flush the
+    // bounded ring of the events violations actually need.
+    if (invariants_) {
+        invariants_->messageProcessed(src, dst, msg_class);
     }
 }
 
@@ -180,6 +218,13 @@ Checker::onProcWriteFence(NodeId node, ThreadId tid)
     if (races_) {
         races_->writeFence(tid);
     }
+}
+
+void
+Checker::onProcPageLost(NodeId node, ThreadId tid, Addr vaddr)
+{
+    trace_.record(makeEvent(EventKind::ProcPageLost, node, pageOf(vaddr),
+                            wordOffsetOf(vaddr), tid, 0));
 }
 
 } // namespace check

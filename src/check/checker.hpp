@@ -54,6 +54,12 @@ class Checker final : public Observer
     /** The OS mutated the copy-list of @p vpn. */
     void onCopyListChanged(Vpn vpn);
 
+    /** Node @p node fail-stop crashed (machine context). */
+    void onNodeCrashed(NodeId node);
+
+    /** Recovery for @p dead completed; its epoch @p epoch sealed. */
+    void onEpochSealed(NodeId dead, std::uint64_t epoch);
+
     const Options& options() const { return options_; }
     EventTrace& trace() { return trace_; }
 
@@ -68,6 +74,8 @@ class Checker final : public Observer
     void onPendingInsert(NodeId node, std::uint32_t tag, Vpn vpn,
                          Addr word_offset) override;
     void onPendingComplete(NodeId node, std::uint32_t tag) override;
+    void onPendingAborted(NodeId node, std::uint32_t tag,
+                          bool retried) override;
 
     // --- ProtoObserver ----------------------------------------------------
 
@@ -79,6 +87,8 @@ class Checker final : public Observer
                         bool at_master) override;
     void onFenceComplete(NodeId node, bool pending_empty) override;
     void onReadServed(NodeId node, Vpn vpn, Addr word_offset) override;
+    void onMessageProcessed(NodeId src, NodeId dst,
+                            std::uint8_t msg_class) override;
 
     // --- CopyListObserver -------------------------------------------------
 
@@ -94,6 +104,7 @@ class Checker final : public Observer
     void onProcVerify(NodeId node, ThreadId tid, Addr vaddr) override;
     void onProcFence(NodeId node, ThreadId tid) override;
     void onProcWriteFence(NodeId node, ThreadId tid) override;
+    void onProcPageLost(NodeId node, ThreadId tid, Addr vaddr) override;
 
   private:
     Options options_;

@@ -89,6 +89,19 @@ class DeferringObserver final : public Observer
     }
 
     void
+    onMessageProcessed(NodeId src, NodeId dst,
+                       std::uint8_t msg_class) override
+    {
+        defer(&Observer::onMessageProcessed, src, dst, msg_class);
+    }
+
+    void
+    onPendingAborted(NodeId node, std::uint32_t tag, bool retried) override
+    {
+        defer(&Observer::onPendingAborted, node, tag, retried);
+    }
+
+    void
     onCopyListMutated(const mem::CopyList& list, const char* op) override
     {
         // Machine context only; workers are parked, so inline is safe
@@ -131,6 +144,12 @@ class DeferringObserver final : public Observer
     onProcWriteFence(NodeId node, ThreadId tid) override
     {
         defer(&Observer::onProcWriteFence, node, tid);
+    }
+
+    void
+    onProcPageLost(NodeId node, ThreadId tid, Addr vaddr) override
+    {
+        defer(&Observer::onProcPageLost, node, tid, vaddr);
     }
 
     void

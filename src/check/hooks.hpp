@@ -126,6 +126,33 @@ class ProtoObserver
     {
         (void)src; (void)dst; (void)msg_class; (void)bytes; (void)vpn;
     }
+
+    /**
+     * The coherence manager of @p dst dispatched a delivered protocol
+     * message of @p msg_class sent by @p src. Feeds the crashed-source
+     * invariant: once @p src's recovery epoch has sealed, no message
+     * from it may ever be processed again.
+     */
+    virtual void
+    onMessageProcessed(NodeId src, NodeId dst, std::uint8_t msg_class)
+    {
+        (void)src; (void)dst; (void)msg_class;
+    }
+
+    /**
+     * Crash recovery aborted the in-flight write (or tracked interlocked
+     * pseudo-write) @p tag on @p node because its update chain touched
+     * the dead node. When @p retried, the operation is re-dispatched
+     * against the repaired copy-list under the same tag; otherwise its
+     * page is lost and the entry force-retires without ever taking
+     * effect at a master. The checker relaxes retire-once accordingly —
+     * this is the only path allowed to do so.
+     */
+    virtual void
+    onPendingAborted(NodeId node, std::uint32_t tag, bool retried)
+    {
+        (void)node; (void)tag; (void)retried;
+    }
 };
 
 /**
@@ -139,6 +166,7 @@ enum class DropReason : std::uint8_t {
     LinkDown,  ///< the packet reached a killed link
     NodeDown,  ///< the source or destination router is dead
     Duplicate, ///< suppressed by the reliable layer's sequence check
+    Sealed,    ///< sent by a crashed node whose recovery epoch sealed
 };
 
 inline const char*
@@ -150,6 +178,7 @@ toString(DropReason reason)
       case DropReason::LinkDown: return "link-down";
       case DropReason::NodeDown: return "node-down";
       case DropReason::Duplicate: return "duplicate";
+      case DropReason::Sealed: return "sealed";
       default: return "?";
     }
 }
@@ -279,6 +308,18 @@ class ProcObserver
     }
 
     /**
+     * Thread @p tid accessed @p vaddr on a page whose every copy died
+     * with a crashed node: the access completed degraded (reads return
+     * the PageLost sentinel, writes are dropped) within bounded cycles
+     * instead of retrying forever.
+     */
+    virtual void
+    onProcPageLost(NodeId node, ThreadId tid, Addr vaddr)
+    {
+        (void)node; (void)tid; (void)vaddr;
+    }
+
+    /**
      * The processor on @p node just left a free interval: it had been
      * waiting since @p start for @p duration cycles with @p kind (a
      * node::StallKind value) as the recorded reason. Emitted when the
@@ -364,6 +405,19 @@ class TeeObserver final : public Observer
     }
 
     void
+    onMessageProcessed(NodeId src, NodeId dst,
+                       std::uint8_t msg_class) override
+    {
+        tee(&Observer::onMessageProcessed, src, dst, msg_class);
+    }
+
+    void
+    onPendingAborted(NodeId node, std::uint32_t tag, bool retried) override
+    {
+        tee(&Observer::onPendingAborted, node, tag, retried);
+    }
+
+    void
     onCopyListMutated(const mem::CopyList& list, const char* op) override
     {
         tee(&Observer::onCopyListMutated, list, op);
@@ -404,6 +458,12 @@ class TeeObserver final : public Observer
     onProcWriteFence(NodeId node, ThreadId tid) override
     {
         tee(&Observer::onProcWriteFence, node, tid);
+    }
+
+    void
+    onProcPageLost(NodeId node, ThreadId tid, Addr vaddr) override
+    {
+        tee(&Observer::onProcPageLost, node, tid, vaddr);
     }
 
     void

@@ -38,6 +38,52 @@ InvariantChecker::copyListChanged(Vpn vpn)
     generations_[vpn] += 1;
 }
 
+void
+InvariantChecker::nodeCrashed(NodeId node)
+{
+    crashedNodes_.insert(node);
+}
+
+void
+InvariantChecker::epochSealed(NodeId dead, std::uint64_t epoch)
+{
+    if (crashedNodes_.find(dead) == crashedNodes_.end()) {
+        violation(concat("recovery epoch ", epoch, " sealed for n", dead,
+                         " which never crashed"));
+    }
+    sealedNodes_.insert(dead);
+    epoch_ = epoch;
+
+    // Write off the dead node's own protocol state: its pending entries
+    // can never retire (acks to it are dropped), and chains it
+    // originated may finish their walk with no owner. Purging here is
+    // what lets survivors reach writesInFlight() == 0 after recovery.
+    auto it = entries_.find(dead);
+    if (it != entries_.end()) {
+        entries_.erase(it);
+    }
+    // pluslint: allow(R1) -- order-independent flagging; every chain is
+    // visited exactly once and the flag writes commute.
+    for (auto& [id, chain] : chains_) {
+        if (chain.originator == dead) {
+            chain.orphaned = true;
+        }
+    }
+}
+
+void
+InvariantChecker::messageProcessed(NodeId src, NodeId dst,
+                                   std::uint8_t msg_class)
+{
+    if (!sealedNodes_.empty() &&
+        sealedNodes_.find(src) != sealedNodes_.end()) {
+        violation(concat("n", dst, " processed a message of class ",
+                         static_cast<unsigned>(msg_class),
+                         " from crashed node n", src,
+                         " after its recovery epoch sealed"));
+    }
+}
+
 std::uint64_t
 InvariantChecker::writesInFlight() const
 {
@@ -97,15 +143,23 @@ InvariantChecker::chainApplied(ChainId chain, PhysPage copy, Vpn vpn,
     auto markTail = [&](Chain& c) {
         if (c.tracked) {
             auto nit = entries_.find(c.originator);
-            if (nit == entries_.end() ||
-                nit->second.find(c.tag) == nit->second.end()) {
-                violation(concat("chain ", chain,
-                                 " reached the copy-list tail but its "
-                                 "originator n", c.originator,
-                                 " holds no pending entry with tag ",
-                                 c.tag));
+            auto eit = nit == entries_.end()
+                           ? decltype(nit->second.end()){}
+                           : nit->second.find(c.tag);
+            if (nit == entries_.end() || eit == nit->second.end()) {
+                // An orphaned chain's entry legally retired early: its
+                // write was aborted by crash recovery and completed by
+                // whichever acknowledgement arrived first.
+                if (!c.orphaned) {
+                    violation(concat("chain ", chain,
+                                     " reached the copy-list tail but its "
+                                     "originator n", c.originator,
+                                     " holds no pending entry with tag ",
+                                     c.tag));
+                }
+            } else {
+                eit->second.chainDone = true;
             }
-            nit->second.find(c.tag)->second.chainDone = true;
         }
         ++chainsCompleted_;
     };
@@ -146,6 +200,10 @@ InvariantChecker::chainApplied(ChainId chain, PhysPage copy, Vpn vpn,
                                  tag, " re-used by a second chain"));
             }
             eit->second.chain = chain;
+            // A re-dispatched (crash-aborted) write may race the old
+            // chain's acknowledgement; its new chain tolerates an
+            // ownerless tail.
+            c.orphaned = eit->second.aborted;
         }
         const bool tail = !list->successorOf(copy).has_value();
         if (tail) {
@@ -199,10 +257,37 @@ InvariantChecker::chainApplied(ChainId chain, PhysPage copy, Vpn vpn,
                       !list->successorOf(copy).has_value();
     if (tail) {
         markTail(c);
-        if (!c.tracked && strict) {
+        if ((!c.tracked && strict) || c.orphaned) {
             chains_.erase(cit);
         }
     }
+}
+
+void
+InvariantChecker::pendingAborted(NodeId node, Tag tag, bool retried)
+{
+    auto nit = entries_.find(node);
+    auto it = nit == entries_.end() ? decltype(nit->second.begin()){}
+                                    : nit->second.find(tag);
+    if (nit == entries_.end() || it == nit->second.end()) {
+        violation(concat("recovery aborted write tag ", tag, " on n", node,
+                         " which is not in flight"));
+    }
+    Entry& entry = it->second;
+    if (entry.chain != 0) {
+        // The old chain may still be walking surviving copies; let it
+        // finish without an owner instead of violating at its tail.
+        auto cit = chains_.find(entry.chain);
+        if (cit != chains_.end()) {
+            cit->second.orphaned = true;
+        }
+    }
+    entry.aborted = true;
+    if (retried) {
+        entry.chain = 0;
+        entry.chainDone = false;
+    }
+    ++aborted_;
 }
 
 void
@@ -216,6 +301,23 @@ InvariantChecker::pendingComplete(NodeId node, Tag tag)
                          " which is not in flight (double retire?)"));
     }
     const Entry entry = it->second;
+    if (entry.aborted) {
+        // Crash recovery touched this entry: it retires on whichever
+        // acknowledgement (old chain's or re-dispatched chain's)
+        // arrives first. A chain still in flight dies tolerantly at
+        // its own tail; retire-once stays fully enforced.
+        if (entry.chain != 0 && entry.chainDone) {
+            chains_.erase(entry.chain);
+        } else if (entry.chain != 0) {
+            auto cit = chains_.find(entry.chain);
+            if (cit != chains_.end()) {
+                cit->second.orphaned = true;
+            }
+        }
+        nit->second.erase(it);
+        ++retired_;
+        return;
+    }
     if (entry.chain != 0) {
         if (!entry.chainDone) {
             const auto cit = chains_.find(entry.chain);

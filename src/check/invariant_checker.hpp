@@ -29,6 +29,7 @@
 #include <cstdint>
 #include <functional>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "check/hooks.hpp"
@@ -58,12 +59,29 @@ class InvariantChecker
     /** The OS mutated the copy-list of @p vpn (splice, reorder, ...). */
     void copyListChanged(Vpn vpn);
 
+    // --- recovery epochs --------------------------------------------------
+
+    /** Node @p node fail-stop crashed (machine context, crash cycle). */
+    void nodeCrashed(NodeId node);
+
+    /**
+     * Crash recovery for @p dead completed and its epoch @p epoch
+     * sealed: from here on, processing any message it sent is fatal
+     * (the crashed-source invariant, checked by messageProcessed).
+     */
+    void epochSealed(NodeId dead, std::uint64_t epoch);
+
+    /** Recovery epochs sealed so far (0 = no crash recovered yet). */
+    std::uint64_t epoch() const { return epoch_; }
+
     // --- event entry points (mirroring check::Observer) -------------------
 
     void pendingInsert(NodeId node, Tag tag, Vpn vpn, Addr word_offset);
     void writeIssued(NodeId node, Tag tag, Vpn vpn, Addr word_offset,
                      bool from_rmw);
     void pendingComplete(NodeId node, Tag tag);
+    void pendingAborted(NodeId node, Tag tag, bool retried);
+    void messageProcessed(NodeId src, NodeId dst, std::uint8_t msg_class);
     void chainApplied(ChainId chain, PhysPage copy, Vpn vpn,
                       Addr word_offset, unsigned words, NodeId originator,
                       Tag tag, bool tracked, bool at_master);
@@ -79,6 +97,9 @@ class InvariantChecker
     /** Chains whose full list walk was verified. */
     std::uint64_t chainsCompleted() const { return chainsCompleted_; }
 
+    /** In-flight operations crash recovery aborted or re-dispatched. */
+    std::uint64_t opsAborted() const { return aborted_; }
+
     /** Entries currently in flight across all nodes (checker view). */
     std::uint64_t writesInFlight() const;
 
@@ -89,6 +110,12 @@ class InvariantChecker
         bool fromRmw = false;
         ChainId chain = 0;
         bool chainDone = false;
+        /**
+         * Crash recovery touched this entry (force-retire of a lost
+         * page, or abort-and-retry against a repaired copy-list); the
+         * retire-order check is relaxed for it, never retire-once.
+         */
+        bool aborted = false;
     };
 
     struct Chain {
@@ -96,6 +123,12 @@ class InvariantChecker
         NodeId originator = kInvalidNode;
         Tag tag = 0;
         bool tracked = false;
+        /**
+         * The chain belongs to (or overlaps) a crash-recovery epoch:
+         * its originator's pending entry may retire before the walk
+         * finishes, so an ownerless tail is tolerated.
+         */
+        bool orphaned = false;
         PhysPage lastCopy;
         std::uint64_t genAtStart = 0;
         std::vector<PhysPage> visited;
@@ -119,8 +152,15 @@ class InvariantChecker
     /** Copy-list mutation counters per page. */
     std::unordered_map<Vpn, std::uint64_t> generations_;
 
+    /** Nodes reported fail-stop crashed (nodeCrashed). */
+    std::unordered_set<NodeId> crashedNodes_;
+    /** Crashed nodes whose recovery epoch sealed (see epochSealed). */
+    std::unordered_set<NodeId> sealedNodes_;
+    std::uint64_t epoch_ = 0;
+
     std::uint64_t retired_ = 0;
     std::uint64_t chainsCompleted_ = 0;
+    std::uint64_t aborted_ = 0;
 };
 
 } // namespace check

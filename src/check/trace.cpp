@@ -26,6 +26,10 @@ toString(EventKind kind)
       case EventKind::ProcVerify: return "proc-verify";
       case EventKind::ProcFence: return "proc-fence";
       case EventKind::ProcWriteFence: return "proc-write-fence";
+      case EventKind::PendingAborted: return "pending-aborted";
+      case EventKind::ProcPageLost: return "proc-page-lost";
+      case EventKind::NodeCrashed: return "node-crashed";
+      case EventKind::EpochSealed: return "epoch-sealed";
       default: return "?";
     }
 }

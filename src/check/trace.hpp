@@ -38,6 +38,10 @@ enum class EventKind : std::uint8_t {
     ProcVerify,
     ProcFence,
     ProcWriteFence,
+    PendingAborted,
+    ProcPageLost,
+    NodeCrashed,
+    EpochSealed,
 };
 
 const char* toString(EventKind kind);

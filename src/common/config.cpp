@@ -132,12 +132,61 @@ MachineConfig::validate()
     if (fault.enabled && fault.maxDelayCycles == 0 && fault.delayRate > 0.0) {
         PLUS_FATAL("delayRate requires maxDelayCycles > 0");
     }
+    std::vector<char> crashed(nodes, 0);
+    std::size_t crash_count = 0;
     for (const FaultScriptEntry& entry : fault.script) {
         if (entry.a >= nodes ||
             ((entry.kind == FaultScriptEntry::Kind::LinkDown ||
               entry.kind == FaultScriptEntry::Kind::LinkUp) &&
              entry.b >= nodes)) {
             PLUS_FATAL("fault script names node beyond machine size");
+        }
+        if (entry.kind == FaultScriptEntry::Kind::CrashNode) {
+            if (!crashed[entry.a]) {
+                crashed[entry.a] = 1;
+                ++crash_count;
+            }
+        }
+    }
+    if (crash_count == nodes && nodes > 0) {
+        PLUS_FATAL("crash schedule kills every node in the machine; "
+                   "nothing would survive to recover — leave at least "
+                   "one node out of the CrashNode entries");
+    }
+    if (crash_count > 0 && fault.maxRetransmits == 0) {
+        if (fault.recover) {
+            PLUS_FATAL("recovery detects a crash by retransmit-budget "
+                       "exhaustion; maxRetransmits = 0 retries forever "
+                       "and the death would never be reported — give "
+                       "the link layer a finite budget");
+        }
+        PLUS_FATAL("CrashNode without recovery and with an unbounded "
+                   "retransmit budget (maxRetransmits = 0) can only end "
+                   "in a watchdog hang; arm network.fault.recover and a "
+                   "finite budget, or keep a finite budget for diagnosis");
+    }
+    for (std::size_t p = 0; p < fault.fencedPageReplicas.size(); ++p) {
+        const std::vector<NodeId>& holders = fault.fencedPageReplicas[p];
+        if (holders.empty()) {
+            PLUS_FATAL("fencedPageReplicas[", p, "] declares a fenced "
+                       "page with no replica holders");
+        }
+        bool survivor = false;
+        for (NodeId holder : holders) {
+            if (holder >= nodes) {
+                PLUS_FATAL("fencedPageReplicas[", p, "] names node ",
+                           holder, " beyond machine size ", nodes);
+            }
+            if (!crashed[holder]) {
+                survivor = true;
+            }
+        }
+        if (!survivor) {
+            PLUS_FATAL("crash schedule kills every replica holder of "
+                       "fenced page ", p, " (declared via "
+                       "fencedPageReplicas); a fence on it could never "
+                       "complete — keep at least one holder alive or "
+                       "replicate the page more widely");
         }
     }
     if (watchdog.enabled && watchdog.windowCycles == 0) {

@@ -32,11 +32,27 @@ const char* envRead(const char* name);
 /** One scripted fault-schedule entry (see net::FaultInjector). */
 struct FaultScriptEntry {
     enum class Kind : std::uint8_t {
-        LinkDown, ///< kill the (undirected) link a <-> b
-        LinkUp,   ///< revive the link a <-> b
-        NodeDown, ///< kill node a's router (all its traffic drops)
-        NodeUp,   ///< revive node a's router
+        LinkDown,  ///< kill the (undirected) link a <-> b
+        LinkUp,    ///< revive the link a <-> b
+        NodeDown,  ///< kill node a's router (all its traffic drops)
+        NodeUp,    ///< revive node a's router
+        /**
+         * Fail-stop crash of node a: router, coherence manager, processor
+         * and memory all go permanently silent at the scheduled cycle.
+         * Unlike NodeDown there is no matching revive — a crashed node
+         * never comes back, and with FaultConfig::recover armed the
+         * machine runs the proto::RecoveryManager protocol instead of
+         * panicking on retransmit-budget exhaustion.
+         */
+        CrashNode,
     };
+    /**
+     * Firing cycle, relative to when the script is armed: the moment
+     * enableFaults() runs for direct net::Network users, the first
+     * run() for core::Machine workloads (setup allocation, replication
+     * and settle() time is excluded, so a schedule composes with any
+     * amount of setup).
+     */
     Cycles at = 0;
     Kind kind = Kind::LinkDown;
     NodeId a = kInvalidNode;
@@ -83,6 +99,29 @@ struct FaultConfig {
 
     /** Cap on timeout doublings (backoff = timeout << min(n, cap)). */
     unsigned backoffCap = 6;
+
+    /**
+     * Arm fail-stop crash recovery (proto::RecoveryManager). When true,
+     * retransmit-budget exhaustion against a node the injector reports
+     * as crashed becomes a peer-death signal: the recovery manager
+     * re-masters the dead node's pages onto surviving replicas, purges
+     * it from every copy-list and page table, retries in-flight
+     * operations against the new masters, and marks unreplicated pages
+     * whose only copy died as lost (accesses then complete with a
+     * bounded PageLost fault). When false, a CrashNode schedule behaves
+     * like a permanent NodeDown and the link layer's retransmit-budget
+     * panic diagnoses the partition.
+     */
+    bool recover = false;
+
+    /**
+     * Replica holders of pages the workload will fence on, declared by
+     * the workload at configuration time so MachineConfig::validate()
+     * can reject crash schedules that would kill every holder of such a
+     * page (the fence could then never complete). One inner vector per
+     * fenced page, listing the nodes that hold copies of it.
+     */
+    std::vector<std::vector<NodeId>> fencedPageReplicas;
 };
 
 /** Interconnection-network parameters. */

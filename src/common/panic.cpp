@@ -16,6 +16,12 @@ setPanicDecorator(PanicDecorator fn)
     g_decorator = fn;
 }
 
+PanicDecorator
+panicDecorator()
+{
+    return g_decorator;
+}
+
 namespace detail {
 
 void

@@ -39,6 +39,13 @@ using PanicDecorator = std::string (*)();
 /** Install @p fn (nullptr to clear). Not thread-safe vs. a racing panic. */
 void setPanicDecorator(PanicDecorator fn);
 
+/**
+ * The currently installed decorator (nullptr if none). Layers that want
+ * to *add* context rather than replace it read the current hook, stash
+ * it, and chain to it from their own decorator.
+ */
+PanicDecorator panicDecorator();
+
 namespace detail {
 
 [[noreturn]] void throwPanic(const char* file, int line,

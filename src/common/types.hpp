@@ -71,6 +71,14 @@ inline constexpr Word kTopBit = 0x80000000u;
 inline constexpr Word kPayloadMask = 0x7fffffffu;
 
 /**
+ * Value returned by degraded-mode accesses to a *lost* page — one whose
+ * every physical copy died with a fail-stop node crash (see
+ * proto::RecoveryManager). Reads and interlocked results complete with
+ * this sentinel instead of retrying forever; writes are dropped.
+ */
+inline constexpr Word kPageLostValue = 0xDEADDEADu;
+
+/**
  * Global physical page address: a <node-id, page-id> pair, generated
  * directly by the memory-mapping mechanism of the processor (Section 2.3).
  */

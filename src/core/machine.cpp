@@ -11,6 +11,7 @@
 #include "core/context.hpp"
 #include "net/fault_injector.hpp"
 #include "net/reliable_link.hpp"
+#include "proto/recovery_manager.hpp"
 #include "telemetry/export.hpp"
 
 namespace plus {
@@ -46,6 +47,96 @@ resolveThreads(const MachineConfig& config)
 }
 
 } // namespace
+
+/**
+ * Adapter handing proto::RecoveryManager the machine services it needs
+ * (directory walks, table rewrites, processor halts) while keeping the
+ * proto layer free of a core dependency. Every call arrives in machine
+ * context except toMachine(), which is the lane-crossing primitive.
+ */
+struct Machine::RecoveryHost final : proto::RecoveryManager::Host {
+    explicit RecoveryHost(Machine& machine) : m(machine) {}
+
+    Cycles now() const override { return m.engine_.now(); }
+    unsigned nodeCount() const override { return m.config_.nodes; }
+
+    std::vector<Vpn> mappedVpns() const override
+    {
+        return m.directory_.sortedVpns();
+    }
+
+    mem::CopyList& copyListOf(Vpn vpn) override
+    {
+        return m.directory_.copyList(vpn);
+    }
+
+    mem::CoherenceTables& tablesOf(NodeId node) override
+    {
+        return m.nodes_[node]->tables();
+    }
+
+    proto::CoherenceManager& cmOf(NodeId node) override
+    {
+        return m.nodes_[node]->cm();
+    }
+
+    void haltNode(NodeId node) override { m.haltNode(node); }
+
+    void pageLost(Vpn vpn) override
+    {
+        m.lostPages_.insert(vpn);
+        if (m.checker_) {
+            m.checker_->onCopyListChanged(vpn);
+        }
+        m.shootdown(vpn);
+        m.directory_.destroy(vpn);
+    }
+
+    void syncPageCopy(PhysPage from, PhysPage to) override
+    {
+        mem::LocalMemory& src = m.nodes_[from.node]->memory();
+        mem::LocalMemory& dst = m.nodes_[to.node]->memory();
+        for (Addr w = 0; w < kPageWords; ++w) {
+            dst.write(to.frame, w, src.read(from.frame, w));
+        }
+        // The overwrite happened behind the survivor's cache.
+        if (node::Cache* cache = m.nodes_[to.node]->cache()) {
+            cache->flush();
+        }
+    }
+
+    void copyListRebuilt(Vpn vpn) override
+    {
+        // removeOn() keeps the check observer installed; only the
+        // generation bump and the translation shootdown remain.
+        if (m.checker_) {
+            m.checker_->onCopyListChanged(vpn);
+        }
+        m.shootdown(vpn);
+    }
+
+    void purgeLinks(NodeId dead) override
+    {
+        if (net::LinkLayer* link = m.network_->linkLayer()) {
+            link->purgeNode(dead);
+            link->sealNode(dead);
+        }
+    }
+
+    void sealEpoch(NodeId dead, std::uint64_t epoch) override
+    {
+        if (m.checker_) {
+            m.checker_->onEpochSealed(dead, epoch);
+        }
+    }
+
+    void toMachine(std::function<void()> fn) override
+    {
+        m.engine_.scheduleMachine(m.engine_.lookahead(), std::move(fn));
+    }
+
+    Machine& m;
+};
 
 double
 MachineReport::utilization(unsigned processors) const
@@ -107,7 +198,11 @@ Machine::Machine(MachineConfig config)
         installLookaheadMatrix();
     }
     if (config_.network.fault.enabled) {
-        network_->enableFaults(config_.network.fault);
+        // Script arming is deferred to the first run(): setup work
+        // (allocation, replication, settle) would otherwise consume
+        // scripted faults whose cycles were meant for the workload.
+        network_->enableFaults(config_.network.fault,
+                               /*arm_script=*/false);
     }
 
     if (config_.check.invariants || config_.check.races) {
@@ -183,6 +278,40 @@ Machine::Machine(MachineConfig config)
         }
     }
 
+    // Crash recovery: arm the coherence managers' in-flight-op metadata,
+    // route fail-stop crashes (fault script) and peer deaths (link
+    // retransmit exhaustion) into the recovery manager.
+    if (config_.network.fault.enabled && config_.network.fault.recover) {
+        recoveryHost_ = std::make_unique<RecoveryHost>(*this);
+        recovery_ = std::make_unique<proto::RecoveryManager>(
+            *recoveryHost_, config_.nodes);
+        for (auto& n : nodes_) {
+            n->cm().setRecoveryArmed(true);
+        }
+        if (net::LinkLayer* link = network_->linkLayer()) {
+            link->setPeerDeathHandler([this](NodeId dead) {
+                recovery_->onPeerDeath(dead);
+            });
+        }
+    }
+    if (net::FaultInjector* inj = network_->faultInjector()) {
+        inj->setCrashHandler([this](NodeId node) {
+            // Machine context (the script entry's lane): the checker
+            // learns of the crash first so recovery's epoch seal always
+            // follows it in the event stream.
+            if (checker_) {
+                checker_->onNodeCrashed(node);
+            }
+            if (recovery_) {
+                recovery_->onNodeCrashed(node);
+            } else {
+                // No recovery armed: fail-stop still halts the node's
+                // processor; survivors panic on retransmit exhaustion.
+                haltNode(node);
+            }
+        });
+    }
+
     // Failure diagnostics: the reliable link and the per-node retry
     // bounds append the machine's dossier to their panics so the first
     // report already says what the fabric was doing.
@@ -205,6 +334,14 @@ Machine::Machine(MachineConfig config)
                     const node::ProcessorStats& ps =
                         n->processor().stats();
                     p += ps.reads + ps.writes + ps.rmwIssues + ps.fences;
+                }
+                if (recovery_) {
+                    // Crash detection is retransmit-driven: while links
+                    // probe a dead peer nothing retires, but the machine
+                    // is making progress toward the peer-death signal.
+                    if (const net::LinkLayer* link = network_->linkLayer()) {
+                        p += link->stats().retransmits;
+                    }
                 }
                 return p;
             },
@@ -252,8 +389,11 @@ Machine::installLookaheadMatrix()
 void
 Machine::updateMachineMailHint()
 {
+    // With recovery armed, any node lane can post a peer-death recovery
+    // event at any time, so the hint must stay on for the whole run.
     engine_.setNodeMachineMailHint(pendingCopies_ != 0 ||
-                                   replThreshold_ != 0);
+                                   replThreshold_ != 0 ||
+                                   recovery_ != nullptr);
 }
 
 std::string
@@ -280,6 +420,13 @@ Machine::diagnosticDump()
            << " retransmits, " << l.dupSuppressed << " dups suppressed, "
            << l.crcDrops << " crc drops, " << link->inFlight()
            << " unacked in flight";
+        if (l.peerDeaths != 0 || l.sealedDrops != 0) {
+            os << ", " << l.peerDeaths << " peer deaths, "
+               << l.sealedDrops << " sealed drops";
+        }
+    }
+    if (recovery_) {
+        os << recovery_->panicSummary();
     }
     if (telemetry_) {
         os << "\nrecent trace events:" << telemetry_->renderRecent(64);
@@ -316,6 +463,9 @@ Machine::registerMetrics()
     metrics_.addCounter("cm.remoteRmws",
                         sumCm(&proto::CmStats::remoteRmws));
     metrics_.addCounter("cm.retries", sumCm(&proto::CmStats::retries));
+    metrics_.addCounter("cm.recoveryAborts",
+                        sumCm(&proto::CmStats::recoveryAborts));
+    metrics_.addCounter("cm.staleAcks", sumCm(&proto::CmStats::staleAcks));
     metrics_.addCounter("cm.busyCycles", [this] {
         std::uint64_t total = 0;
         for (const auto& n : nodes_) {
@@ -358,6 +508,9 @@ Machine::registerMetrics()
                         sumProcEvents(&node::ProcessorStats::ctxSwitches));
     metrics_.addCounter("proc.pageFaults",
                         sumProcEvents(&node::ProcessorStats::pageFaults));
+    metrics_.addCounter(
+        "proc.pageLostFaults",
+        sumProcEvents(&node::ProcessorStats::pageLostFaults));
 
     auto sumProcCycles = [this](Cycles node::ProcessorStats::* f) {
         return [this, f]() -> std::uint64_t {
@@ -474,6 +627,37 @@ Machine::registerMetrics()
                         linkStat(&net::LinkStats::dupSuppressed));
     metrics_.addCounter("net.link.crcDrops",
                         linkStat(&net::LinkStats::crcDrops));
+    metrics_.addCounter("net.link.peerDeaths",
+                        linkStat(&net::LinkStats::peerDeaths));
+    metrics_.addCounter("net.link.sealedDrops",
+                        linkStat(&net::LinkStats::sealedDrops));
+    metrics_.addCounter("net.fault.nodeCrashes",
+                        faultStat(&net::FaultStats::nodeCrashes));
+
+    // Crash-recovery outcomes (see docs/ROBUSTNESS.md "Crash recovery").
+    if (recovery_) {
+        auto recStat = [this](std::uint64_t proto::RecoveryStats::* field) {
+            return [this, field] { return recovery_->stats().*field; };
+        };
+        metrics_.addCounter(
+            "recovery.epochs",
+            recStat(&proto::RecoveryStats::nodeRecoveries));
+        metrics_.addCounter(
+            "recovery.pagesRemastered",
+            recStat(&proto::RecoveryStats::pagesRemastered));
+        metrics_.addCounter(
+            "recovery.copyListsRepaired",
+            recStat(&proto::RecoveryStats::copyListsRepaired));
+        metrics_.addCounter("recovery.pagesLost",
+                            recStat(&proto::RecoveryStats::pagesLost));
+        metrics_.addCounter("recovery.abortedOps",
+                            recStat(&proto::RecoveryStats::abortedOps));
+        metrics_.addCounter(
+            "recovery.lostCompletions",
+            recStat(&proto::RecoveryStats::lostCompletions));
+        metrics_.addDistribution("recovery.latency",
+                                 &recovery_->latencyHistogram());
+    }
 
     // NACK re-translation retries (see CostModel::nackRetryLimit).
     metrics_.addCounter("proto.nack_retries",
@@ -541,17 +725,30 @@ Machine::nodeAt(NodeId id)
 node::Processor::Translation
 Machine::translateFor(NodeId node, Vpn vpn)
 {
+    if (!lostPages_.empty() &&
+        lostPages_.find(vpn) != lostPages_.end()) {
+        // Degraded mode: the page lost its last copy to a crash. The
+        // processor completes the access with kPageLostValue in bounded
+        // time instead of faulting on the destroyed mapping.
+        return {PhysPage{}, false, true};
+    }
     mem::PageTable& pt = nodes_[node]->pageTable();
     if (auto hit = pt.lookup(vpn)) {
-        return {*hit, false};
+        return {*hit, false, false};
     }
-    return {freshTranslation(node, vpn), true};
+    return {freshTranslation(node, vpn), true, false};
 }
 
 PhysPage
 Machine::freshTranslation(NodeId node, Vpn vpn)
 {
     if (!directory_.contains(vpn)) {
+        if (lostPages_.find(vpn) != lostPages_.end()) {
+            PLUS_FATAL("protocol translation of lost page ", vpn,
+                       " from node ", node,
+                       " — lost accesses must complete degraded, never "
+                       "re-translate");
+        }
         PLUS_FATAL("access to unmapped virtual page ", vpn,
                    " (address ", pageBase(vpn), ") from node ", node);
     }
@@ -575,6 +772,22 @@ Machine::shootdown(Vpn vpn)
 {
     for (auto& n : nodes_) {
         n->pageTable().invalidate(vpn);
+    }
+}
+
+void
+Machine::haltNode(NodeId node)
+{
+    PLUS_ASSERT(node < nodes_.size(), "halt of unknown node ", node);
+    const unsigned written_off = nodes_[node]->processor().halt();
+    if (written_off == 0) {
+        return;
+    }
+    // The written-off threads will never hit their completion handler;
+    // settle the liveness accounting (and the watchdog) for them here.
+    if (unfinishedThreads_.fetch_sub(written_off) == written_off &&
+        watchdog_) {
+        watchdog_->stop();
     }
 }
 
@@ -914,6 +1127,15 @@ Machine::spawn(NodeId node, ThreadBody body)
                                              nodes_[node]->processor(),
                                              tid);
     Context* ctx = context.get();
+    if (nodes_[node]->processor().halted()) {
+        // Fail-stop: the node crashed before this thread could start.
+        // Written off immediately, like a thread caught mid-run by the
+        // crash — it never executes and never counts as unfinished.
+        PLUS_LOG(LogComponent::Machine, "spawn of thread ", tid, " on crashed n",
+                 node, " written off");
+        threads_.push_back(ThreadRecord{tid, node, std::move(context)});
+        return tid;
+    }
     ++unfinishedThreads_;
     nodes_[node]->processor().addThread(
         tid, [this, ctx, body = std::move(body)] {
@@ -933,6 +1155,9 @@ void
 Machine::run(Cycles max_cycles)
 {
     started_ = true;
+    if (net::FaultInjector* injector = network_->faultInjector()) {
+        injector->scheduleScript(); // idempotent; cycles now count from here
+    }
     for (NodeId id = 0; id < nodes_.size(); ++id) {
         // Thread-dispatch events get node-deterministic keys and lanes.
         engine_.withNodeContext(id, [&] {

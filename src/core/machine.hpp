@@ -27,6 +27,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "check/checker.hpp"
@@ -46,6 +47,10 @@ namespace check {
 class DeferringObserver;
 class DeferringNetObserver;
 } // namespace check
+
+namespace proto {
+class RecoveryManager;
+} // namespace proto
 
 namespace core {
 
@@ -235,6 +240,22 @@ class Machine
     sim::Watchdog* watchdog() { return watchdog_.get(); }
 
     /**
+     * The crash-recovery orchestrator, or null unless
+     * MachineConfig::network.fault.recover armed it.
+     */
+    proto::RecoveryManager* recovery() { return recovery_.get(); }
+    const proto::RecoveryManager* recovery() const
+    {
+        return recovery_.get();
+    }
+
+    /** True once @p vpn lost its last copy to a node crash. */
+    bool pageIsLost(Vpn vpn) const
+    {
+        return lostPages_.find(vpn) != lostPages_.end();
+    }
+
+    /**
      * The event tracer, or null unless MachineConfig::telemetry.trace
      * enabled it.
      */
@@ -291,6 +312,13 @@ class Machine
     void shootdown(Vpn vpn);
     PhysAddr masterOf(Addr addr) const;
 
+    /**
+     * Fail-stop: freeze @p node's processor, write its threads off the
+     * machine's liveness accounting, and stop the watchdog if they were
+     * the last ones. Machine context; idempotent.
+     */
+    void haltNode(NodeId node);
+
     MachineConfig config_;
     sim::Engine engine_;
     net::Topology topology_;
@@ -325,6 +353,17 @@ class Machine
 
     /** Forward-progress watchdog; null unless config_.watchdog. */
     std::unique_ptr<sim::Watchdog> watchdog_;
+
+    /**
+     * Crash recovery (null unless config_.network.fault.recover): the
+     * host adapter hands proto::RecoveryManager the machine services it
+     * needs without a proto -> core dependency.
+     */
+    struct RecoveryHost;
+    std::unique_ptr<RecoveryHost> recoveryHost_;
+    std::unique_ptr<proto::RecoveryManager> recovery_;
+    /** Pages whose last copy died; served degraded (kPageLostValue). */
+    std::unordered_set<Vpn> lostPages_;
 
     struct PendingCopy {
         Vpn vpn;

@@ -12,9 +12,11 @@
 #ifndef PLUS_MEM_PAGE_TABLE_HPP_
 #define PLUS_MEM_PAGE_TABLE_HPP_
 
+#include <algorithm>
 #include <cstdint>
 #include <optional>
 #include <unordered_map>
+#include <vector>
 
 #include "common/types.hpp"
 #include "mem/copy_list.hpp"
@@ -107,6 +109,25 @@ class PageDirectory
     }
 
     std::size_t pages() const { return map_.size(); }
+
+    /**
+     * Every legal virtual page, ascending. Recovery walks the whole
+     * directory; sorting makes the walk identical in every backend
+     * (the underlying map's order is not deterministic).
+     */
+    std::vector<Vpn>
+    sortedVpns() const
+    {
+        std::vector<Vpn> vpns;
+        vpns.reserve(map_.size());
+        // pluslint: allow(R1) -- collected then sorted before use.
+        for (const auto& [vpn, list] : map_) {
+            (void)list;
+            vpns.push_back(vpn);
+        }
+        std::sort(vpns.begin(), vpns.end());
+        return vpns;
+    }
 
   private:
     std::unordered_map<Vpn, CopyList> map_;

@@ -12,7 +12,8 @@ FaultInjector::FaultInjector(sim::Engine& engine, const Topology& topology,
                              const FaultConfig& config)
     : engine_(engine), config_(config),
       statShards_(topology.nodes() + 1),
-      deadNodes_(topology.nodes(), 0)
+      deadNodes_(topology.nodes(), 0),
+      crashedNodes_(topology.nodes(), 0)
 {
     // One stream per lane (nodes plus machine context), each seeded
     // from the config seed and its lane index so streams are mutually
@@ -42,6 +43,7 @@ FaultInjector::stats() const
         total.delayed += s.delayed;
         total.linkKills += s.linkKills;
         total.nodeKills += s.nodeKills;
+        total.nodeCrashes += s.nodeCrashes;
     }
     return total;
 }
@@ -97,8 +99,16 @@ FaultInjector::delayFor()
 void
 FaultInjector::scheduleScript()
 {
+    if (scriptArmed_) {
+        return;
+    }
+    scriptArmed_ = true;
+    // Entry cycles are relative to the arming point: core::Machine arms
+    // at the first run() so setup work (allocation, replication,
+    // settle()) cannot consume scripted faults meant for the workload.
+    const Cycles base = engine_.now();
     for (const FaultScriptEntry& entry : config_.script) {
-        engine_.scheduleAt(entry.at, [this, entry] { apply(entry); });
+        engine_.scheduleAt(base + entry.at, [this, entry] { apply(entry); });
     }
 }
 
@@ -120,8 +130,29 @@ FaultInjector::apply(const FaultScriptEntry& entry)
       case FaultScriptEntry::Kind::NodeUp:
         setNodeAlive(entry.a, true);
         break;
+      case FaultScriptEntry::Kind::CrashNode:
+        crashNode(entry.a);
+        break;
       default:
         PLUS_PANIC("unknown fault script entry");
+    }
+}
+
+void
+FaultInjector::crashNode(NodeId node)
+{
+    PLUS_ASSERT(node < crashedNodes_.size(), "crash of unknown node ", node);
+    if (crashedNodes_[node]) {
+        return; // fail-stop: a node dies at most once
+    }
+    crashedNodes_[node] = 1;
+    crashedCount_ += 1;
+    shard().nodeCrashes += 1;
+    deadNodes_[node] = 1;
+    PLUS_LOG(LogComponent::Net, "fault: node ", node,
+             " crashed (fail-stop) at cycle ", engine_.now());
+    if (crashHandler_) {
+        crashHandler_(node);
     }
 }
 
@@ -129,6 +160,8 @@ void
 FaultInjector::setNodeAlive(NodeId node, bool alive)
 {
     PLUS_ASSERT(node < deadNodes_.size(), "fault on unknown node ", node);
+    PLUS_ASSERT(!(alive && crashedNodes_[node]),
+                "node ", node, " is fail-stop crashed and cannot revive");
     deadNodes_[node] = alive ? 0 : 1;
     PLUS_LOG(LogComponent::Net, "fault: node ", node,
              alive ? " revived" : " killed", " at cycle ", engine_.now());

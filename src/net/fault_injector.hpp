@@ -62,6 +62,7 @@ struct FaultStats {
     std::uint64_t delayed = 0;
     std::uint64_t linkKills = 0;
     std::uint64_t nodeKills = 0;
+    std::uint64_t nodeCrashes = 0;
 };
 
 /** Seeded fault source plus link/router liveness (see file comment). */
@@ -77,10 +78,22 @@ class FaultInjector
     /** Extra cycles for a Fate::Delay frame (consumes one RNG draw). */
     Cycles delayFor();
 
-    /** Schedule the config's script entries as engine events. */
+    /**
+     * Schedule the config's script entries as engine events, each at
+     * now() + entry.at. Idempotent — the second and later calls are
+     * no-ops, so core::Machine can defer arming to the first run()
+     * (setup settles must not consume workload-relative faults) while
+     * direct Network users keep arming at enableFaults().
+     */
     void scheduleScript();
 
     bool nodeAlive(NodeId node) const { return !deadNodes_[node]; }
+
+    /** True once a CrashNode entry permanently failed @p node. */
+    bool nodeCrashed(NodeId node) const { return crashedNodes_[node] != 0; }
+
+    /** Number of nodes the schedule has crashed so far. */
+    std::size_t crashedCount() const { return crashedCount_; }
 
     bool
     linkAlive(NodeId a, NodeId b) const
@@ -91,6 +104,25 @@ class FaultInjector
 
     /** Kill (false) or revive (true) a router. */
     void setNodeAlive(NodeId node, bool alive);
+
+    /**
+     * Fail-stop crash of @p node: the router is killed and the node is
+     * marked permanently crashed (setNodeAlive(node, true) on a crashed
+     * node is rejected). Fires the crash handler, if installed, from the
+     * same context as the script entry (machine lane). Idempotent.
+     */
+    void crashNode(NodeId node);
+
+    /**
+     * Invoked from machine context when a CrashNode schedule entry
+     * fires; core::Machine wires this to the recovery manager so the
+     * crash is acted on at its scheduled cycle, deterministically,
+     * rather than only when a retransmit budget notices the silence.
+     */
+    void setCrashHandler(std::function<void(NodeId)> fn)
+    {
+        crashHandler_ = std::move(fn);
+    }
 
     /** Kill (false) or revive (true) the undirected link a <-> b. */
     void setLinkAlive(NodeId a, NodeId b, bool alive);
@@ -148,8 +180,14 @@ class FaultInjector
      * read at every hop; the window barrier orders the two.
      */
     std::vector<char> deadNodes_;
+    /** Permanently failed nodes: written under crashNode only, never
+     *  cleared — a crashed node cannot be revived. */
+    std::vector<char> crashedNodes_;
+    std::size_t crashedCount_ = 0;
     std::unordered_set<std::uint64_t> deadLinks_;
     std::function<std::optional<Fate>(const Packet&)> override_;
+    std::function<void(NodeId)> crashHandler_;
+    bool scriptArmed_ = false;
 };
 
 } // namespace net

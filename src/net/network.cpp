@@ -59,7 +59,7 @@ Network::serializationCycles(unsigned payload_bytes) const
 }
 
 void
-Network::enableFaults(const FaultConfig& fault)
+Network::enableFaults(const FaultConfig& fault, bool arm_script)
 {
     PLUS_ASSERT(fault.enabled, "enableFaults with a disabled config");
     PLUS_ASSERT(!injector_, "fault injection enabled twice");
@@ -67,7 +67,9 @@ Network::enableFaults(const FaultConfig& fault)
                 "enableFaults must precede all traffic");
     injector_ = std::make_unique<FaultInjector>(engine_, topology_, fault);
     link_ = std::make_unique<LinkLayer>(*this, engine_, *injector_, fault);
-    injector_->scheduleScript();
+    if (arm_script) {
+        injector_->scheduleScript();
+    }
 }
 
 void

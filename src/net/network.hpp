@@ -158,8 +158,12 @@ class Network
      * Arm fault injection and the reliable-delivery layer (always
      * together: an unreliable fabric without recovery would break the
      * protocol's FIFO assumptions). Call once, before any traffic.
+     * With @p arm_script false the fault script is not scheduled yet;
+     * the caller arms it later via faultInjector()->scheduleScript()
+     * (core::Machine does so at the first run(), making script cycles
+     * relative to the workload start instead of machine boot).
      */
-    void enableFaults(const FaultConfig& fault);
+    void enableFaults(const FaultConfig& fault, bool arm_script = true);
 
     /** The armed injector, or null when faults are off. */
     FaultInjector* faultInjector() { return injector_.get(); }

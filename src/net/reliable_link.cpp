@@ -18,7 +18,8 @@ LinkLayer::LinkLayer(Network& network, sim::Engine& engine,
       rttvar_(network.topology().nodes(), 0),
       statShards_(network.topology().nodes() + 1),
       sender_(network.topology().nodes()),
-      recv_(network.topology().nodes())
+      recv_(network.topology().nodes()),
+      sealed_(network.topology().nodes(), 0)
 {
     if (config_.retransmitTimeout != 0) {
         timeout_ = config_.retransmitTimeout;
@@ -79,6 +80,8 @@ LinkLayer::stats() const
         total.dupSuppressed += s.dupSuppressed;
         total.crcDrops += s.crcDrops;
         total.reordered += s.reordered;
+        total.peerDeaths += s.peerDeaths;
+        total.sealedDrops += s.sealedDrops;
     }
     return total;
 }
@@ -153,6 +156,16 @@ LinkLayer::receive(Packet packet, unsigned hops, Cycles injected_at,
         shard().crcDrops += 1;
         net_.noteDrop(packet.src, packet.dst, packet.msgClass,
                       packet.payloadBytes, check::DropReason::Corrupt);
+        return;
+    }
+
+    if (sealed_[packet.src]) {
+        // The source crashed and its recovery epoch sealed: whatever it
+        // still had in flight (delayed injections, duplicates) must
+        // never reach the protocol again.
+        shard().sealedDrops += 1;
+        net_.noteDrop(packet.src, packet.dst, packet.msgClass,
+                      packet.payloadBytes, check::DropReason::Sealed);
         return;
     }
 
@@ -275,8 +288,14 @@ LinkLayer::armTimer(NodeId src, NodeId dst, std::uint32_t seq,
 {
     const Cycles backoff =
         rto(src) << std::min<unsigned>(entry.attempts, config_.backoffCap);
-    entry.timer = engine_.schedule(
-        backoff, [this, src, dst, seq] { onTimeout(src, dst, seq); });
+    // Pinned to the sender's lane, not the caller's: frames can be sent
+    // from machine context (page-copy engine, crash-recovery replays),
+    // but the timer is cancelled from ack processing on node lanes — a
+    // machine-lane timer would make that a cross-window cancel. The
+    // backoff is at least one RTT, so it clears the cross-lane
+    // lookahead bound.
+    entry.timer = engine_.scheduleForNode(
+        src, backoff, [this, src, dst, seq] { onTimeout(src, dst, seq); });
 }
 
 void
@@ -291,6 +310,25 @@ LinkLayer::onTimeout(NodeId src, NodeId dst, std::uint32_t seq)
     entry.attempts += 1;
     if (config_.maxRetransmits != 0 &&
         entry.attempts > config_.maxRetransmits) {
+        if (config_.recover && injector_.nodeCrashed(dst)) {
+            // Fail-stop silence, not a partition: the budget exhausting
+            // toward a crashed peer is the crash-detection signal.
+            // Abandon the channel (recovery aborts and replays its
+            // operations) and report the death instead of panicking.
+            PLUS_LOG(LogComponent::Net, "link ", src, " -> ", dst,
+                     " detected peer death on frame ", seq);
+            dropChannel(chan);
+            shard().peerDeaths += 1;
+            if (peerDeath_) {
+                peerDeath_(dst);
+            }
+            return;
+        }
+        if (config_.recover && injector_.nodeCrashed(src)) {
+            // The sender itself is dead; its leftover timers are noise.
+            dropChannel(chan);
+            return;
+        }
         PLUS_PANIC("reliable link ", src, " -> ", dst, " gave up on frame ",
                    seq, " after ", config_.maxRetransmits,
                    " retransmits (permanent partition?)",
@@ -304,6 +342,47 @@ LinkLayer::onTimeout(NodeId src, NodeId dst, std::uint32_t seq)
              seq, " attempt ", entry.attempts);
     transmit(clonePacket(entry.frame));
     armTimer(src, dst, seq, entry);
+}
+
+void
+LinkLayer::dropChannel(SenderChan& chan)
+{
+    for (auto& [seq, pending] : chan.unacked) {
+        (void)seq;
+        engine_.cancel(pending.timer);
+    }
+    chan.unacked.clear();
+}
+
+void
+LinkLayer::purgeNode(NodeId dead)
+{
+    // Machine context only: channel state is owned by per-node lanes,
+    // and machine-lane events run stop-the-world between parallel
+    // windows, so this surgery races with nothing.
+    for (std::size_t src = 0; src < sender_.size(); ++src) {
+        auto it = sender_[src].find(dead);
+        if (it != sender_[src].end()) {
+            dropChannel(it->second);
+            sender_[src].erase(it);
+        }
+    }
+    // pluslint: allow(R1) -- timer cancellation is order-independent.
+    for (auto& [dst, chan] : sender_[dead]) {
+        (void)dst;
+        dropChannel(chan);
+    }
+    sender_[dead].clear();
+    recv_[dead].clear();
+    for (std::size_t dst = 0; dst < recv_.size(); ++dst) {
+        recv_[dst].erase(dead);
+    }
+}
+
+void
+LinkLayer::sealNode(NodeId dead)
+{
+    sealed_[dead] = 1;
 }
 
 std::size_t

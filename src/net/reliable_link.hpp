@@ -37,6 +37,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <unordered_map>
 #include <vector>
@@ -69,6 +70,8 @@ struct LinkStats {
     std::uint64_t dupSuppressed = 0; ///< duplicate data frames discarded
     std::uint64_t crcDrops = 0;      ///< frames dropped for a bad CRC
     std::uint64_t reordered = 0;     ///< frames parked out of order
+    std::uint64_t peerDeaths = 0;    ///< budget exhaustions reported as crashes
+    std::uint64_t sealedDrops = 0;   ///< frames from sealed crashed sources
 };
 
 /** Per-(src,dst) sequencing, ack/retransmit, dedup (see file comment). */
@@ -93,6 +96,37 @@ class LinkLayer
 
     /** The base retransmit timeout in use (config or latency-derived). */
     Cycles retransmitTimeout() const { return timeout_; }
+
+    /**
+     * Install the sink for peer-death signals. With FaultConfig::recover
+     * armed, a retransmit budget exhausted toward a fail-stop-crashed
+     * destination reports the death here instead of panicking (see
+     * onTimeout); core::Machine wires this to proto::RecoveryManager.
+     * The handler may fire more than once per dead node (every channel
+     * toward it can exhaust) — the sink must be idempotent.
+     */
+    void
+    setPeerDeathHandler(std::function<void(NodeId)> fn)
+    {
+        peerDeath_ = std::move(fn);
+    }
+
+    /**
+     * Tear down every channel to or from @p dead: cancel retransmit
+     * timers, drop unacknowledged clones and parked reorder-buffer
+     * frames. Machine context only — the channels are owned by per-node
+     * lanes, and machine-lane events run stop-the-world between
+     * parallel windows.
+     */
+    void purgeNode(NodeId dead);
+
+    /**
+     * Seal @p dead after its recovery epoch: every frame still in
+     * flight from it (delayed injections, duplicates) is dropped at the
+     * receiver, so no message from a crashed node is ever processed
+     * post-epoch (the checker's crashed-source invariant).
+     */
+    void sealNode(NodeId dead);
 
     /**
      * The adaptive timeout currently applied to frames @p src sends.
@@ -150,6 +184,9 @@ class LinkLayer
     void handleAck(const Packet& ack);
     void sendAck(NodeId from, NodeId to, std::uint32_t cumulative);
     void onTimeout(NodeId src, NodeId dst, std::uint32_t seq);
+
+    /** Cancel every pending timer in @p chan and forget its frames. */
+    void dropChannel(SenderChan& chan);
     void armTimer(NodeId src, NodeId dst, std::uint32_t seq,
                   Unacked& entry);
 
@@ -177,6 +214,9 @@ class LinkLayer
      */
     std::vector<std::unordered_map<NodeId, SenderChan>> sender_;
     std::vector<std::unordered_map<NodeId, ReceiverChan>> recv_;
+    /** Crashed nodes whose recovery epoch has sealed (receive drops). */
+    std::vector<char> sealed_;
+    std::function<void(NodeId)> peerDeath_;
 };
 
 } // namespace net

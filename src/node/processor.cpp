@@ -92,6 +92,24 @@ Processor::start()
     }
 }
 
+unsigned
+Processor::halt()
+{
+    if (halted_) {
+        return 0;
+    }
+    halted_ = true;
+    // Threads stay in whatever state they were in — the gates in
+    // wake()/dispatch()/resumeThread() ensure none of them ever runs
+    // again, and already-scheduled resume events find their asserts
+    // intact and then fall through the resumeThread gate.
+    const unsigned written_off =
+        static_cast<unsigned>(threads_.size()) - finished_;
+    PLUS_LOG(LogComponent::Node, "n", self_, " halted, ", written_off,
+             " thread(s) written off");
+    return written_off;
+}
+
 Processor::Thread&
 Processor::current()
 {
@@ -139,6 +157,12 @@ Processor::blockCurrent(StallKind kind)
 void
 Processor::wake(unsigned t)
 {
+    if (halted_) {
+        // A continuation for an operation that completed after the
+        // crash (recovery replays, pre-crash acks): the thread is dead,
+        // the completion is discarded.
+        return;
+    }
     Thread& thread = threads_[t];
     PLUS_ASSERT(thread.state == ThreadState::Blocked ||
                     thread.state == ThreadState::Created,
@@ -166,7 +190,7 @@ Processor::scheduleDispatch()
 void
 Processor::dispatch()
 {
-    if (current_ != kNone || readyQueue_.empty()) {
+    if (halted_ || current_ != kNone || readyQueue_.empty()) {
         return;
     }
     const prof::ScopedPhase prof_scope(prof::Phase::ProcDispatch);
@@ -192,6 +216,11 @@ Processor::dispatch()
 void
 Processor::resumeThread(unsigned t)
 {
+    if (halted_) {
+        // An in-flight charge or page-fault event outlived the crash;
+        // the fiber is frozen where it yielded and unwinds at teardown.
+        return;
+    }
     PLUS_ASSERT(current_ == t, "resume of a thread that lost the CPU");
     Thread& thread = threads_[t];
     thread.state = ThreadState::Running;
@@ -249,6 +278,29 @@ Processor::translateCharged(Vpn vpn)
     return tr;
 }
 
+Word
+Processor::faultPageLost(Addr vaddr)
+{
+    // Degraded-mode serving: the OS detects the lost mapping at
+    // translation time and delivers a bounded fault instead of letting
+    // the access wait forever for a copy that no longer exists.
+    stats_.pageLostFaults += 1;
+    const Cycles c = cost_.osPageFillCycles;
+    stats_.stall[static_cast<unsigned>(StallKind::PageFault)] += c;
+    if (c > 0) {
+        const unsigned t = current_;
+        deps_.engine->schedule(c, [this, t] {
+            PLUS_ASSERT(current_ == t, "processor lost its thread");
+            resumeThread(t);
+        });
+        sim::Fiber::yield();
+    }
+    if (check_) {
+        check_->onProcPageLost(self_, threads_[current_].id, vaddr);
+    }
+    return kPageLostValue;
+}
+
 void
 Processor::compute(Cycles cycles)
 {
@@ -280,6 +332,9 @@ Processor::read(Addr vaddr)
     const Vpn vpn = pageOf(vaddr);
     const Addr off = wordOffsetOf(vaddr);
     const Translation tr = translateCharged(vpn);
+    if (tr.lost) {
+        return faultPageLost(vaddr);
+    }
     const PhysAddr phys{tr.page, off};
     const bool local = tr.page.node == self_;
 
@@ -325,6 +380,12 @@ Processor::write(Addr vaddr, Word value)
     const Vpn vpn = pageOf(vaddr);
     const Addr off = wordOffsetOf(vaddr);
     const Translation tr = translateCharged(vpn);
+    if (tr.lost) {
+        // Writes to a lost page are dropped: there is no copy left to
+        // apply them to, and degraded mode favours bounded completion.
+        faultPageLost(vaddr);
+        return;
+    }
     const PhysAddr phys{tr.page, off};
 
     if (tr.page.node == self_) {
@@ -361,6 +422,34 @@ Processor::issueRmw(proto::RmwOp op, Addr vaddr, Word operand)
     const Vpn vpn = pageOf(vaddr);
     const Addr off = wordOffsetOf(vaddr);
     const Translation tr = translateCharged(vpn);
+    if (tr.lost) {
+        // The operation still occupies a delayed-op slot so the
+        // issue/verify protocol is uniform, but it completes locally
+        // and immediately with the sentinel: there is no master copy
+        // left to execute it at.
+        faultPageLost(vaddr);
+        charge(cost_.procIssueOp, &ProcessorStats::issueBusy);
+        WaitState state;
+        const unsigned t = current_;
+        deps_.cm->procIssueLostRmw(
+            op, [this, &state, t](proto::DelayedOpHandle handle) {
+                state.handle = handle;
+                state.done = true;
+                if (state.yielded) {
+                    wake(t);
+                }
+            });
+        if (!state.done) {
+            state.yielded = true;
+            blockCurrent(StallKind::IssueSlot);
+        }
+        rmwTargets_[state.handle] = vaddr;
+        if (check_) {
+            check_->onProcRmwIssue(self_, threads_[t].id, vaddr,
+                                   static_cast<std::uint8_t>(op));
+        }
+        return state.handle;
+    }
     const PhysAddr phys{tr.page, off};
 
     if (cost_.implicitFenceOnSync) {

@@ -80,6 +80,7 @@ struct ProcessorStats {
     std::uint64_t fences = 0;
     std::uint64_t ctxSwitches = 0;
     std::uint64_t pageFaults = 0;
+    std::uint64_t pageLostFaults = 0; ///< degraded accesses to lost pages
 
     /** Cycles the processor did work the application asked for. */
     Cycles
@@ -103,6 +104,12 @@ class Processor
     struct Translation {
         PhysPage page;
         bool faulted = false; ///< a lazy page-table fill happened
+        /**
+         * The page lost its last physical copy to a fail-stop node
+         * crash: the access completes degraded (kPageLostValue) in
+         * bounded time instead of faulting forever.
+         */
+        bool lost = false;
     };
     using Translator = std::function<Translation(Vpn)>;
 
@@ -146,6 +153,18 @@ class Processor
 
     /** Make every thread runnable at the current cycle. */
     void start();
+
+    /**
+     * Fail-stop: the node hosting this processor crashed. Freezes every
+     * resident thread where it stands — fibers are never resumed again
+     * (their stacks unwind at teardown), wake-ups and dispatches become
+     * no-ops — and returns how many threads were written off (those not
+     * yet finished), so the machine can settle its liveness accounting.
+     * Machine context only; idempotent (returns 0 when already halted).
+     */
+    unsigned halt();
+
+    bool halted() const { return halted_; }
 
     bool allFinished() const { return finished_ == threads_.size(); }
     unsigned threadCount() const
@@ -239,6 +258,13 @@ class Processor
 
     Translation translateCharged(Vpn vpn);
 
+    /**
+     * Deliver the degraded completion for an access to a lost page:
+     * bounded OS-fault cost, a ProcPageLost check event, and the
+     * kPageLostValue sentinel.
+     */
+    Word faultPageLost(Addr vaddr);
+
     NodeId self_;
     CostModel cost_;
     ProcessorMode mode_;
@@ -262,6 +288,8 @@ class Processor
     unsigned lastRun_ = kNone;
     unsigned finished_ = 0;
     bool dispatchScheduled_ = false;
+    /** Fail-stop crash: no thread on this processor ever runs again. */
+    bool halted_ = false;
 
     Cycles freeSince_ = 0;
     StallKind freeReason_ = StallKind::Idle;

@@ -135,6 +135,10 @@ CoherenceManager::procRead(Vpn vpn, Addr word_offset, PhysAddr phys,
             }
             const ReadTag tag = nextReadTag_++;
             readWaiters_.emplace(tag, std::move(done));
+            if (recoveryArmed_) {
+                readMeta_.emplace(tag, ReadMeta{vpn, word_offset,
+                                                phys.page.node});
+            }
             auto msg = std::make_unique<ReadReq>();
             msg->target = phys;
             msg->vpn = vpn;
@@ -202,6 +206,11 @@ CoherenceManager::procWrite(Vpn vpn, Addr word_offset, PhysAddr phys,
                     check_->onWriteIssued(self_, tag, vpn, word_offset,
                                           /*from_rmw=*/false);
                 }
+                if (recoveryArmed_) {
+                    writeMeta_.emplace(
+                        tag, WriteMeta{vpn, word_offset, value,
+                                       phys.page.node, /*fromRmw=*/false});
+                }
                 accepted();
                 dispatchWrite(vpn, word_offset, phys, value, tag);
             });
@@ -212,7 +221,19 @@ void
 CoherenceManager::dispatchWrite(Vpn vpn, Addr word_offset, PhysAddr phys,
                                 Word value, WriteTag tag)
 {
+    // Remember where this dispatch addressed the write so a crash of
+    // that node can be mapped back to the in-flight operation.
+    const auto noteDst = [this, tag](NodeId dst) {
+        if (recoveryArmed_) {
+            auto it = writeMeta_.find(tag);
+            if (it != writeMeta_.end()) {
+                it->second.dst = dst;
+            }
+        }
+    };
+
     if (phys.page.node != self_) {
+        noteDst(phys.page.node);
         stats_.remoteWrites += 1;
         if (deps_.refCounters) {
             deps_.refCounters->recordRemoteRef(vpn);
@@ -230,6 +251,7 @@ CoherenceManager::dispatchWrite(Vpn vpn, Addr word_offset, PhysAddr phys,
     const FrameId frame = phys.page.frame;
     const PhysPage master = deps_.tables->master(frame);
     if (master.node == self_) {
+        noteDst(self_);
         // A write is "local" only if it completes with no network traffic.
         if (deps_.tables->nextCopy(frame)) {
             stats_.remoteWrites += 1;
@@ -242,6 +264,7 @@ CoherenceManager::dispatchWrite(Vpn vpn, Addr word_offset, PhysAddr phys,
                                   tag);
                 });
     } else {
+        noteDst(master.node);
         stats_.remoteWrites += 1;
         auto msg = std::make_unique<WriteReq>();
         msg->target = PhysAddr{master, word_offset};
@@ -306,6 +329,9 @@ void
 CoherenceManager::retireWrite(WriteTag tag)
 {
     clearNackRetries(NackedKind::Write, tag);
+    if (recoveryArmed_) {
+        writeMeta_.erase(tag);
+    }
     pendingWrites_.complete(tag);
 }
 
@@ -322,6 +348,20 @@ CoherenceManager::procIssueRmw(RmwOp op, Vpn vpn, Addr word_offset,
 }
 
 void
+CoherenceManager::procIssueLostRmw(
+    RmwOp op, std::function<void(DelayedOpHandle)> issued)
+{
+    // No master copy left to execute at: allocate the slot for protocol
+    // uniformity and complete it on the spot with the lost sentinel.
+    // Nothing is sent, so no recovery metadata is recorded.
+    delayedOps_.whenSlotFree([this, op, issued = std::move(issued)] {
+        const DelayedOpHandle handle = delayedOps_.allocate(op);
+        issued(handle);
+        delayedOps_.complete(handle, kPageLostValue);
+    });
+}
+
+void
 CoherenceManager::issueRmwUngated(
     RmwOp op, Vpn vpn, Addr word_offset, PhysAddr phys, Word operand,
     std::function<void(DelayedOpHandle)> issued)
@@ -330,6 +370,12 @@ CoherenceManager::issueRmwUngated(
         [this, op, vpn, word_offset, phys, operand,
          issued = std::move(issued)]() mutable {
             const DelayedOpHandle handle = delayedOps_.allocate(op);
+            if (recoveryArmed_) {
+                rmwMeta_.emplace(handle,
+                                 RmwMeta{op, vpn, word_offset, operand,
+                                         phys.page.node, /*writeTag=*/0,
+                                         /*track=*/false});
+            }
             if (cost_.rmwOccupiesPendingWrite) {
                 pendingWrites_.whenSlotFree(
                     [this, op, vpn, word_offset, phys, operand, handle,
@@ -341,6 +387,19 @@ CoherenceManager::issueRmwUngated(
                             check_->onWriteIssued(self_, tag, vpn,
                                                   word_offset,
                                                   /*from_rmw=*/true);
+                        }
+                        if (recoveryArmed_) {
+                            // The paired pseudo-write: the RMW path owns
+                            // its replay, so mark it fromRmw.
+                            writeMeta_.emplace(
+                                tag, WriteMeta{vpn, word_offset, operand,
+                                               phys.page.node,
+                                               /*fromRmw=*/true});
+                            auto rit = rmwMeta_.find(handle);
+                            if (rit != rmwMeta_.end()) {
+                                rit->second.writeTag = tag;
+                                rit->second.track = true;
+                            }
                         }
                         issued(handle);
                         dispatchRmw(op, vpn, word_offset, phys, operand,
@@ -360,7 +419,24 @@ CoherenceManager::dispatchRmw(RmwOp op, Vpn vpn, Addr word_offset,
                               DelayedOpHandle handle, WriteTag tag,
                               bool track)
 {
+    const auto noteDst = [this, handle, tag, track](NodeId dst) {
+        if (!recoveryArmed_) {
+            return;
+        }
+        auto it = rmwMeta_.find(handle);
+        if (it != rmwMeta_.end()) {
+            it->second.dst = dst;
+        }
+        if (track) {
+            auto wit = writeMeta_.find(tag);
+            if (wit != writeMeta_.end()) {
+                wit->second.dst = dst;
+            }
+        }
+    };
+
     auto forward = [&](PhysPage target_page, NodeId dst) {
+        noteDst(dst);
         auto msg = std::make_unique<RmwReq>();
         msg->op = op;
         msg->target = PhysAddr{target_page, word_offset};
@@ -385,6 +461,7 @@ CoherenceManager::dispatchRmw(RmwOp op, Vpn vpn, Addr word_offset,
     const FrameId frame = phys.page.frame;
     const PhysPage master = deps_.tables->master(frame);
     if (master.node == self_) {
+        noteDst(self_);
         if (deps_.tables->nextCopy(frame)) {
             stats_.remoteRmws += 1;
         } else {
@@ -462,6 +539,9 @@ void
 CoherenceManager::completeRmw(OpTag tag, Word old_value)
 {
     clearNackRetries(NackedKind::Rmw, tag);
+    if (recoveryArmed_) {
+        rmwMeta_.erase(tag);
+    }
     delayedOps_.complete(tag, old_value);
 }
 
@@ -551,6 +631,12 @@ CoherenceManager::onPacket(net::Packet packet)
         static_cast<ProtoMsg*>(packet.payload.release()));
     PLUS_LOG(LogComponent::Proto, "n", self_, " <- n", packet.src, " ",
              toString(msg->type));
+    if (check_) {
+        // Lets the checker enforce the recovery-epoch invariant: no
+        // message from a crashed node is processed after its epoch seals.
+        check_->onMessageProcessed(packet.src, self_,
+                                   static_cast<std::uint8_t>(msg->type));
+    }
 
     switch (msg->type) {
       case MsgType::ReadReq:
@@ -616,8 +702,18 @@ void
 CoherenceManager::onReadResp(const ReadResp& msg)
 {
     auto it = readWaiters_.find(msg.tag);
-    PLUS_ASSERT(it != readWaiters_.end(), "read response with unknown tag");
+    if (it == readWaiters_.end()) {
+        // Only recovery can retire a read out from under its response:
+        // it re-dispatched the request and the original answer arrived
+        // after the replayed one (or after a degraded completion).
+        PLUS_ASSERT(recoveryArmed_, "read response with unknown tag");
+        stats_.staleAcks += 1;
+        return;
+    }
     clearNackRetries(NackedKind::Read, msg.tag);
+    if (recoveryArmed_) {
+        readMeta_.erase(msg.tag);
+    }
     auto done = std::move(it->second);
     readWaiters_.erase(it);
     done(msg.value);
@@ -692,6 +788,13 @@ void
 CoherenceManager::onWriteAck(const WriteAck& msg)
 {
     enqueue(cost_.cmServiceAck, [this, tag = msg.tag] {
+        if (recoveryArmed_ && writeMeta_.find(tag) == writeMeta_.end()) {
+            // Recovery replayed this write and the first acknowledgement
+            // (old chain's or new chain's) already retired the entry;
+            // tags are never reused, so the straggler is safely dropped.
+            stats_.staleAcks += 1;
+            return;
+        }
         retireWrite(tag);
     });
 }
@@ -745,6 +848,11 @@ CoherenceManager::onRmwReq(std::unique_ptr<RmwReq> msg)
 void
 CoherenceManager::onRmwResp(const RmwResp& msg)
 {
+    if (recoveryArmed_ && rmwMeta_.find(msg.opTag) == rmwMeta_.end()) {
+        // Replay raced the original response; first one in completed.
+        stats_.staleAcks += 1;
+        return;
+    }
     completeRmw(msg.opTag, msg.oldValue);
 }
 
@@ -771,6 +879,61 @@ CoherenceManager::noteNackRetry(NackedKind kind, std::uint32_t tag)
                      : 0;
 }
 
+bool
+CoherenceManager::nackTargetLive(const Nack& nack) const
+{
+    switch (nack.kind) {
+      case NackedKind::Read:
+        return readWaiters_.find(nack.readTag) != readWaiters_.end();
+      case NackedKind::Write:
+        return writeMeta_.find(nack.writeTag) != writeMeta_.end();
+      case NackedKind::Rmw:
+        return rmwMeta_.find(nack.opTag) != rmwMeta_.end();
+      default:
+        PLUS_PANIC("unknown nack kind");
+    }
+}
+
+void
+CoherenceManager::completeNackedAsLost(const Nack& nack)
+{
+    stats_.recoveryAborts += 1;
+    switch (nack.kind) {
+      case NackedKind::Read: {
+        auto it = readWaiters_.find(nack.readTag);
+        PLUS_ASSERT(it != readWaiters_.end(),
+                    "lost-page nacked read with no waiter");
+        clearNackRetries(NackedKind::Read, nack.readTag);
+        readMeta_.erase(nack.readTag);
+        auto done = std::move(it->second);
+        readWaiters_.erase(it);
+        done(kPageLostValue);
+        break;
+      }
+      case NackedKind::Write:
+        if (check_) {
+            check_->onPendingAborted(self_, nack.writeTag,
+                                     /*retried=*/false);
+        }
+        retireWrite(nack.writeTag);
+        break;
+      case NackedKind::Rmw: {
+        auto it = rmwMeta_.find(nack.opTag);
+        if (it != rmwMeta_.end() && it->second.track) {
+            if (check_) {
+                check_->onPendingAborted(self_, it->second.writeTag,
+                                         /*retried=*/false);
+            }
+            retireWrite(it->second.writeTag);
+        }
+        completeRmw(nack.opTag, kPageLostValue);
+        break;
+      }
+      default:
+        PLUS_PANIC("unknown nack kind");
+    }
+}
+
 void
 CoherenceManager::onNack(std::unique_ptr<Nack> msg)
 {
@@ -778,12 +941,32 @@ CoherenceManager::onNack(std::unique_ptr<Nack> msg)
     // re-translates through the centralized table and the request is
     // retried against the page's current placement.
     PLUS_ASSERT(translate_, "nack received but no translator installed");
+    if (recoveryArmed_ && !nackTargetLive(*msg)) {
+        // Recovery already aborted the operation; don't let a straggler
+        // nack count against the livelock retry budget.
+        stats_.staleAcks += 1;
+        return;
+    }
     const Cycles backoff = noteNackRetry(
         msg->kind, msg->kind == NackedKind::Read    ? msg->readTag
                    : msg->kind == NackedKind::Write ? msg->writeTag
                                                     : msg->opTag);
     enqueue(cost_.cmForward + cost_.osPageFillCycles + backoff,
             [this, m = std::move(msg)] {
+        if (recoveryArmed_) {
+            // Re-check at execution time: a crash recovery may have run
+            // while this retry sat behind the manager's occupancy.
+            if (!nackTargetLive(*m)) {
+                stats_.staleAcks += 1;
+                return;
+            }
+            if (lostVpns_.count(m->vpn) != 0) {
+                // The page's directory entry died with its last copy;
+                // re-translation would fault. Complete degraded instead.
+                completeNackedAsLost(*m);
+                return;
+            }
+        }
         stats_.retries += 1;
         const PhysPage page = translate_(m->vpn);
         const PhysAddr phys{page, m->wordOffset};
@@ -794,10 +977,19 @@ CoherenceManager::onNack(std::unique_ptr<Nack> msg)
                 PLUS_ASSERT(it != readWaiters_.end(),
                             "nacked read with unknown tag");
                 clearNackRetries(NackedKind::Read, m->readTag);
+                if (recoveryArmed_) {
+                    readMeta_.erase(m->readTag);
+                }
                 auto done = std::move(it->second);
                 readWaiters_.erase(it);
                 done(deps_.memory->read(page.frame, m->wordOffset));
             } else {
+                if (recoveryArmed_) {
+                    auto rit = readMeta_.find(m->readTag);
+                    if (rit != readMeta_.end()) {
+                        rit->second.dst = page.node;
+                    }
+                }
                 auto req = std::make_unique<ReadReq>();
                 req->target = phys;
                 req->vpn = m->vpn;
@@ -819,6 +1011,140 @@ CoherenceManager::onNack(std::unique_ptr<Nack> msg)
             PLUS_PANIC("unknown nack kind");
         }
     });
+}
+
+// --------------------------------------------------------------------------
+// Crash recovery
+// --------------------------------------------------------------------------
+
+CoherenceManager::RecoveryOutcome
+CoherenceManager::recoverAfterCrash(NodeId dead,
+                                    const std::vector<Vpn>& affected,
+                                    const std::vector<Vpn>& lost)
+{
+    PLUS_ASSERT(recoveryArmed_,
+                "recovery walk without armed bookkeeping");
+    RecoveryOutcome out;
+    lostVpns_.insert(lost.begin(), lost.end());
+
+    const auto isLost = [&lost](Vpn vpn) {
+        return std::binary_search(lost.begin(), lost.end(), vpn);
+    };
+    // An in-flight operation is torn by the crash if it was last
+    // addressed to the dead node (the request or its response died with
+    // it) or rides a page whose copy-list contained the dead node (its
+    // update chain may have been cut mid-propagation).
+    const auto torn = [&](Vpn vpn, NodeId dst) {
+        return dst == dead ||
+               std::binary_search(affected.begin(), affected.end(), vpn);
+    };
+
+    // Collect first: the replay handlers mutate the maps. std::map keys
+    // iterate in ascending tag order, which is issue order — the same on
+    // every backend.
+
+    std::vector<ReadTag> reads;
+    for (const auto& [tag, meta] : readMeta_) {
+        if (isLost(meta.vpn) || meta.dst == dead) {
+            reads.push_back(tag);
+        }
+    }
+    for (const ReadTag tag : reads) {
+        const ReadMeta meta = readMeta_.at(tag);
+        auto wit = readWaiters_.find(tag);
+        PLUS_ASSERT(wit != readWaiters_.end(),
+                    "recovery found a read with no waiter");
+        clearNackRetries(NackedKind::Read, tag);
+        if (isLost(meta.vpn)) {
+            readMeta_.erase(tag);
+            auto done = std::move(wit->second);
+            readWaiters_.erase(wit);
+            done(kPageLostValue);
+            out.lostCompletions += 1;
+            continue;
+        }
+        out.abortedReads += 1;
+        const PhysPage page = translate_(meta.vpn);
+        if (page.node == self_) {
+            readMeta_.erase(tag);
+            auto done = std::move(wit->second);
+            readWaiters_.erase(wit);
+            done(deps_.memory->read(page.frame, meta.wordOffset));
+        } else {
+            readMeta_.at(tag).dst = page.node;
+            auto req = std::make_unique<ReadReq>();
+            req->target = PhysAddr{page, meta.wordOffset};
+            req->vpn = meta.vpn;
+            req->originator = self_;
+            req->tag = tag;
+            send(page.node, std::move(req), ReadReq::kBytes);
+        }
+    }
+
+    std::vector<WriteTag> writes;
+    for (const auto& [tag, meta] : writeMeta_) {
+        // Tracked interlocked pseudo-writes replay through the RMW walk.
+        if (!meta.fromRmw && (isLost(meta.vpn) || torn(meta.vpn, meta.dst))) {
+            writes.push_back(tag);
+        }
+    }
+    for (const WriteTag tag : writes) {
+        const WriteMeta meta = writeMeta_.at(tag);
+        if (isLost(meta.vpn)) {
+            if (check_) {
+                check_->onPendingAborted(self_, tag, /*retried=*/false);
+            }
+            retireWrite(tag);
+            out.lostCompletions += 1;
+            continue;
+        }
+        if (check_) {
+            check_->onPendingAborted(self_, tag, /*retried=*/true);
+        }
+        out.abortedWrites += 1;
+        const PhysPage page = translate_(meta.vpn);
+        dispatchWrite(meta.vpn, meta.wordOffset,
+                      PhysAddr{page, meta.wordOffset}, meta.value, tag);
+    }
+
+    std::vector<OpTag> rmws;
+    for (const auto& [tag, meta] : rmwMeta_) {
+        if (isLost(meta.vpn) || torn(meta.vpn, meta.dst)) {
+            rmws.push_back(tag);
+        }
+    }
+    for (const OpTag tag : rmws) {
+        const RmwMeta meta = rmwMeta_.at(tag);
+        if (isLost(meta.vpn)) {
+            if (meta.track) {
+                if (check_) {
+                    check_->onPendingAborted(self_, meta.writeTag,
+                                             /*retried=*/false);
+                }
+                retireWrite(meta.writeTag);
+            }
+            completeRmw(tag, kPageLostValue);
+            out.lostCompletions += 1;
+            continue;
+        }
+        if (meta.track && check_) {
+            check_->onPendingAborted(self_, meta.writeTag,
+                                     /*retried=*/true);
+        }
+        out.abortedRmws += 1;
+        // Re-execution is at-least-once: if the dead master applied the
+        // op but its response was lost, the replay applies it again at
+        // the promoted master (see docs/ROBUSTNESS.md). Deterministic
+        // either way — every backend replays identically.
+        const PhysPage page = translate_(meta.vpn);
+        dispatchRmw(meta.op, meta.vpn, meta.wordOffset,
+                    PhysAddr{page, meta.wordOffset}, meta.operand, tag,
+                    meta.writeTag, meta.track);
+    }
+
+    stats_.recoveryAborts += out.abortedReads + out.abortedWrites +
+                             out.abortedRmws + out.lostCompletions;
+    return out;
 }
 
 void

@@ -27,8 +27,10 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "check/hooks.hpp"
@@ -71,6 +73,10 @@ struct CmStats {
         sent{};
     /** Nacks received and requests retried after re-translation. */
     std::uint64_t retries = 0;
+    /** In-flight ops crash recovery aborted (replayed or completed lost). */
+    std::uint64_t recoveryAborts = 0;
+    /** Stale responses swallowed after a recovery replay raced them. */
+    std::uint64_t staleAcks = 0;
     /** Most retries any single request needed before completing. */
     std::uint64_t nackRetryHighWater = 0;
     /** Cycles this manager was busy serving work. */
@@ -178,6 +184,15 @@ class CoherenceManager
                       Word operand,
                       std::function<void(DelayedOpHandle)> issued);
 
+    /**
+     * Degraded-mode interlocked issue against a *lost* page (every
+     * copy died with a crashed node): a cache slot is still allocated,
+     * so the issue/verify protocol is unchanged, but the operation
+     * completes locally and immediately with kPageLostValue.
+     */
+    void procIssueLostRmw(RmwOp op,
+                          std::function<void(DelayedOpHandle)> issued);
+
     /** Non-blocking poll of a delayed operation's status. */
     bool rmwReady(DelayedOpHandle handle) const;
 
@@ -225,6 +240,43 @@ class CoherenceManager
      * forwarded to the dying copy is applied first).
      */
     void osFlushRemoteFrame(PhysPage victim);
+
+    // --- crash recovery ------------------------------------------------------
+
+    /**
+     * Arm recovery bookkeeping. While armed the manager records, for
+     * every in-flight read, write and interlocked operation, enough
+     * metadata (address, value, last destination) to abort and replay
+     * it after a fail-stop crash — and tolerates the stale
+     * acknowledgements such a replay can race against. Costs three map
+     * updates per remote operation; fault-free configurations leave it
+     * off and pay nothing.
+     */
+    void setRecoveryArmed(bool armed) { recoveryArmed_ = armed; }
+
+    /** What recoverAfterCrash did at this manager, for recovery.* metrics. */
+    struct RecoveryOutcome {
+        unsigned abortedReads = 0;
+        unsigned abortedWrites = 0;
+        unsigned abortedRmws = 0;
+        /** Operations completed with kPageLostValue (their page died). */
+        unsigned lostCompletions = 0;
+    };
+
+    /**
+     * Machine-lane entry point run by proto::RecoveryManager once
+     * @p dead is detected down and the directory is repaired: abort
+     * every in-flight operation that was addressed to the dead node or
+     * rides a page whose copy-list contained it (@p affected, sorted
+     * ascending), replay those against the repaired placement under
+     * their original tags, and complete operations on @p lost pages
+     * (sorted ascending) with the PageLost sentinel. Idempotent per
+     * crash: aborted tags leave the metadata maps, so a second walk
+     * finds nothing to do.
+     */
+    RecoveryOutcome recoverAfterCrash(NodeId dead,
+                                      const std::vector<Vpn>& affected,
+                                      const std::vector<Vpn>& lost);
 
     // --- network entry -------------------------------------------------------
 
@@ -291,6 +343,10 @@ class CoherenceManager
     void onRmwReq(std::unique_ptr<RmwReq> msg);
     void onRmwResp(const RmwResp& msg);
     void onNack(std::unique_ptr<Nack> msg);
+    /** True if the nacked operation is still in flight (recovery armed). */
+    bool nackTargetLive(const Nack& nack) const;
+    /** Complete a nacked operation on a lost page with the sentinel. */
+    void completeNackedAsLost(const Nack& nack);
     void onPageCopyData(std::unique_ptr<PageCopyData> msg, NodeId src);
     void onPageCopyDone(const PageCopyDone& msg);
     void onFrameFlush(const FrameFlush& msg);
@@ -363,6 +419,61 @@ class CoherenceManager
     std::function<std::string()> traceDumper_;
     std::unordered_map<std::uint64_t, unsigned> nackRetries_;
     std::uint32_t chainCounter_ = 0;
+
+    // --- recovery metadata (populated only while recoveryArmed_) ----------
+    //
+    // One entry per in-flight operation, keyed by its tag and erased at
+    // the operation's single completion point. recoverAfterCrash walks
+    // these to find what to abort; the response handlers use presence
+    // as the retire-once arbiter when an original response races a
+    // replayed one. std::map, not unordered_map: the recovery walk
+    // iterates, and its replay order must be the same on every backend.
+
+    /** An outstanding remote read (ReadReq sent, response pending). */
+    struct ReadMeta {
+        Vpn vpn = 0;
+        Addr wordOffset = 0;
+        /** Node the request was last sent to. */
+        NodeId dst = kInvalidNode;
+    };
+
+    /** An occupied pending-writes entry (plain write or tracked RMW). */
+    struct WriteMeta {
+        Vpn vpn = 0;
+        Addr wordOffset = 0;
+        Word value = 0;
+        /** Master the write was last dispatched to (self_ if local). */
+        NodeId dst = kInvalidNode;
+        /**
+         * Entry belongs to a tracked interlocked op: the RMW path owns
+         * its replay, so the write walk must skip it.
+         */
+        bool fromRmw = false;
+    };
+
+    /** An outstanding delayed interlocked operation. */
+    struct RmwMeta {
+        RmwOp op = RmwOp::Xchng;
+        Vpn vpn = 0;
+        Addr wordOffset = 0;
+        Word operand = 0;
+        /** Master the request was last dispatched to (self_ if local). */
+        NodeId dst = kInvalidNode;
+        /** Paired pending-writes tag when tracked. */
+        WriteTag writeTag = 0;
+        bool track = false;
+    };
+
+    bool recoveryArmed_ = false;
+    std::map<ReadTag, ReadMeta> readMeta_;
+    std::map<WriteTag, WriteMeta> writeMeta_;
+    std::map<OpTag, RmwMeta> rmwMeta_;
+    /**
+     * Pages recovery declared lost (every copy died). Nacked retries
+     * against these complete with kPageLostValue instead of
+     * re-translating: the directory entry no longer exists.
+     */
+    std::unordered_set<Vpn> lostVpns_;
 
     CmStats stats_;
 };

@@ -240,10 +240,45 @@ TEST_P(ReliableLink, RetransmitBudgetExhaustionPanicsWithDiagnostics)
         h.engine.run();
         FAIL() << "expected a PanicError";
     } catch (const PanicError& e) {
+        // The diagnosis must name the channel, the frame, the exhausted
+        // budget and the suspected cause, and carry the trace dump —
+        // it is the only artifact a hung chaos run leaves behind.
         const std::string what = e.what();
-        EXPECT_NE(what.find("gave up"), std::string::npos) << what;
+        EXPECT_NE(what.find("reliable link 0 -> 1"), std::string::npos)
+            << what;
+        EXPECT_NE(what.find("gave up on frame 1"), std::string::npos)
+            << what;
+        EXPECT_NE(what.find("after 2 retransmits"), std::string::npos)
+            << what;
+        EXPECT_NE(what.find("permanent partition"), std::string::npos)
+            << what;
         EXPECT_NE(what.find("TRACE-MARK"), std::string::npos) << what;
     }
+    EXPECT_EQ(h.link().stats().retransmits, 2u);
+}
+
+TEST_P(ReliableLink, RecoveryArmedStillPanicsOnGenuinePartition)
+{
+    // FaultConfig::recover only converts budget exhaustion against a
+    // *crashed* peer into a peer-death signal; a partition toward a
+    // live node must keep its panic diagnosis.
+    FaultConfig fault;
+    fault.maxRetransmits = 2;
+    fault.recover = true;
+    Harness h(GetParam(), fault);
+    unsigned deaths = 0;
+    h.link().setPeerDeathHandler([&deaths](NodeId) { ++deaths; });
+    h.injector().setLinkAlive(0, 1, false);
+    h.network->send(makePacket(0, 1, 1));
+    try {
+        h.engine.run();
+        FAIL() << "expected a PanicError";
+    } catch (const PanicError& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("gave up"), std::string::npos) << what;
+    }
+    EXPECT_EQ(deaths, 0u);
+    EXPECT_EQ(h.link().stats().peerDeaths, 0u);
 }
 
 TEST_P(ReliableLink, DeadDestinationNodeDropsUntilRevived)
