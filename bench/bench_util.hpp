@@ -7,6 +7,7 @@
  *   --nodes=N            machine size (benches with a size knob)
  *   --threads=T          parallel-backend worker threads (0 = auto)
  *   --engine=NAME        auto | wheel | heap | parallel
+ *   --protocol=NAME      auto | update | invalidate (docs/PROTOCOLS.md)
  *   --trace-out=<file>   Perfetto JSON trace
  *   --stats-out=<file>   metrics + traffic JSON
  *   --prof-out=<file>    host-time profile JSON (enables plus::prof)
@@ -32,6 +33,7 @@ struct HarnessArgs {
     unsigned nodes = 0;           ///< --nodes=N; 0 = bench default
     unsigned threads = 0;         ///< --threads=T; 0 = auto
     Engine engine = Engine::Auto; ///< --engine=NAME
+    Protocol protocol = Protocol::Auto; ///< --protocol=NAME
     std::string traceOut;         ///< --trace-out=<file>
     std::string statsOut;         ///< --stats-out=<file>
     std::string profOut;          ///< --prof-out=<file>
@@ -89,6 +91,12 @@ parseHarnessArgs(int argc, char** argv)
                           << "' (want auto|wheel|heap|parallel)\n";
                 std::exit(2);
             }
+        } else if (arg.rfind("--protocol=", 0) == 0) {
+            if (!protocolFromString(arg.substr(11), args.protocol)) {
+                std::cerr << "unknown --protocol '" << arg.substr(11)
+                          << "' (want auto|update|invalidate)\n";
+                std::exit(2);
+            }
         } else {
             args.rest.push_back(arg);
         }
@@ -110,6 +118,7 @@ machineBuilder(unsigned nodes, ProcessorMode mode = ProcessorMode::Delayed)
         .framesPerNode(4096)
         .mode(mode)
         .engine(harnessArgs().engine)
+        .protocol(harnessArgs().protocol)
         .threads(harnessArgs().threads)
         .observer(harnessArgs().telemetry());
 }

@@ -284,6 +284,26 @@ main(int argc, char** argv)
         }
     }
 
+    // Fail-stop recovery re-masters from a replica, which under
+    // write-invalidate may hold invalidated words (the same reason
+    // MachineConfig::validate rejects invalidate + fault.recover).
+    // Report the unsupported combination instead of tripping it.
+    bool invalidate = args.protocol == Protocol::WriteInvalidate;
+    if (args.protocol == Protocol::Auto) {
+        if (const char* name = envRead("PLUS_PROTOCOL")) {
+            Protocol env = Protocol::Auto;
+            invalidate = protocolFromString(name, env) &&
+                         env == Protocol::WriteInvalidate;
+        }
+    }
+    if (!kills.empty() && invalidate) {
+        std::cout << "chaos_sweep: --kill-node is unsupported under the "
+                     "write-invalidate protocol (re-mastering would "
+                     "promote a replica that may hold invalidated words; "
+                     "see docs/PROTOCOLS.md). Skipping the sweep.\n";
+        return 0;
+    }
+
     const RunResult oracle = runOnce(nodes, nullptr);
 
     struct Scenario {

@@ -1,0 +1,328 @@
+/**
+ * @file
+ * Protocol shootout: write-update (the paper's protocol) vs
+ * write-invalidate across four canonical sharing patterns. Section 2.2
+ * argues update protocols suit distributed shared memory because
+ * readers keep hitting locally; the MSI-flavoured counterpart
+ * (docs/PROTOCOLS.md) instead pays one invalidation chain per first
+ * write and then skips the chain entirely while nobody re-reads. The
+ * patterns are chosen so each regime shows up:
+ *
+ *   read-mostly        many replicated readers, rare writes — the
+ *                      update chain is cheap, refetch storms are not
+ *   write-hot          concurrent writers hammer a replicated page
+ *                      that is almost never read — per-write chains
+ *                      vs invalidate-once-then-skip
+ *   migratory          a small record handed node to node in
+ *                      overlapping write bursts, each owner reading
+ *                      the predecessor's values first
+ *   producer-consumer  one producer pushes rounds of values that
+ *                      every consumer reads several times
+ *
+ *   protocol_shootout [--nodes=N] [--out=<file>]
+ *
+ * --out writes the numbers as JSON (the committed BENCH_protocols.json
+ * is a run of this bench). The protocol-invariant checker stays on in
+ * both configurations, so every cell is also a correctness run under
+ * that protocol's invariants.
+ */
+
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "core/context.hpp"
+#include "node/node.hpp"
+
+namespace {
+
+using namespace plus;
+using namespace plus::bench;
+
+constexpr unsigned kNodes = 8;
+constexpr unsigned kWindow = 16; ///< words per shared window
+
+struct Cell {
+    Cycles cycles = 0;
+    std::uint64_t updates = 0;       ///< UpdateReq messages sent
+    std::uint64_t invalidations = 0; ///< words invalidated at sharers
+    std::uint64_t refetches = 0;     ///< invalid-word reads re-fetched
+    std::uint64_t remoteReads = 0;
+};
+
+struct PatternResult {
+    std::string name;
+    Cell update;
+    Cell invalidate;
+};
+
+Cell
+collect(core::Machine& machine, unsigned nodes)
+{
+    Cell c;
+    c.cycles = machine.now();
+    for (NodeId n = 0; n < nodes; ++n) {
+        const proto::CmStats& s = machine.nodeAt(n).cm().stats();
+        c.updates += s.sentOf(proto::MsgType::UpdateReq);
+        c.invalidations += s.invalidations;
+        c.refetches += s.refetches;
+        c.remoteReads += s.remoteReads;
+    }
+    return c;
+}
+
+/** Shared-window machine: one page homed on node 0, a copy everywhere. */
+std::unique_ptr<core::Machine>
+sharedWindowMachine(Protocol p, unsigned nodes, Addr& page)
+{
+    auto machine = machineBuilder(nodes).protocol(p).build();
+    page = machine->alloc(kPageBytes, 0);
+    for (NodeId n = 1; n < nodes; ++n) {
+        machine->replicate(page, n);
+    }
+    machine->settle();
+    return machine;
+}
+
+/**
+ * Read-mostly: every node loops over its local copy of the window;
+ * node 0 occasionally writes one word. Update pushes the rare write to
+ * the copies and the readers never leave their node; invalidate turns
+ * each written word into a refetch for every reader that touches it.
+ */
+Cell
+runReadMostly(Protocol p, unsigned nodes)
+{
+    Addr page = 0;
+    auto machine = sharedWindowMachine(p, nodes, page);
+    for (NodeId n = 0; n < nodes; ++n) {
+        machine->spawn(n, [page, n](core::Context& ctx) {
+            for (Word r = 0; r < 60; ++r) {
+                for (Word w = 0; w < kWindow; ++w) {
+                    ctx.read(page + 8 * w);
+                }
+                if (n == 0 && r % 12 == 0) {
+                    ctx.write(page + 8 * (r % kWindow), r);
+                }
+                ctx.compute(20);
+            }
+            ctx.fence();
+        });
+    }
+    machine->run();
+    return collect(*machine, nodes);
+}
+
+/**
+ * Write-hot: four writers hammer disjoint word slices of the same
+ * replicated page and read back only once at the end. Update chains
+ * every write through all the copies; invalidate pays one chain per
+ * word and then retires every further write at the master alone.
+ */
+Cell
+runWriteHot(Protocol p, unsigned nodes)
+{
+    Addr page = 0;
+    auto machine = sharedWindowMachine(p, nodes, page);
+    const unsigned writers = nodes < 4 ? nodes : 4;
+    for (NodeId n = 0; n < writers; ++n) {
+        machine->spawn(n, [page, n](core::Context& ctx) {
+            const Addr base = page + 8 * (n * (kWindow / 4));
+            for (Word r = 0; r < 80; ++r) {
+                for (Word w = 0; w < kWindow / 4; ++w) {
+                    ctx.write(base + 8 * w, n * 1000 + r);
+                }
+                ctx.compute(10);
+            }
+            ctx.fence();
+            for (Word w = 0; w < kWindow / 4; ++w) {
+                ctx.read(base + 8 * w);
+            }
+        });
+    }
+    machine->run();
+    return collect(*machine, nodes);
+}
+
+/**
+ * Migratory: a four-word record is handed node to node; each owner
+ * reads the record and then rewrites it many times before the next
+ * owner takes over, with the handoff overlapping the predecessor's
+ * tail (real migratory sharing is never perfectly sequential). Update
+ * pushes every rewrite through the whole copy-list, so the overlapping
+ * owners saturate the sharers' coherence managers; invalidate pays one
+ * chain per word per handoff and retires the rest at the master.
+ */
+Cell
+runMigratory(Protocol p, unsigned nodes)
+{
+    Addr page = 0;
+    auto machine = sharedWindowMachine(p, nodes, page);
+    const Word record = 4; ///< the migratory record, words
+    for (NodeId n = 0; n < nodes; ++n) {
+        machine->spawn(n, [page, n](core::Context& ctx) {
+            ctx.compute(1 + n * 4000); // overlapping ownership bursts
+            for (Word w = 0; w < record; ++w) {
+                ctx.read(page + 8 * w); // take over the record
+            }
+            for (Word r = 0; r < 60; ++r) {
+                for (Word w = 0; w < record; ++w) {
+                    ctx.write(page + 8 * w, n * 1000 + r);
+                }
+                ctx.compute(5);
+            }
+            ctx.fence();
+        });
+    }
+    machine->run();
+    return collect(*machine, nodes);
+}
+
+/**
+ * Producer-consumer: node 0 produces a round of values; every other
+ * node reads each round's window several times. Update delivers the
+ * values to the consumers' copies as a side effect of the write;
+ * invalidate makes every consumer refetch every word every round.
+ */
+Cell
+runProducerConsumer(Protocol p, unsigned nodes)
+{
+    Addr page = 0;
+    auto machine = sharedWindowMachine(p, nodes, page);
+    machine->spawn(0, [page](core::Context& ctx) {
+        for (Word r = 0; r < 40; ++r) {
+            for (Word w = 0; w < kWindow; ++w) {
+                ctx.write(page + 8 * w, r * 100 + w);
+            }
+            ctx.compute(200); // let the consumers drain the round
+        }
+        ctx.fence();
+    });
+    for (NodeId n = 1; n < nodes; ++n) {
+        machine->spawn(n, [page](core::Context& ctx) {
+            for (Word r = 0; r < 40; ++r) {
+                for (Word rep = 0; rep < 3; ++rep) {
+                    for (Word w = 0; w < kWindow; ++w) {
+                        ctx.read(page + 8 * w);
+                    }
+                }
+                ctx.compute(20);
+            }
+            ctx.fence();
+        });
+    }
+    machine->run();
+    return collect(*machine, nodes);
+}
+
+void
+writeJson(std::ostream& os, unsigned nodes,
+          const std::vector<PatternResult>& results)
+{
+    os << "{\n  \"nodes\": " << nodes << ",\n  \"patterns\": {\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const PatternResult& r = results[i];
+        auto cell = [&os](const char* name, const Cell& c, const char* end) {
+            os << "      \"" << name << "\": {\"cycles\": " << c.cycles
+               << ", \"updateMsgs\": " << c.updates
+               << ", \"invalidations\": " << c.invalidations
+               << ", \"refetches\": " << c.refetches
+               << ", \"remoteReads\": " << c.remoteReads << "}" << end
+               << "\n";
+        };
+        os << "    \"" << r.name << "\": {\n";
+        cell("writeUpdate", r.update, ",");
+        cell("writeInvalidate", r.invalidate, ",");
+        os << "      \"winner\": \""
+           << (r.update.cycles <= r.invalidate.cycles ? "write-update"
+                                                      : "write-invalidate")
+           << "\"\n    }" << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    os << "  }\n}\n";
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const HarnessArgs& args = parseHarnessArgs(argc, argv);
+    const unsigned nodes = args.nodesOr(kNodes);
+    std::string jsonOut;
+    for (const std::string& arg : args.rest) {
+        if (arg.rfind("--out=", 0) == 0) {
+            jsonOut = arg.substr(6);
+        } else {
+            std::cerr << "usage: protocol_shootout [--nodes=N] "
+                         "[--out=<file>]\n";
+            return 2;
+        }
+    }
+
+    printHeader("Protocol shootout: write-update vs write-invalidate",
+                "Section 2.2's protocol argument, quantified per "
+                "sharing pattern");
+
+    struct Pattern {
+        const char* name;
+        Cell (*run)(Protocol, unsigned);
+    };
+    const Pattern patterns[] = {
+        {"read-mostly", runReadMostly},
+        {"write-hot", runWriteHot},
+        {"migratory", runMigratory},
+        {"producer-consumer", runProducerConsumer},
+    };
+
+    std::vector<PatternResult> results;
+    TablePrinter table;
+    table.setHeader({"pattern", "update cyc", "inval cyc", "winner",
+                     "upd msgs (u/i)", "refetches"});
+    unsigned updateWins = 0;
+    unsigned invalidateWins = 0;
+    for (const Pattern& pat : patterns) {
+        PatternResult r;
+        r.name = pat.name;
+        r.update = pat.run(Protocol::WriteUpdate, nodes);
+        r.invalidate = pat.run(Protocol::WriteInvalidate, nodes);
+        const bool updateWon = r.update.cycles <= r.invalidate.cycles;
+        (updateWon ? updateWins : invalidateWins) += 1;
+        table.addRow({r.name, TablePrinter::num(r.update.cycles),
+                      TablePrinter::num(r.invalidate.cycles),
+                      updateWon ? "update" : "invalidate",
+                      TablePrinter::num(r.update.updates) + "/" +
+                          TablePrinter::num(r.invalidate.updates),
+                      TablePrinter::num(r.invalidate.refetches)});
+        results.push_back(std::move(r));
+    }
+    finishTable(table,
+                "Expected: update wins where reads dominate (the chain "
+                "doubles as a data push);\ninvalidate wins where "
+                "rewrites dominate (one chain per word, then the master "
+                "retires\nwrites alone).");
+
+    if (!jsonOut.empty()) {
+        std::ofstream os(jsonOut);
+        if (!os) {
+            std::cerr << "cannot open " << jsonOut << "\n";
+            return 1;
+        }
+        writeJson(os, nodes, results);
+    }
+    exportProf();
+
+    if (updateWins == 0 || invalidateWins == 0) {
+        std::cerr << "shootout FAILED: expected each protocol to win at "
+                     "least one pattern (update "
+                  << updateWins << ", invalidate " << invalidateWins
+                  << ")\n";
+        return 1;
+    }
+    std::cout << "each protocol won at least one pattern (update "
+              << updateWins << ", invalidate " << invalidateWins
+              << ")\n";
+    return 0;
+}

@@ -21,7 +21,10 @@ main()
     // 1. Describe the machine with the fluent builder: 4 nodes on a 2x2
     //    mesh, delayed-operation processors, the paper's 1990 cost
     //    model. Every knob has a sane default; chain only what you
-    //    need, and build() validates the whole configuration.
+    //    need, and build() validates the whole configuration. Add
+    //    .protocol(Protocol::WriteInvalidate) to swap the paper's
+    //    write-update coherence for its MSI-flavoured counterpart
+    //    (docs/PROTOCOLS.md).
     auto machine_ptr = MachineBuilder().nodes(4).build();
     core::Machine& machine = *machine_ptr;
 

@@ -101,6 +101,61 @@ toSimEngine(Engine engine)
 }
 
 /**
+ * Coherence protocol (docs/PROTOCOLS.md). WriteUpdate is the paper's
+ * protocol and the default; WriteInvalidate is the MSI-flavoured
+ * counterpart for protocol comparisons. Auto honours the PLUS_PROTOCOL
+ * environment variable and falls back to WriteUpdate.
+ */
+enum class Protocol : std::uint8_t {
+    Auto,            ///< honour PLUS_PROTOCOL (default: write-update)
+    WriteUpdate,     ///< the paper's non-demand write-update protocol
+    WriteInvalidate, ///< home-pinned MSI-flavoured invalidation protocol
+};
+
+constexpr const char*
+toString(Protocol protocol)
+{
+    switch (protocol) {
+      case Protocol::Auto: return "auto";
+      case Protocol::WriteUpdate: return "write-update";
+      case Protocol::WriteInvalidate: return "write-invalidate";
+      default: return "?";
+    }
+}
+
+/**
+ * Parse "auto" | "update" | "write-update" | "invalidate" |
+ * "write-invalidate"; false if unknown.
+ */
+inline bool
+protocolFromString(std::string_view name, Protocol& out)
+{
+    if (name == "auto") {
+        out = Protocol::Auto;
+    } else if (name == "update" || name == "write-update") {
+        out = Protocol::WriteUpdate;
+    } else if (name == "invalidate" || name == "write-invalidate") {
+        out = Protocol::WriteInvalidate;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+/** The MachineConfig field backing a plus::Protocol choice. */
+constexpr CoherenceProtocol
+toCoherenceProtocol(Protocol protocol)
+{
+    switch (protocol) {
+      case Protocol::WriteUpdate: return CoherenceProtocol::WriteUpdate;
+      case Protocol::WriteInvalidate:
+        return CoherenceProtocol::WriteInvalidate;
+      case Protocol::Auto:
+      default: return CoherenceProtocol::Env;
+    }
+}
+
+/**
  * Fluent machine construction — the one supported way to build a
  * machine. Call knobs in any order; build() validates the assembled
  * configuration (rejecting contradictions with actionable messages)
@@ -138,6 +193,20 @@ class MachineBuilder
     engine(Engine e)
     {
         config_.engine = toSimEngine(e);
+        return *this;
+    }
+
+    /**
+     * Coherence protocol (see plus::Protocol and docs/PROTOCOLS.md).
+     * Calling this knob is the explicit opt-in MachineConfig::validate
+     * requires for a non-default protocol; code relying on the implicit
+     * write-update default (deprecated) should name it here instead.
+     */
+    MachineBuilder&
+    protocol(Protocol p)
+    {
+        config_.protocol = toCoherenceProtocol(p);
+        config_.protocolOptIn = true;
         return *this;
     }
 

@@ -18,8 +18,13 @@
 #   7. determinism: every engine backend must produce byte-for-byte
 #                  identical bench output — the full matrix is
 #                  {wheel, heap, parallel x 2 threads, parallel x 4
-#                  threads} diffed against the wheel run
-#   8. perf-smoke: engine_throughput --quick, fail if the wheel's
+#                  threads} x {update, invalidate} diffed against the
+#                  wheel run of the same protocol
+#   8. protocols:  per-protocol suites — tests/test_protocol, then
+#                  bench/protocol_shootout (both protocols, checker on,
+#                  each must win at least one sharing pattern) with the
+#                  JSON output schema validated
+#   9. perf-smoke: engine_throughput --quick, fail if the wheel's
 #                  throughput regressed >25% vs the committed
 #                  BENCH_engine.json or the speedup target is missed;
 #                  also gate the parallel backend against
@@ -27,30 +32,30 @@
 #                  thread count; core-gated scaling floors: >=1.0x at
 #                  2 threads on >=2 cores, >=2.5x at 8 threads on
 #                  >=8 cores)
-#   9. chaos:      chaos_sweep under fixed fault seeds (drop 1%, dup 1%,
+#  10. chaos:      chaos_sweep under fixed fault seeds (drop 1%, dup 1%,
 #                  corrupt 0.5%, mixed + transient link kill) — every
 #                  run must reproduce the fault-free memory image, and
 #                  with the injector disabled bench output must stay
 #                  byte-identical to the committed golden/ files under
 #                  both engine backends
-#  10. recovery:   node-crash chaos matrix — the recovery unit tests,
+#  11. recovery:   node-crash chaos matrix — the recovery unit tests,
 #                  then chaos_sweep --kill-node on wheel and
 #                  parallel x 2 threads; every run must leave the
 #                  surviving replicas mutually consistent and the
 #                  post-recovery image hash byte-identical across
 #                  backends
-#  11. tsan:       ThreadSanitizer build (PLUS_TSAN=ON) — the parallel
+#  12. tsan:       ThreadSanitizer build (PLUS_TSAN=ON) — the parallel
 #                  engine's tests plus the 2/4-thread determinism matrix
 #                  must run with zero TSan reports (skipped with a
 #                  warning when the toolchain lacks -fsanitize=thread)
-#  12. prof:       host-time profiler gates — a profiled parallel run
+#  13. prof:       host-time profiler gates — a profiled parallel run
 #                  must attribute >=90% of each thread's wall clock
 #                  across {work, barrier, drain, other}, and the
 #                  profiler-off overhead on the serial wheel micro
 #                  benchmark must stay under 3% (best of 3)
 #
 # Usage: scripts/ci.sh [tier1|sanitize|tidy|lint|format|trace|determinism|
-#                       perf-smoke|chaos|recovery|tsan|prof|all]
+#                       protocols|perf-smoke|chaos|recovery|tsan|prof|all]
 #                      (default: all)
 
 set -euo pipefail
@@ -163,35 +168,61 @@ EOF
 }
 
 run_determinism() {
-    echo "=== determinism: backend matrix, byte-for-byte ==="
+    echo "=== determinism: backend x protocol matrix, byte-for-byte ==="
     cmake -B build -S . >/dev/null
     cmake --build build -j "$JOBS" --target sim_harness table_3_1
     local out
     out="$(mktemp -d)"
     trap 'rm -rf "$out"' RETURN
 
-    build/bench/table_3_1 --engine=wheel > "$out/wheel_table.txt"
-    build/bench/sim_harness --nodes=16 --engine=wheel \
-        > "$out/wheel_harness.txt"
-
-    # Every other backend/thread-count combination must reproduce the
-    # wheel output exactly. The parallel runs force --threads so the
-    # conservative engine really spins up worker domains even on
+    # Every backend/thread-count combination must reproduce the wheel
+    # output exactly, under both coherence protocols (byte-identity is
+    # per protocol: update and invalidate legitimately differ from each
+    # other, see docs/PROTOCOLS.md). The parallel runs force --threads
+    # so the conservative engine really spins up worker domains even on
     # single-core CI hosts (oversubscribed but functionally identical).
-    local combo
-    for combo in "heap:0" "parallel:2" "parallel:4"; do
-        local eng="${combo%%:*}" thr="${combo##*:}"
-        local flags="--engine=$eng"
-        if [ "$thr" != 0 ]; then flags="$flags --threads=$thr"; fi
-        echo "--- $eng threads=$thr vs wheel"
-        # shellcheck disable=SC2086
-        build/bench/table_3_1 $flags > "$out/table.txt"
-        diff "$out/wheel_table.txt" "$out/table.txt"
-        # shellcheck disable=SC2086
-        build/bench/sim_harness --nodes=16 $flags > "$out/harness.txt"
-        diff "$out/wheel_harness.txt" "$out/harness.txt"
+    local proto combo
+    for proto in update invalidate; do
+        build/bench/table_3_1 --engine=wheel --protocol="$proto" \
+            > "$out/wheel_table.txt"
+        build/bench/sim_harness --nodes=16 --engine=wheel \
+            --protocol="$proto" > "$out/wheel_harness.txt"
+        for combo in "heap:0" "parallel:2" "parallel:4"; do
+            local eng="${combo%%:*}" thr="${combo##*:}"
+            local flags="--engine=$eng --protocol=$proto"
+            if [ "$thr" != 0 ]; then flags="$flags --threads=$thr"; fi
+            echo "--- $proto: $eng threads=$thr vs wheel"
+            # shellcheck disable=SC2086
+            build/bench/table_3_1 $flags > "$out/table.txt"
+            diff "$out/wheel_table.txt" "$out/table.txt"
+            # shellcheck disable=SC2086
+            build/bench/sim_harness --nodes=16 $flags > "$out/harness.txt"
+            diff "$out/wheel_harness.txt" "$out/harness.txt"
+        done
     done
-    echo "all engine backends are cycle-for-cycle identical"
+    echo "all engine backends are cycle-for-cycle identical per protocol"
+}
+
+run_protocols() {
+    echo "=== protocols: per-protocol suites + the shootout gate ==="
+    cmake -B build -S . >/dev/null
+    cmake --build build -j "$JOBS" --target test_protocol protocol_shootout
+    build/tests/test_protocol
+    local out
+    out="$(mktemp -d)"
+    trap 'rm -rf "$out"' RETURN
+    # The shootout runs every sharing pattern under both protocols with
+    # the per-protocol invariant checker on, and exits non-zero unless
+    # each protocol wins at least one pattern.
+    build/bench/protocol_shootout --out="$out/protocols.json"
+    python3 - "$out/protocols.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    d = json.load(f)
+winners = {p["winner"] for p in d["patterns"].values()}
+assert winners == {"write-update", "write-invalidate"}, winners
+print(f"shootout JSON OK: {len(d['patterns'])} patterns, both protocols win")
+EOF
 }
 
 run_perf_smoke() {
@@ -435,18 +466,19 @@ case "$STAGE" in
     format)      run_format ;;
     trace)       run_trace ;;
     determinism) run_determinism ;;
+    protocols)   run_protocols ;;
     perf-smoke)  run_perf_smoke ;;
     chaos)       run_chaos ;;
     recovery)    run_recovery ;;
     tsan)        run_tsan ;;
     prof)        run_prof ;;
     all)         run_tier1; run_sanitize; run_tidy; run_lint; run_format
-                 run_trace; run_determinism; run_perf_smoke; run_chaos
-                 run_recovery; run_tsan; run_prof ;;
+                 run_trace; run_determinism; run_protocols; run_perf_smoke
+                 run_chaos; run_recovery; run_tsan; run_prof ;;
     *)
         echo "unknown stage '$STAGE'" \
              "(want tier1|sanitize|tidy|lint|format|trace|determinism|" \
-             "perf-smoke|chaos|recovery|tsan|prof|all)" >&2
+             "protocols|perf-smoke|chaos|recovery|tsan|prof|all)" >&2
         exit 2
         ;;
 esac

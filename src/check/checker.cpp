@@ -152,6 +152,36 @@ Checker::onReadServed(NodeId node, Vpn vpn, Addr word_offset)
 }
 
 void
+Checker::onWordInvalidated(NodeId node, Vpn vpn, Addr word_offset)
+{
+    trace_.record(makeEvent(EventKind::WordInvalidated, node, vpn,
+                            word_offset, 0, 0));
+    if (invariants_) {
+        invariants_->wordInvalidated(node, vpn, word_offset);
+    }
+}
+
+void
+Checker::onWordRevalidated(NodeId node, Vpn vpn, Addr word_offset)
+{
+    trace_.record(makeEvent(EventKind::WordRevalidated, node, vpn,
+                            word_offset, 0, 0));
+    if (invariants_) {
+        invariants_->wordRevalidated(node, vpn, word_offset);
+    }
+}
+
+void
+Checker::onLocalValueServed(NodeId node, Vpn vpn, Addr word_offset)
+{
+    trace_.record(makeEvent(EventKind::LocalValueServed, node, vpn,
+                            word_offset, 0, 0));
+    if (invariants_) {
+        invariants_->localValueServed(node, vpn, word_offset);
+    }
+}
+
+void
 Checker::onCopyListMutated(const mem::CopyList& list, const char* op)
 {
     trace_.record(makeEvent(EventKind::CopyListMutated, kInvalidNode, 0, 0,

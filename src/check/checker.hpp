@@ -89,6 +89,9 @@ class Checker final : public Observer
     void onReadServed(NodeId node, Vpn vpn, Addr word_offset) override;
     void onMessageProcessed(NodeId src, NodeId dst,
                             std::uint8_t msg_class) override;
+    void onWordInvalidated(NodeId node, Vpn vpn, Addr word_offset) override;
+    void onWordRevalidated(NodeId node, Vpn vpn, Addr word_offset) override;
+    void onLocalValueServed(NodeId node, Vpn vpn, Addr word_offset) override;
 
     // --- CopyListObserver -------------------------------------------------
 

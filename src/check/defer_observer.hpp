@@ -102,6 +102,31 @@ class DeferringObserver final : public Observer
     }
 
     void
+    onWordInvalidated(NodeId node, Vpn vpn, Addr word_offset) override
+    {
+        defer(&Observer::onWordInvalidated, node, vpn, word_offset);
+    }
+
+    void
+    onWordRevalidated(NodeId node, Vpn vpn, Addr word_offset) override
+    {
+        defer(&Observer::onWordRevalidated, node, vpn, word_offset);
+    }
+
+    void
+    onOwnershipTransfer(NodeId master, Vpn vpn, NodeId from,
+                        NodeId to) override
+    {
+        defer(&Observer::onOwnershipTransfer, master, vpn, from, to);
+    }
+
+    void
+    onLocalValueServed(NodeId node, Vpn vpn, Addr word_offset) override
+    {
+        defer(&Observer::onLocalValueServed, node, vpn, word_offset);
+    }
+
+    void
     onCopyListMutated(const mem::CopyList& list, const char* op) override
     {
         // Machine context only; workers are parked, so inline is safe

@@ -153,6 +153,53 @@ class ProtoObserver
     {
         (void)node; (void)tag; (void)retried;
     }
+
+    /**
+     * Write-invalidate only: an invalidation chain marked one word of
+     * @p node's copy invalid. Fired before the matching onChainApplied()
+     * at the same copy, so the checker sees that a non-master chain stop
+     * invalidated rather than applied a value.
+     */
+    virtual void
+    onWordInvalidated(NodeId node, Vpn vpn, Addr word_offset)
+    {
+        (void)node; (void)vpn; (void)word_offset;
+    }
+
+    /**
+     * Write-invalidate only: a re-fetch from the master restored one word
+     * of @p node's copy to the valid state (and applied the fetched value
+     * to the copy's memory).
+     */
+    virtual void
+    onWordRevalidated(NodeId node, Vpn vpn, Addr word_offset)
+    {
+        (void)node; (void)vpn; (void)word_offset;
+    }
+
+    /**
+     * Write-invalidate only: the master copy on @p master saw page
+     * @p vpn's writer change hands — @p to issued a write to a page
+     * last written by @p from. Counted as CmStats::ownershipTransfers
+     * and surfaced on the master's coherence-manager trace track.
+     */
+    virtual void
+    onOwnershipTransfer(NodeId master, Vpn vpn, NodeId from, NodeId to)
+    {
+        (void)master; (void)vpn; (void)from; (void)to;
+    }
+
+    /**
+     * A read on @p node was served from the node's own copy of the page
+     * without consulting the master. Under write-invalidate the checker
+     * verifies the served word was valid at the copy (no stale read);
+     * write-update never invalidates, so every local serve is legal.
+     */
+    virtual void
+    onLocalValueServed(NodeId node, Vpn vpn, Addr word_offset)
+    {
+        (void)node; (void)vpn; (void)word_offset;
+    }
 };
 
 /**
@@ -415,6 +462,31 @@ class TeeObserver final : public Observer
     onPendingAborted(NodeId node, std::uint32_t tag, bool retried) override
     {
         tee(&Observer::onPendingAborted, node, tag, retried);
+    }
+
+    void
+    onWordInvalidated(NodeId node, Vpn vpn, Addr word_offset) override
+    {
+        tee(&Observer::onWordInvalidated, node, vpn, word_offset);
+    }
+
+    void
+    onWordRevalidated(NodeId node, Vpn vpn, Addr word_offset) override
+    {
+        tee(&Observer::onWordRevalidated, node, vpn, word_offset);
+    }
+
+    void
+    onOwnershipTransfer(NodeId master, Vpn vpn, NodeId from,
+                        NodeId to) override
+    {
+        tee(&Observer::onOwnershipTransfer, master, vpn, from, to);
+    }
+
+    void
+    onLocalValueServed(NodeId node, Vpn vpn, Addr word_offset) override
+    {
+        tee(&Observer::onLocalValueServed, node, vpn, word_offset);
     }
 
     void

@@ -232,6 +232,22 @@ InvariantChecker::chainApplied(ChainId chain, PhysPage copy, Vpn vpn,
         violation(concat("chain ", chain, " applied twice at copy ",
                          toString(copy)));
     }
+    if (mode_ == ProtocolMode::WriteInvalidate) {
+        // Single-writer: a chain stop at a non-master copy must have
+        // invalidated its words (onWordInvalidated precedes this event),
+        // never applied the written values.
+        auto nit = invalidWords_.find(copy.node);
+        auto vit = nit == invalidWords_.end() ? decltype(nit->second.end()){}
+                                              : nit->second.find(vpn);
+        if (nit == invalidWords_.end() || vit == nit->second.end() ||
+            vit->second.find(word_offset) == vit->second.end()) {
+            violation(concat("write-invalidate chain ", chain,
+                             " stopped at non-master copy ", toString(copy),
+                             " of page ", vpn, " without invalidating word ",
+                             word_offset,
+                             " (values may only be applied at the master)"));
+        }
+    }
     // Strict list-order checking only while the list is unchanged since
     // the chain started; an OS splice mid-flight legally re-routes it.
     const bool strict = list != nullptr && c.genAtStart == gen;
@@ -331,7 +347,9 @@ InvariantChecker::pendingComplete(NodeId node, Tag tag)
             }
         }
         chains_.erase(entry.chain);
-    } else if (!entry.fromRmw) {
+    } else if (!entry.fromRmw && mode_ != ProtocolMode::WriteInvalidate) {
+        // Write-invalidate legally retires chainless: a write whose words
+        // are already invalidated at every copy skips the chain entirely.
         violation(concat("node ", node, " retired write tag ", tag,
                          " which never took effect at the master copy"));
     }
@@ -368,6 +386,54 @@ InvariantChecker::readServed(NodeId node, Vpn vpn, Addr word_offset)
                              " served while its own write (tag ", tag,
                              ") is still in flight"));
         }
+    }
+}
+
+void
+InvariantChecker::wordInvalidated(NodeId node, Vpn vpn, Addr word_offset)
+{
+    if (mode_ == ProtocolMode::WriteUpdate) {
+        violation(concat("word invalidation reported for page ", vpn,
+                         " word ", word_offset, " at n", node,
+                         " under write-update, which never invalidates"));
+    }
+    invalidWords_[node][vpn].insert(word_offset);
+}
+
+void
+InvariantChecker::wordRevalidated(NodeId node, Vpn vpn, Addr word_offset)
+{
+    if (mode_ == ProtocolMode::WriteUpdate) {
+        violation(concat("word revalidation reported for page ", vpn,
+                         " word ", word_offset, " at n", node,
+                         " under write-update, which never invalidates"));
+    }
+    // Idempotent: concurrent re-fetches of the same word each revalidate.
+    auto nit = invalidWords_.find(node);
+    if (nit != invalidWords_.end()) {
+        auto vit = nit->second.find(vpn);
+        if (vit != nit->second.end()) {
+            vit->second.erase(word_offset);
+        }
+    }
+}
+
+void
+InvariantChecker::localValueServed(NodeId node, Vpn vpn, Addr word_offset)
+{
+    if (mode_ != ProtocolMode::WriteInvalidate) {
+        return; // write-update never invalidates: every local serve is legal
+    }
+    auto nit = invalidWords_.find(node);
+    if (nit == invalidWords_.end()) {
+        return;
+    }
+    auto vit = nit->second.find(vpn);
+    if (vit != nit->second.end() &&
+        vit->second.find(word_offset) != vit->second.end()) {
+        violation(concat("stale read: n", node, " served page ", vpn,
+                         " word ", word_offset,
+                         " from its own copy while the word is invalidated"));
     }
 }
 

@@ -21,6 +21,17 @@
  * counter per page and relaxes the strict order check — but never the
  * master-first, no-duplicate or retire-once checks — for chains that
  * overlap a mutation.
+ *
+ * The checker is parameterized by the coherence protocol (setProtocol).
+ * The chain-traversal invariants above hold under both protocols (an
+ * invalidation chain walks the copy-list exactly like an update chain).
+ * Under write-invalidate the checker additionally shadows per-copy word
+ * validity from the onWordInvalidated/onWordRevalidated hooks and
+ * enforces: no read is ever served from an invalidated word of a copy
+ * (no-stale-read), and a chain stop at a non-master copy invalidates
+ * rather than applies a value (single-writer: only the master holds
+ * written data until re-fetched). Under write-update the invalidate-only
+ * hooks themselves are violations — that protocol never invalidates.
  */
 
 #ifndef PLUS_CHECK_INVARIANT_CHECKER_HPP_
@@ -39,6 +50,16 @@
 namespace plus {
 namespace check {
 
+/**
+ * Which coherence protocol's invariants to enforce. Mirrors the resolved
+ * plus::CoherenceProtocol; kept as a separate enum so check/ stays free
+ * of the config layer.
+ */
+enum class ProtocolMode : std::uint8_t {
+    WriteUpdate,
+    WriteInvalidate,
+};
+
 /** Checks the protocol ordering invariants; see file comment. */
 class InvariantChecker
 {
@@ -55,6 +76,11 @@ class InvariantChecker
     {
         resolve_ = std::move(resolver);
     }
+
+    /** Select the invariant set to enforce (default: write-update). */
+    void setProtocol(ProtocolMode mode) { mode_ = mode; }
+
+    ProtocolMode protocol() const { return mode_; }
 
     /** The OS mutated the copy-list of @p vpn (splice, reorder, ...). */
     void copyListChanged(Vpn vpn);
@@ -88,6 +114,9 @@ class InvariantChecker
     void fenceComplete(NodeId node, bool pending_empty);
     void readServed(NodeId node, Vpn vpn, Addr word_offset);
     void copyListMutated(const mem::CopyList& list, const char* op);
+    void wordInvalidated(NodeId node, Vpn vpn, Addr word_offset);
+    void wordRevalidated(NodeId node, Vpn vpn, Addr word_offset);
+    void localValueServed(NodeId node, Vpn vpn, Addr word_offset);
 
     // --- diagnostics ------------------------------------------------------
 
@@ -151,6 +180,17 @@ class InvariantChecker
     std::unordered_map<ChainId, Chain> chains_;
     /** Copy-list mutation counters per page. */
     std::unordered_map<Vpn, std::uint64_t> generations_;
+
+    ProtocolMode mode_ = ProtocolMode::WriteUpdate;
+    /**
+     * Write-invalidate shadow validity: word offsets currently invalid
+     * at each node's copy of each page, maintained purely from the
+     * onWordInvalidated/onWordRevalidated hooks (never from the copy's
+     * memory, so a protocol bug cannot hide from the check).
+     */
+    std::unordered_map<NodeId,
+                       std::unordered_map<Vpn, std::unordered_set<Addr>>>
+        invalidWords_;
 
     /** Nodes reported fail-stop crashed (nodeCrashed). */
     std::unordered_set<NodeId> crashedNodes_;

@@ -30,6 +30,9 @@ toString(EventKind kind)
       case EventKind::ProcPageLost: return "proc-page-lost";
       case EventKind::NodeCrashed: return "node-crashed";
       case EventKind::EpochSealed: return "epoch-sealed";
+      case EventKind::WordInvalidated: return "word-invalidated";
+      case EventKind::WordRevalidated: return "word-revalidated";
+      case EventKind::LocalValueServed: return "local-value-served";
       default: return "?";
     }
 }

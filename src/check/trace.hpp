@@ -42,6 +42,9 @@ enum class EventKind : std::uint8_t {
     ProcPageLost,
     NodeCrashed,
     EpochSealed,
+    WordInvalidated,
+    WordRevalidated,
+    LocalValueServed,
 };
 
 const char* toString(EventKind kind);

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdlib>
+#include <string_view>
 
 #include "common/panic.hpp"
 
@@ -34,6 +35,32 @@ toString(SimEngine engine)
       case SimEngine::Parallel: return "parallel";
       default: return "?";
     }
+}
+
+const char*
+toString(CoherenceProtocol protocol)
+{
+    switch (protocol) {
+      case CoherenceProtocol::Env: return "env";
+      case CoherenceProtocol::WriteUpdate: return "write-update";
+      case CoherenceProtocol::WriteInvalidate: return "write-invalidate";
+      default: return "?";
+    }
+}
+
+bool
+coherenceProtocolFromString(const char* name, CoherenceProtocol& out)
+{
+    const std::string_view s(name);
+    if (s == "update" || s == "write-update") {
+        out = CoherenceProtocol::WriteUpdate;
+        return true;
+    }
+    if (s == "invalidate" || s == "write-invalidate") {
+        out = CoherenceProtocol::WriteInvalidate;
+        return true;
+    }
+    return false;
 }
 
 void
@@ -191,6 +218,43 @@ MachineConfig::validate()
     }
     if (watchdog.enabled && watchdog.windowCycles == 0) {
         PLUS_FATAL("watchdog window must be positive");
+    }
+
+    if (protocol == CoherenceProtocol::Env) {
+        resolvedProtocol_ = CoherenceProtocol::WriteUpdate;
+        if (const char* name = envRead("PLUS_PROTOCOL")) {
+            if (!coherenceProtocolFromString(name, resolvedProtocol_)) {
+                PLUS_FATAL("PLUS_PROTOCOL=", name, " names no coherence "
+                           "protocol; valid names: update, write-update, "
+                           "invalidate, write-invalidate");
+            }
+        }
+    } else {
+        if (!protocolOptIn) {
+            PLUS_FATAL("MachineConfig.protocol overridden to ",
+                       toString(protocol), " without protocolOptIn; use "
+                       "plus::MachineBuilder::protocol() (which opts in "
+                       "for you), or set protocolOptIn = true on the "
+                       "deprecated direct Machine(MachineConfig) path to "
+                       "confirm the override is intended");
+        }
+        resolvedProtocol_ = protocol;
+    }
+    if (resolvedProtocol_ == CoherenceProtocol::WriteInvalidate) {
+        if (fault.recover) {
+            PLUS_FATAL("write-invalidate does not support fail-stop "
+                       "recovery: re-mastering would promote a replica "
+                       "that may hold invalidated words, losing data; "
+                       "run crash-recovery schedules under write-update "
+                       "or drop network.fault.recover");
+        }
+        if (!fault.fencedPageReplicas.empty()) {
+            PLUS_FATAL("fencedPageReplicas assumes update-chain fence "
+                       "semantics (every declared holder sees the fenced "
+                       "writes); under write-invalidate replicas hold "
+                       "invalidated words instead — clear "
+                       "fencedPageReplicas or use write-update");
+        }
     }
 
     if (network.meshWidth != 0) {

@@ -190,6 +190,29 @@ enum class SimEngine : std::uint8_t {
 
 const char* toString(SimEngine engine);
 
+/**
+ * Coherence-protocol backend selection (mirrors plus::Protocol without
+ * depending on the public header). Write-update is the paper's design
+ * and the default; write-invalidate is the MSI-style comparison backend.
+ * See docs/PROTOCOLS.md.
+ */
+enum class CoherenceProtocol : std::uint8_t {
+    /** Honour the PLUS_PROTOCOL environment variable (default: update). */
+    Env,
+    /** PLUS's non-demand write-update copy-list protocol (the paper). */
+    WriteUpdate,
+    /** MSI-style write-invalidate: a write invalidates remote copies. */
+    WriteInvalidate,
+};
+
+const char* toString(CoherenceProtocol protocol);
+
+/**
+ * Parse a protocol name ("update"/"write-update"/"invalidate"/
+ * "write-invalidate") into @p out; false if @p name matches none.
+ */
+bool coherenceProtocolFromString(const char* name, CoherenceProtocol& out);
+
 /** How the processor hides (or fails to hide) memory/sync latency. */
 enum class ProcessorMode {
     /** Stall on every synchronization result (Figure 3-1 "blocking"). */
@@ -392,6 +415,18 @@ struct MachineConfig {
     /** Event-engine backend (Env = honour PLUS_ENGINE). */
     SimEngine engine = SimEngine::Env;
 
+    /** Coherence-protocol backend (Env = honour PLUS_PROTOCOL). */
+    CoherenceProtocol protocol = CoherenceProtocol::Env;
+
+    /**
+     * Explicit acknowledgement that a non-default protocol override is
+     * intended. plus::MachineBuilder::protocol() sets it; the deprecated
+     * direct Machine(MachineConfig) construction path must set it by
+     * hand or validate() rejects the override — configs written before
+     * the protocol field existed cannot silently change meaning.
+     */
+    bool protocolOptIn = false;
+
     /**
      * Worker threads for the parallel backend: each owns a contiguous
      * spatial domain of nodes. 0 = pick automatically (one per
@@ -432,9 +467,13 @@ struct MachineConfig {
     unsigned meshWidth() const { return resolvedMeshWidth_; }
     unsigned meshHeight() const { return resolvedMeshHeight_; }
 
+    /** Protocol after validate(): explicit, or PLUS_PROTOCOL, or update. */
+    CoherenceProtocol resolvedProtocol() const { return resolvedProtocol_; }
+
   private:
     unsigned resolvedMeshWidth_ = 0;
     unsigned resolvedMeshHeight_ = 0;
+    CoherenceProtocol resolvedProtocol_ = CoherenceProtocol::WriteUpdate;
 };
 
 } // namespace plus

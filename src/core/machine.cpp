@@ -11,6 +11,7 @@
 #include "core/context.hpp"
 #include "net/fault_injector.hpp"
 #include "net/reliable_link.hpp"
+#include "proto/protocol.hpp"
 #include "proto/recovery_manager.hpp"
 #include "telemetry/export.hpp"
 
@@ -217,6 +218,13 @@ Machine::Machine(MachineConfig config)
                 return directory_.contains(vpn) ? &directory_.copyList(vpn)
                                                 : nullptr;
             });
+        if (checker_->invariants()) {
+            checker_->invariants()->setProtocol(
+                config_.resolvedProtocol() ==
+                        CoherenceProtocol::WriteInvalidate
+                    ? check::ProtocolMode::WriteInvalidate
+                    : check::ProtocolMode::WriteUpdate);
+        }
     }
 
     if (config_.telemetry.trace) {
@@ -466,6 +474,12 @@ Machine::registerMetrics()
     metrics_.addCounter("cm.recoveryAborts",
                         sumCm(&proto::CmStats::recoveryAborts));
     metrics_.addCounter("cm.staleAcks", sumCm(&proto::CmStats::staleAcks));
+    metrics_.addCounter("proto.invalidations",
+                        sumCm(&proto::CmStats::invalidations));
+    metrics_.addCounter("proto.refetches",
+                        sumCm(&proto::CmStats::refetches));
+    metrics_.addCounter("proto.ownershipTransfers",
+                        sumCm(&proto::CmStats::ownershipTransfers));
     metrics_.addCounter("cm.busyCycles", [this] {
         std::uint64_t total = 0;
         for (const auto& n : nodes_) {
@@ -862,13 +876,19 @@ Machine::replicate(Addr addr, NodeId target)
 
     // Insert after the existing copy closest to the target ("a convenient
     // point"): that copy is also the source the hardware copies from.
+    // Under write-invalidate the anchor must be the master: only it
+    // knows which words are invalid everywhere (the batch validity
+    // mask), and master-as-predecessor keeps batch data and subsequent
+    // invalidation chains on one FIFO channel.
     PhysPage anchor = cl.master();
-    unsigned best_dist = topology_.distance(target, anchor.node);
-    for (const PhysPage& copy : cl.copies()) {
-        const unsigned d = topology_.distance(target, copy.node);
-        if (d < best_dist) {
-            anchor = copy;
-            best_dist = d;
+    if (config_.resolvedProtocol() != CoherenceProtocol::WriteInvalidate) {
+        unsigned best_dist = topology_.distance(target, anchor.node);
+        for (const PhysPage& copy : cl.copies()) {
+            const unsigned d = topology_.distance(target, copy.node);
+            if (d < best_dist) {
+                anchor = copy;
+                best_dist = d;
+            }
         }
     }
     const std::optional<PhysPage> successor = cl.successorOf(anchor);
@@ -891,7 +911,7 @@ Machine::replicate(Addr addr, NodeId target)
     // The copy engine's events belong to the anchor node's lane.
     engine_.withNodeContext(anchor.node, [&] {
         nodes_[anchor.node]->cm().startPageCopy(anchor.frame, new_copy,
-                                                copy_id);
+                                                copy_id, vpn);
     });
     PLUS_LOG(LogComponent::Machine, "replicate vpn ", vpn, " -> n", target,
              " from n", anchor.node, " (copy ", copy_id, ")");
@@ -1012,10 +1032,26 @@ Machine::promoteMasterQuiesced(Addr addr, NodeId node)
     if (cl.master().node == node) {
         return;
     }
+    const PhysPage old_master = cl.master();
 
     // Move the target to the head, keep the remaining order, then
     // rewrite every copy's master/next-copy table entries.
     const PhysPage new_master = *cl.copyOn(node);
+    if (config_.resolvedProtocol() == CoherenceProtocol::WriteInvalidate) {
+        // The promoted copy may hold invalidated words the old master
+        // never pushed back (invalidate chains carry no values). The
+        // machine is quiesced, so sync the full page untimed before the
+        // new master becomes the page's authority.
+        mem::LocalMemory& src = nodes_[old_master.node]->memory();
+        mem::LocalMemory& dst = nodes_[node]->memory();
+        for (Addr off = 0; off < kPageWords; ++off) {
+            dst.write(new_master.frame, off,
+                      src.read(old_master.frame, off));
+        }
+        if (node::Cache* cache = nodes_[node]->cache()) {
+            cache->flush();
+        }
+    }
     std::vector<PhysPage> order;
     order.push_back(new_master);
     for (const PhysPage& copy : cl.copies()) {
@@ -1051,6 +1087,14 @@ Machine::promoteMasterQuiesced(Addr addr, NodeId node)
                            i + 1 < order.size()
                                ? std::optional<PhysPage>(order[i + 1])
                                : std::nullopt);
+    }
+    if (config_.resolvedProtocol() == CoherenceProtocol::WriteInvalidate) {
+        // Full-page sync above revalidated the new master; the old
+        // master's invalid-everywhere knowledge is stale topology.
+        nodes_[node]->cm().protocol().onMasterPromoted(new_master.frame,
+                                                       vpn);
+        nodes_[old_master.node]->cm().protocol().onMasterDemoted(
+            old_master.frame);
     }
     shootdown(vpn);
     PLUS_LOG(LogComponent::Machine, "promoted master of vpn ", vpn,

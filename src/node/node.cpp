@@ -26,8 +26,8 @@ Node::Node(NodeId id, const MachineConfig& config, sim::Engine& engine,
     cm_deps.memory = &memory_;
     cm_deps.tables = &tables_;
     cm_deps.refCounters = refCounters_.get();
-    cm_ = std::make_unique<proto::CoherenceManager>(id, config.cost,
-                                                    cm_deps);
+    cm_ = std::make_unique<proto::CoherenceManager>(
+        id, config.cost, cm_deps, config.resolvedProtocol());
 
     // Node-bus snooping keeps the processor cache coherent with writes
     // performed by the coherence manager.

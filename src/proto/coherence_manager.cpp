@@ -7,6 +7,7 @@
 #include "common/log.hpp"
 #include "common/panic.hpp"
 #include "net/network.hpp"
+#include "proto/protocol.hpp"
 #include "sim/engine.hpp"
 #include "telemetry/prof.hpp"
 
@@ -55,14 +56,17 @@ CmStats::totalSent() const
 }
 
 CoherenceManager::CoherenceManager(NodeId self, const CostModel& cost,
-                                   Deps deps)
+                                   Deps deps, CoherenceProtocol protocol)
     : self_(self), cost_(cost), deps_(deps),
+      protocol_(makeProtocol(protocol, *this)),
       pendingWrites_(cost.pendingWriteEntries),
       delayedOps_(cost.delayedOpEntries)
 {
     PLUS_ASSERT(deps_.engine && deps_.network && deps_.memory &&
                 deps_.tables, "coherence manager missing dependencies");
 }
+
+CoherenceManager::~CoherenceManager() = default;
 
 void
 CoherenceManager::enqueue(Cycles occupancy, sim::Event work)
@@ -125,8 +129,9 @@ CoherenceManager::procRead(Vpn vpn, Addr word_offset, PhysAddr phys,
                 check_->onReadServed(self_, vpn, word_offset);
             }
             if (phys.page.node == self_) {
-                stats_.localReads += 1;
-                done(deps_.memory->read(phys.page.frame, word_offset));
+                protocol_->serveLocalRead(vpn, word_offset,
+                                          phys.page.frame,
+                                          std::move(done));
                 return;
             }
             stats_.remoteReads += 1;
@@ -260,8 +265,8 @@ CoherenceManager::dispatchWrite(Vpn vpn, Addr word_offset, PhysAddr phys,
         }
         enqueue(cost_.cmServiceWrite,
                 [this, vpn, frame, word_offset, value, tag] {
-                    writeAtMaster(vpn, frame, word_offset, value, self_,
-                                  tag);
+                    protocol_->writeAtMaster(vpn, frame, word_offset,
+                                             value, self_, tag);
                 });
     } else {
         noteDst(master.node);
@@ -277,25 +282,11 @@ CoherenceManager::dispatchWrite(Vpn vpn, Addr word_offset, PhysAddr phys,
 }
 
 void
-CoherenceManager::writeAtMaster(Vpn vpn, FrameId frame, Addr word_offset,
-                                Word value, NodeId originator, WriteTag tag)
-{
-    applyLocal(frame, word_offset, value);
-    const check::ChainId chain = nextChainId();
-    if (check_) {
-        check_->onChainApplied(chain, PhysPage{self_, frame}, vpn,
-                               word_offset, 1, originator, tag,
-                               /*tracked=*/true, /*at_master=*/true);
-    }
-    continueChain(vpn, chain, frame, {WordWrite{word_offset, value}},
-                  originator, tag, /*from_rmw=*/false, /*need_ack=*/true);
-}
-
-void
 CoherenceManager::continueChain(Vpn vpn, check::ChainId chain, FrameId frame,
                                 std::vector<WordWrite> writes,
                                 NodeId originator, WriteTag tag,
-                                bool from_rmw, bool need_ack)
+                                bool from_rmw, bool need_ack,
+                                bool invalidate)
 {
     const std::optional<PhysPage> next = deps_.tables->nextCopy(frame);
     if (next) {
@@ -308,9 +299,25 @@ CoherenceManager::continueChain(Vpn vpn, check::ChainId chain, FrameId frame,
         msg->chainId = chain;
         msg->fromRmw = from_rmw;
         msg->needAck = need_ack;
+        msg->invalidate = invalidate;
         const unsigned bytes = msg->bytes();
         send(next->node, std::move(msg), bytes);
         return;
+    }
+    if (invalidate) {
+        const PhysPage master = deps_.tables->master(frame);
+        if (master.node != self_) {
+            // The tail sharer of an invalidation chain acknowledges the
+            // master, which commits the chain and relays the completion
+            // to the originator (Protocol::chainAckAtMaster).
+            auto msg = std::make_unique<WriteAck>();
+            msg->tag = tag;
+            msg->fromRmw = from_rmw;
+            msg->chainId = chain;
+            send(master.node, std::move(msg), WriteAck::kChainBytes);
+            return;
+        }
+        // Degenerate chain (master with no copies): ack directly below.
     }
     if (!need_ack) {
         return;
@@ -511,28 +518,8 @@ CoherenceManager::rmwAtMaster(RmwOp op, Vpn vpn, FrameId frame,
         send(originator, std::move(msg), RmwResp::kBytes);
     }
 
-    if (!writes.empty()) {
-        const check::ChainId chain = nextChainId();
-        if (check_) {
-            check_->onChainApplied(chain, PhysPage{self_, frame}, vpn,
-                                   writes.front().wordOffset,
-                                   static_cast<unsigned>(writes.size()),
-                                   originator, write_tag,
-                                   /*tracked=*/track, /*at_master=*/true);
-        }
-        continueChain(vpn, chain, frame, std::move(writes), originator,
-                      write_tag, /*from_rmw=*/true, /*need_ack=*/track);
-    } else if (track) {
-        // Nothing to propagate: retire the tracked pseudo-write now.
-        if (originator == self_) {
-            retireWrite(write_tag);
-        } else {
-            auto msg = std::make_unique<WriteAck>();
-            msg->tag = write_tag;
-            msg->fromRmw = true;
-            send(originator, std::move(msg), WriteAck::kBytes);
-        }
-    }
+    protocol_->propagateRmwEffects(vpn, frame, std::move(writes),
+                                   originator, write_tag, track);
 }
 
 void
@@ -582,36 +569,40 @@ CoherenceManager::procFence(std::function<void()> done)
 
 void
 CoherenceManager::startPageCopy(FrameId src_frame, PhysPage dst,
-                                std::uint32_t copy_id)
+                                std::uint32_t copy_id, Vpn vpn)
 {
     PLUS_ASSERT(deps_.memory->allocated(src_frame),
                 "page copy from unallocated frame");
-    sendPageCopyBatch(src_frame, dst, copy_id, 0);
+    sendPageCopyBatch(src_frame, dst, copy_id, vpn, 0);
 }
 
 void
 CoherenceManager::sendPageCopyBatch(FrameId src_frame, PhysPage dst,
-                                    std::uint32_t copy_id, Addr next_offset)
+                                    std::uint32_t copy_id, Vpn vpn,
+                                    Addr next_offset)
 {
     const Addr batch = std::min(kPageCopyBatchWords,
                                 kPageWords - next_offset);
     enqueue(cost_.cmPageCopyWord * batch,
-            [this, src_frame, dst, copy_id, next_offset, batch] {
+            [this, src_frame, dst, copy_id, vpn, next_offset, batch] {
                 auto msg = std::make_unique<PageCopyData>();
                 msg->target = dst;
+                msg->vpn = vpn;
                 msg->baseOffset = next_offset;
                 msg->words.reserve(batch);
                 for (Addr i = 0; i < batch; ++i) {
                     msg->words.push_back(
                         deps_.memory->read(src_frame, next_offset + i));
                 }
+                protocol_->fillBatchValidity(src_frame, next_offset, batch,
+                                             *msg);
                 msg->copyId = copy_id;
                 msg->last = (next_offset + batch == kPageWords);
                 const bool last = msg->last;
                 const unsigned bytes = msg->bytes();
                 send(dst.node, std::move(msg), bytes);
                 if (!last) {
-                    sendPageCopyBatch(src_frame, dst, copy_id,
+                    sendPageCopyBatch(src_frame, dst, copy_id, vpn,
                                       next_offset + batch);
                 }
             });
@@ -680,7 +671,7 @@ CoherenceManager::onPacket(net::Packet packet)
 void
 CoherenceManager::onReadReq(std::unique_ptr<ReadReq> msg)
 {
-    enqueue(cost_.cmServiceReadReq, [this, m = std::move(msg)] {
+    enqueue(cost_.cmServiceReadReq, [this, m = std::move(msg)]() mutable {
         const FrameId frame = m->target.page.frame;
         if (!deps_.memory->allocated(frame)) {
             auto nack = std::make_unique<Nack>();
@@ -691,10 +682,7 @@ CoherenceManager::onReadReq(std::unique_ptr<ReadReq> msg)
             send(m->originator, std::move(nack), Nack::kBytes);
             return;
         }
-        auto resp = std::make_unique<ReadResp>();
-        resp->tag = m->tag;
-        resp->value = deps_.memory->read(frame, m->target.wordOffset);
-        send(m->originator, std::move(resp), ReadResp::kBytes);
+        protocol_->serveReadReq(std::move(m));
     });
 }
 
@@ -748,8 +736,8 @@ CoherenceManager::onWriteReq(std::unique_ptr<WriteReq> msg)
             return;
         }
         if (master_here) {
-            writeAtMaster(m->vpn, frame, m->target.wordOffset, m->value,
-                          m->originator, m->tag);
+            protocol_->writeAtMaster(m->vpn, frame, m->target.wordOffset,
+                                     m->value, m->originator, m->tag);
         } else {
             // Forward the request itself; only the target changes.
             const PhysPage master = deps_.tables->master(frame);
@@ -769,25 +757,21 @@ CoherenceManager::onUpdateReq(std::unique_ptr<UpdateReq> msg)
         PLUS_ASSERT(deps_.memory->allocated(frame) &&
                         deps_.tables->knows(frame),
                     "update for a frame that holds no copy");
-        for (const WordWrite& w : m->writes) {
-            applyLocal(frame, w.wordOffset, w.value);
-        }
-        if (check_) {
-            check_->onChainApplied(
-                m->chainId, m->target, m->vpn,
-                m->writes.empty() ? 0 : m->writes.front().wordOffset,
-                static_cast<unsigned>(m->writes.size()), m->originator,
-                m->tag, /*tracked=*/m->needAck, /*at_master=*/false);
-        }
-        continueChain(m->vpn, m->chainId, frame, std::move(m->writes),
-                      m->originator, m->tag, m->fromRmw, m->needAck);
+        protocol_->chainStop(std::move(m));
     });
 }
 
 void
 CoherenceManager::onWriteAck(const WriteAck& msg)
 {
-    enqueue(cost_.cmServiceAck, [this, tag = msg.tag] {
+    enqueue(cost_.cmServiceAck, [this, tag = msg.tag,
+                                 chain = msg.chainId] {
+        if (chain != 0) {
+            // Chain-routed ack: this node is the page's master, not the
+            // originator (write-invalidate commit path).
+            protocol_->chainAckAtMaster(chain);
+            return;
+        }
         if (recoveryArmed_ && writeMeta_.find(tag) == writeMeta_.end()) {
             // Recovery replayed this write and the first acknowledgement
             // (old chain's or new chain's) already retired the entry;
@@ -982,7 +966,9 @@ CoherenceManager::onNack(std::unique_ptr<Nack> msg)
                 }
                 auto done = std::move(it->second);
                 readWaiters_.erase(it);
-                done(deps_.memory->read(page.frame, m->wordOffset));
+                protocol_->serveNackedLocalRead(m->vpn, m->wordOffset,
+                                                page.frame,
+                                                std::move(done));
             } else {
                 if (recoveryArmed_) {
                     auto rit = readMeta_.find(m->readTag);
@@ -1156,9 +1142,7 @@ CoherenceManager::onPageCopyData(std::unique_ptr<PageCopyData> msg,
         const FrameId frame = m->target.frame;
         PLUS_ASSERT(deps_.memory->allocated(frame),
                     "page-copy data for unallocated frame");
-        for (std::size_t i = 0; i < m->words.size(); ++i) {
-            applyLocal(frame, m->baseOffset + i, m->words[i]);
-        }
+        protocol_->applyCopyBatch(*m);
         if (m->last) {
             auto done = std::make_unique<PageCopyDone>();
             done->copyId = m->copyId;
@@ -1183,6 +1167,7 @@ CoherenceManager::onFrameFlush(const FrameFlush& msg)
     enqueue(cost_.cmServiceAck, [this, frame = msg.frame] {
         PLUS_ASSERT(deps_.memory->allocated(frame),
                     "flush of a frame that is not allocated");
+        protocol_->onFrameDropped(frame);
         deps_.tables->erase(frame);
         deps_.memory->freeFrame(frame);
     });

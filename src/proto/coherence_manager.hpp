@@ -1,8 +1,8 @@
 /**
  * @file
  * The coherence manager: the per-node hardware module that implements
- * PLUS's non-demand, write-update coherence protocol and the delayed
- * interlocked operations (Sections 2.3 and 3.1).
+ * the coherence protocol and the delayed interlocked operations
+ * (Sections 2.3 and 3.1).
  *
  * The manager is modelled as a single server: each request or message it
  * handles occupies it for a cost-model-defined number of cycles, and
@@ -10,11 +10,16 @@
  * hot manager (e.g. the master of a contended lock) is visible in the
  * results exactly as the paper's evaluation assumes.
  *
- * Protocol invariants maintained here:
- *  - every write takes effect at the master copy first and propagates
- *    down the ordered copy-list (general coherence);
- *  - the last copy in the list acknowledges the originator, which then
- *    retires the pending-writes entry;
+ * The manager owns the protocol-independent plumbing: occupancy,
+ * message dispatch, the pending-writes cache and fences, nack/retry,
+ * page-copy framing, recovery metadata and statistics. What a write
+ * does at the master, what a chain stop does at a copy, and how reads
+ * are served is the installed proto::Protocol strategy's business
+ * (protocol.hpp) — PLUS's write-update protocol by default.
+ *
+ * Invariants maintained by the plumbing regardless of protocol:
+ *  - chains walk the ordered copy-list from the master, and the tail
+ *    acknowledges so the originator can retire its pending entry;
  *  - a processor's read of a location with an in-flight write by the
  *    same processor blocks until the acknowledgement arrives;
  *  - a fence completes only when the pending-writes cache is empty.
@@ -57,6 +62,8 @@ class Network;
 
 namespace proto {
 
+class Protocol;
+
 /** Per-manager statistics; the bench harnesses aggregate these. */
 struct CmStats {
     /** Reads served from local memory / requiring a ReadReq. */
@@ -77,6 +84,12 @@ struct CmStats {
     std::uint64_t recoveryAborts = 0;
     /** Stale responses swallowed after a recovery replay raced them. */
     std::uint64_t staleAcks = 0;
+    /** Write-invalidate only: words invalidated at sharer copies. */
+    std::uint64_t invalidations = 0;
+    /** Write-invalidate only: reads re-fetching an invalidated word. */
+    std::uint64_t refetches = 0;
+    /** Write-invalidate only: the master saw the writing node change. */
+    std::uint64_t ownershipTransfers = 0;
     /** Most retries any single request needed before completing. */
     std::uint64_t nackRetryHighWater = 0;
     /** Cycles this manager was busy serving work. */
@@ -106,9 +119,21 @@ class CoherenceManager
         mem::RefCounters* refCounters = nullptr; ///< optional
     };
 
-    CoherenceManager(NodeId self, const CostModel& cost, Deps deps);
+    /**
+     * @p protocol selects the coherence-protocol strategy; it must be a
+     * resolved choice (never CoherenceProtocol::Env — run
+     * MachineConfig::validate, or pass MachineConfig::resolvedProtocol).
+     */
+    CoherenceManager(NodeId self, const CostModel& cost, Deps deps,
+                     CoherenceProtocol protocol =
+                         CoherenceProtocol::WriteUpdate);
+    ~CoherenceManager();
 
     NodeId nodeId() const { return self_; }
+
+    /** The installed coherence-protocol strategy. */
+    Protocol& protocol() { return *protocol_; }
+    const Protocol& protocol() const { return *protocol_; }
 
     // --- OS hooks ---------------------------------------------------------
 
@@ -229,9 +254,11 @@ class CoherenceManager
      * must be the new copy's predecessor in the copy-list, and the
      * copy-list and coherence tables must already include @p dst, so
      * concurrent writes flow through it while the copy proceeds).
+     * @p vpn attributes the copy's batches to the page for per-word
+     * validity tracking (write-invalidate) and checker attribution.
      */
     void startPageCopy(FrameId src_frame, PhysPage dst,
-                       std::uint32_t copy_id);
+                       std::uint32_t copy_id, Vpn vpn = 0);
 
     /**
      * Send a FrameFlush to a copy this node just spliced out of the
@@ -288,6 +315,11 @@ class CoherenceManager
     const DelayedOpCache& delayedOps() const { return delayedOps_; }
 
   private:
+    // The protocol strategies drive the private helpers directly.
+    friend class Protocol;
+    friend class WriteUpdateProtocol;
+    friend class WriteInvalidateProtocol;
+
     /**
      * Serialize @p work behind the manager's busy-until horizon. Takes
      * a sim::Event so the continuation rides inline in the engine's
@@ -305,12 +337,15 @@ class CoherenceManager
     // Write path.
     void dispatchWrite(Vpn vpn, Addr word_offset, PhysAddr phys, Word value,
                        WriteTag tag);
-    void writeAtMaster(Vpn vpn, FrameId frame, Addr word_offset, Word value,
-                       NodeId originator, WriteTag tag);
-    /** Forward effects down the list or acknowledge the originator. */
+    /**
+     * Forward effects down the list or, at the tail, acknowledge: the
+     * originator directly (update chains), or the master first when
+     * @p invalidate (which commits the chain, then relays the ack).
+     */
     void continueChain(Vpn vpn, check::ChainId chain, FrameId frame,
                        std::vector<WordWrite> writes, NodeId originator,
-                       WriteTag tag, bool from_rmw, bool need_ack);
+                       WriteTag tag, bool from_rmw, bool need_ack,
+                       bool invalidate);
     void retireWrite(WriteTag tag);
 
     /** Chain identity for a write this master starts propagating. */
@@ -352,11 +387,13 @@ class CoherenceManager
     void onFrameFlush(const FrameFlush& msg);
 
     void sendPageCopyBatch(FrameId src_frame, PhysPage dst,
-                           std::uint32_t copy_id, Addr next_offset);
+                           std::uint32_t copy_id, Vpn vpn,
+                           Addr next_offset);
 
     NodeId self_;
     CostModel cost_;
     Deps deps_;
+    std::unique_ptr<Protocol> protocol_;
 
     PendingWrites pendingWrites_;
     DelayedOpCache delayedOps_;

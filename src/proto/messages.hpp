@@ -85,6 +85,12 @@ struct ReadReq : ProtoMsg {
     Vpn vpn = 0; ///< for re-translation after a Nack
     NodeId originator = kInvalidNode;
     ReadTag tag = 0;
+    /**
+     * Write-invalidate only: the originator holds a copy whose word was
+     * invalidated and is re-fetching it from the master, which then
+     * forgets the word's invalidation (the next write re-invalidates).
+     */
+    bool refetch = false;
     static constexpr unsigned kBytes = 12;
 };
 
@@ -135,10 +141,20 @@ struct UpdateReq : ProtoMsg {
     bool fromRmw = false;
     /** Whether the tail of the chain must acknowledge the originator. */
     bool needAck = true;
+    /**
+     * Write-invalidate only: the chain invalidates the named words at
+     * each copy instead of applying the carried values (which only the
+     * master applied). Traversal and tail acknowledgement are identical
+     * to an update chain.
+     */
+    bool invalidate = false;
     unsigned
     bytes() const
     {
-        return 8 + 8 * static_cast<unsigned>(writes.size());
+        // An invalidation names each word but carries no value.
+        return invalidate
+                   ? 8 + 4 * static_cast<unsigned>(writes.size())
+                   : 8 + 8 * static_cast<unsigned>(writes.size());
     }
 };
 
@@ -152,7 +168,16 @@ struct WriteAck : ProtoMsg {
     }
     WriteTag tag = 0;
     bool fromRmw = false;
+    /**
+     * Write-invalidate only (0 otherwise): the tail of an invalidation
+     * chain acknowledges the *master*, naming the chain, so the master
+     * can commit the chain's words as invalidated-everywhere before it
+     * relays the completion to the originator.
+     */
+    std::uint64_t chainId = 0;
     static constexpr unsigned kBytes = 4;
+    /** Master-routed acks carry the 8-byte chain identity. */
+    static constexpr unsigned kChainBytes = 12;
 };
 
 /** Interlocked (delayed) operation on its way to the master copy. */
@@ -221,14 +246,24 @@ struct PageCopyData : ProtoMsg {
         return std::make_unique<PageCopyData>(*this);
     }
     PhysPage target;
+    Vpn vpn = 0; ///< page being copied, for per-page checker attribution
     Addr baseOffset = 0;
     std::vector<Word> words;
     std::uint32_t copyId = 0;
     bool last = false;
+    /**
+     * Write-invalidate only: per-word validity of this batch at the
+     * source (bit i covers words[i]). Empty means all valid — the
+     * write-update wire format and byte count are unchanged. A new copy
+     * must not treat a word as valid when the master has outstanding
+     * invalidations for it: a later write would skip the chain.
+     */
+    std::vector<std::uint64_t> validMask;
     unsigned
     bytes() const
     {
-        return 12 + 4 * static_cast<unsigned>(words.size());
+        return 12 + 4 * static_cast<unsigned>(words.size()) +
+               8 * static_cast<unsigned>(validMask.size());
     }
 };
 

@@ -286,6 +286,31 @@ writePerfettoTrace(std::ostream& os, const Telemetry& telemetry,
                      << ",\"attempt\":" << e.bytes << "}";
             w.close();
             break;
+          case TraceKind::WordInvalidate:
+            w.open() << "\"ph\":\"i\",\"s\":\"t\",\"pid\":" << e.node
+                     << ",\"tid\":1,\"ts\":" << e.begin
+                     << ",\"name\":\"invalidate\",\"cat\":\"proto\","
+                        "\"args\":{\"vpn\":"
+                     << e.vpn << ",\"word\":" << e.wordOffset << "}";
+            w.close();
+            break;
+          case TraceKind::WordRevalidate:
+            w.open() << "\"ph\":\"i\",\"s\":\"t\",\"pid\":" << e.node
+                     << ",\"tid\":1,\"ts\":" << e.begin
+                     << ",\"name\":\"revalidate\",\"cat\":\"proto\","
+                        "\"args\":{\"vpn\":"
+                     << e.vpn << ",\"word\":" << e.wordOffset << "}";
+            w.close();
+            break;
+          case TraceKind::OwnershipHandoff:
+            w.open() << "\"ph\":\"i\",\"s\":\"t\",\"pid\":" << e.node
+                     << ",\"tid\":1,\"ts\":" << e.begin
+                     << ",\"name\":\"ownership handoff\",\"cat\":"
+                        "\"proto\",\"args\":{\"vpn\":"
+                     << e.vpn << ",\"from\":" << e.id << ",\"to\":"
+                     << e.peer << "}";
+            w.close();
+            break;
         }
     });
 

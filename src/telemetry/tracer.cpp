@@ -26,6 +26,9 @@ toString(TraceKind kind)
       case TraceKind::RmwVerify: return "rmw-verify";
       case TraceKind::PacketDrop: return "packet-drop";
       case TraceKind::Retransmit: return "retransmit";
+      case TraceKind::WordInvalidate: return "word-invalidate";
+      case TraceKind::WordRevalidate: return "word-revalidate";
+      case TraceKind::OwnershipHandoff: return "ownership-handoff";
     }
     return "?";
 }
@@ -262,6 +265,44 @@ Telemetry::onWriteIssued(NodeId node, std::uint32_t tag, Vpn vpn,
     e.id = tag;
     e.vpn = vpn;
     e.wordOffset = static_cast<std::uint32_t>(word_offset);
+    ring_.push(e);
+}
+
+void
+Telemetry::onWordInvalidated(NodeId node, Vpn vpn, Addr word_offset)
+{
+    TraceEvent e;
+    e.kind = TraceKind::WordInvalidate;
+    e.node = node;
+    e.begin = e.end = now();
+    e.vpn = vpn;
+    e.wordOffset = static_cast<std::uint32_t>(word_offset);
+    ring_.push(e);
+}
+
+void
+Telemetry::onWordRevalidated(NodeId node, Vpn vpn, Addr word_offset)
+{
+    TraceEvent e;
+    e.kind = TraceKind::WordRevalidate;
+    e.node = node;
+    e.begin = e.end = now();
+    e.vpn = vpn;
+    e.wordOffset = static_cast<std::uint32_t>(word_offset);
+    ring_.push(e);
+}
+
+void
+Telemetry::onOwnershipTransfer(NodeId master, Vpn vpn, NodeId from,
+                               NodeId to)
+{
+    TraceEvent e;
+    e.kind = TraceKind::OwnershipHandoff;
+    e.node = master;
+    e.peer = to;
+    e.begin = e.end = now();
+    e.id = from;
+    e.vpn = vpn;
     ring_.push(e);
 }
 

@@ -54,6 +54,9 @@ enum class TraceKind : std::uint8_t {
     RmwVerify,    ///< delayed op result consumed (instant)
     PacketDrop,   ///< fault layer discarded a packet (instant; id = reason)
     Retransmit,   ///< reliable layer re-sent a frame (instant; id = seq)
+    WordInvalidate,    ///< invalidation chain dropped a word (instant)
+    WordRevalidate,       ///< re-fetch revalidated a word (instant)
+    OwnershipHandoff,  ///< page writer changed hands at the master
 };
 
 const char* toString(TraceKind kind);
@@ -202,6 +205,10 @@ class Telemetry final : public check::Observer, public check::NetObserver
                         std::uint32_t tag, bool tracked,
                         bool at_master) override;
     void onFenceComplete(NodeId node, bool pending_empty) override;
+    void onWordInvalidated(NodeId node, Vpn vpn, Addr word_offset) override;
+    void onWordRevalidated(NodeId node, Vpn vpn, Addr word_offset) override;
+    void onOwnershipTransfer(NodeId master, Vpn vpn, NodeId from,
+                             NodeId to) override;
     void onProcStall(NodeId node, std::uint8_t kind, Cycles start,
                      Cycles duration) override;
     void onProcRmwIssue(NodeId node, ThreadId tid, Addr vaddr,
